@@ -1,0 +1,34 @@
+use egemm_baselines::*;
+use egemm_matrix::GemmShape;
+use egemm_tcsim::DeviceSpec;
+fn main() {
+    let spec = DeviceSpec::t4();
+    let kernels: Vec<Box<dyn GemmBaseline>> = vec![
+        Box::new(EgemmTc::auto(spec)),
+        Box::new(CublasCudaFp32::new()),
+        Box::new(CublasTcEmulation::new(spec)),
+        Box::new(CublasTcHalf::new(spec)),
+        Box::new(SdkCudaFp32::new()),
+        Box::new(Markidis::new(spec)),
+        Box::new(DekkerTc::new(spec)),
+    ];
+    print!("{:<22}", "kernel");
+    for n in [1024, 2048, 4096, 8192, 16384] { print!("{:>9}", n); }
+    println!();
+    for k in &kernels {
+        print!("{:<22}", k.name());
+        for n in [1024usize, 2048, 4096, 8192, 16384] {
+            print!("{:>9.2}", k.tflops(&spec, GemmShape::square(n)));
+        }
+        println!();
+    }
+    let eg = EgemmTc::auto(spec);
+    for (nm, other) in [("cuBLAS-FP32", 1usize), ("TC-Emu", 2), ("SDK", 4), ("Markidis", 5)] {
+        let mut acc = 0.0;
+        for n in [1024usize, 2048, 4096, 8192, 16384] {
+            let s = GemmShape::square(n);
+            acc += eg.tflops(&spec, s) / kernels[other].tflops(&spec, s);
+        }
+        println!("avg speedup vs {}: {:.2}x", nm, acc / 5.0);
+    }
+}

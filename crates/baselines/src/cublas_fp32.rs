@@ -1,0 +1,155 @@
+//! cuBLAS-CUDA-FP32: `cublasSgemm` on CUDA cores (Table 5).
+//!
+//! The main yardstick of the paper — "the hand-tuned, highly-optimized
+//! implementations running on CUDA Cores". Functionally this is plain
+//! single-precision GEMM with scalar k-ascending accumulation; the timed
+//! kernel models a SASS-tuned register-blocked sgemm: (128, 128, 8) block
+//! tiles, 8 warps of 8x8-per-thread register tiles, software-pipelined
+//! staging and swizzled block rasterization, running in the FP32 clock
+//! domain.
+
+use crate::GemmBaseline;
+use egemm::{wave_reuse_ab_bytes, TilingConfig};
+use egemm_matrix::{gemm_f32_reference, GemmShape, Matrix};
+use egemm_tcsim::{
+    kernel_time, BlockResources, DepRef, DeviceSpec, KernelDesc, KernelTiming, LoopBody, Op,
+    ScheduleMode,
+};
+
+/// The `cublasSgemm` baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CublasCudaFp32;
+
+impl CublasCudaFp32 {
+    /// Construct.
+    pub fn new() -> CublasCudaFp32 {
+        CublasCudaFp32
+    }
+
+    /// Block tile of the modeled sgemm kernel.
+    const BM: usize = 128;
+    const BN: usize = 128;
+    const BK: usize = 8;
+    const WARPS: usize = 8;
+
+    /// Build the timed kernel for `shape` on `spec`.
+    pub fn kernel(&self, spec: &DeviceSpec, shape: GemmShape) -> KernelDesc {
+        // One iteration = one b_k = 8 chunk. Each of the 8 warps covers a
+        // (32, 64) piece with 8x8 per-thread register tiles:
+        //  * FFMA: 64 per thread per k  -> 64 * 8 = 512 warp FFMAs;
+        //  * LDS: 16 floats per thread per k -> 2 KiB/warp/k -> 4 LDS.128
+        //    per k -> 32 per iteration;
+        //  * staging: (128+128)*8*4 B per block -> 1 KiB/warp -> 2 LDG +
+        //    2 STS, software-pipelined (prefetch + delayed STS).
+        let mut body = LoopBody::new();
+        let n_lds = 32;
+        let n_ldg = 2;
+        let n_ffma = 512;
+        let total = n_lds + n_ldg + n_ffma + n_ldg;
+        let sts_idx: Vec<usize> = (0..n_ldg).map(|i| total - n_ldg + i).collect();
+        let mut last_lds = 0;
+        for _ in 0..n_lds {
+            let deps = sts_idx.iter().map(|&s| DepRef::Prev(s)).collect();
+            last_lds = body.push(Op::Lds128, deps);
+        }
+        let mut ldg_ids = Vec::new();
+        for _ in 0..n_ldg {
+            ldg_ids.push(body.push(Op::Ldg128, vec![]));
+        }
+        for _ in 0..n_ffma {
+            body.push(Op::Ffma, vec![DepRef::Same(last_lds)]);
+        }
+        for &g in &ldg_ids {
+            body.push(Op::Sts128, vec![DepRef::Same(g)]);
+        }
+
+        // Double-buffered f32 operand tiles in shared memory.
+        let resources = BlockResources {
+            smem_bytes: 2 * (Self::BM + Self::BN) * Self::BK * 4,
+            regs_per_thread: 128,
+            threads: Self::WARPS * 32,
+        };
+        // f32 strips: 4 bytes/element = "2 planes" of the 2-byte
+        // accounting the shared reuse helper uses.
+        let cfg = TilingConfig {
+            bm: Self::BM,
+            bn: Self::BN,
+            bk: Self::BK,
+            wm: 32,
+            wn: 64,
+            wk: 8,
+        };
+        let ab = wave_reuse_ab_bytes(spec, &cfg, shape, (2, 2), &resources, true);
+        let blocks = (shape.m.div_ceil(Self::BM) as u64) * (shape.n.div_ceil(Self::BN) as u64);
+        KernelDesc {
+            name: format!("cuBLAS-CUDA-FP32[{}x{}x{}]", Self::BM, Self::BN, Self::BK),
+            body,
+            iterations_per_warp: shape.k.div_ceil(Self::BK) as u64,
+            blocks,
+            warps_per_block: Self::WARPS,
+            resources,
+            dram_bytes: ab + (shape.m * shape.n * 4) as u64,
+            launches: 1,
+            schedule: ScheduleMode::Interleaved,
+            prologue_cycles: spec.lat.ldg128_latency as u64 + 64,
+            useful_flops: shape.flops(),
+            fp32_clock: true,
+        }
+    }
+}
+
+impl GemmBaseline for CublasCudaFp32 {
+    fn name(&self) -> &'static str {
+        "cuBLAS-CUDA-FP32"
+    }
+
+    fn compute(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+        let mut c = Matrix::<f32>::zeros(a.rows(), b.cols());
+        gemm_f32_reference(a, b, &mut c);
+        c
+    }
+
+    fn time(&self, spec: &DeviceSpec, shape: GemmShape) -> KernelTiming {
+        kernel_time(spec, &self.kernel(spec, shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lands_near_paper_throughput_on_t4() {
+        // §A.3: cublas_CUDA_FP32 around 4 TFLOPS at 8192^3 on T4.
+        let t = CublasCudaFp32::new().tflops(&DeviceSpec::t4(), GemmShape::square(8192));
+        assert!((3.2..=5.2).contains(&t), "cuBLAS-FP32: {t} TFLOPS");
+    }
+
+    #[test]
+    fn egemm_speedup_in_paper_band() {
+        // §7.3: 3.13x average over cuBLAS-CUDA-FP32; at the largest sizes
+        // it is close to 3x. Accept 2-4x at 8192.
+        let spec = DeviceSpec::t4();
+        let shape = GemmShape::square(8192);
+        let base = CublasCudaFp32::new().tflops(&spec, shape);
+        let eg = crate::EgemmTc::auto(spec).tflops(&spec, shape);
+        let speedup = eg / base;
+        assert!((2.0..=4.2).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn functional_matches_reference_bitwise() {
+        let a = Matrix::<f32>::random_uniform(33, 47, 3);
+        let b = Matrix::<f32>::random_uniform(47, 29, 4);
+        let d = CublasCudaFp32::new().compute(&a, &b);
+        let mut r = Matrix::<f32>::zeros(33, 29);
+        gemm_f32_reference(&a, &b, &mut r);
+        assert_eq!(d, r);
+    }
+
+    #[test]
+    fn compute_bound_at_large_sizes() {
+        let t = CublasCudaFp32::new().time(&DeviceSpec::t4(), GemmShape::square(8192));
+        assert_eq!(t.bound, egemm_tcsim::Bound::Compute);
+    }
+}

@@ -1,0 +1,124 @@
+//! cuBLAS-TC-Half with **half-precision accumulation** — the other C/D
+//! configuration the Tensor Core supports (§2.1: "C and D can be
+//! configured to be half-precision or single-precision").
+//!
+//! The paper's entire emulation strategy rests on choosing the
+//! single-precision C/D path (Algorithm 1 line 4); this variant makes the
+//! cost of the alternative measurable: with binary16 accumulators every
+//! k-step rounds the running sum to 11 bits, so error grows with the
+//! *magnitude* of the partial sums rather than staying near the operand
+//! representation floor — and large-k GEMMs lose most of their digits.
+
+use crate::GemmBaseline;
+use egemm::{build_kernel, EmulationScheme, KernelOpts, TilingConfig};
+use egemm_fp::Half;
+use egemm_matrix::{GemmShape, Matrix};
+use egemm_tcsim::{kernel_time, DeviceSpec, KernelTiming};
+use rayon::prelude::*;
+
+/// The half-accumulate `cublasGemmEx` configuration.
+#[derive(Debug, Clone)]
+pub struct CublasTcHalfAccum {
+    /// Vendor kernel tiling.
+    pub config: TilingConfig,
+}
+
+impl CublasTcHalfAccum {
+    /// Construct for a device.
+    pub fn new(spec: DeviceSpec) -> CublasTcHalfAccum {
+        let _ = spec;
+        CublasTcHalfAccum { config: TilingConfig::T4_PAPER }
+    }
+}
+
+impl GemmBaseline for CublasTcHalfAccum {
+    fn name(&self) -> &'static str {
+        "cuBLAS-TC-Half(f16 acc)"
+    }
+
+    fn compute(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        // Demote inputs once (the cublasGemmEx CUDA_R_16F conversion).
+        let ah: Vec<f32> = a.as_slice().iter().map(|&x| Half::from_f32(x).to_f32()).collect();
+        let bh: Vec<f32> = b.as_slice().iter().map(|&x| Half::from_f32(x).to_f32()).collect();
+        let mut out = Matrix::<f32>::zeros(m, n);
+        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+            for (j, slot) in crow.iter_mut().enumerate() {
+                // The HMMA datapath computes each k-slice's products at
+                // full precision but writes the accumulator back at
+                // binary16 every step.
+                let mut acc = Half::ZERO;
+                for p in 0..k {
+                    let prod = ah[i * k + p] * bh[p * n + j]; // exact in f32
+                    acc = Half::from_f32(acc.to_f32() + prod);
+                }
+                *slot = acc.to_f32();
+            }
+        });
+        out
+    }
+
+    fn time(&self, spec: &DeviceSpec, shape: GemmShape) -> KernelTiming {
+        // Same kernel as the f32-accumulate variant; the C/D traffic is
+        // halved (2-byte accumulators).
+        let mut desc = build_kernel(
+            spec,
+            &self.config,
+            shape,
+            EmulationScheme::TcHalf,
+            KernelOpts::default(),
+        );
+        desc.dram_bytes -= (shape.m * shape.n * 2) as u64;
+        desc.name = format!("cuBLAS-TC-Half(f16 acc)[{}]", self.config);
+        kernel_time(spec, &desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CublasTcHalf, EgemmTc};
+    use egemm_fp::max_abs_error;
+    use egemm_matrix::gemm_f64_of_f32;
+
+    #[test]
+    fn half_accumulation_is_catastrophic_at_depth() {
+        // The reason Algorithm 1 insists on single-precision C/D: at
+        // k = 512 the f16 accumulator loses orders of magnitude over the
+        // f32 accumulator, which itself trails the emulation.
+        let (m, k, n) = (16, 512, 16);
+        let a = Matrix::<f32>::random_uniform(m, k, 1);
+        let b = Matrix::<f32>::random_uniform(k, n, 2);
+        let truth = gemm_f64_of_f32(&a, &b).to_f64_vec();
+        let spec = DeviceSpec::t4();
+        let e_h16 =
+            max_abs_error(&CublasTcHalfAccum::new(spec).compute(&a, &b).to_f64_vec(), &truth);
+        let e_h32 = max_abs_error(&CublasTcHalf::new(spec).compute(&a, &b).to_f64_vec(), &truth);
+        let e_eg = max_abs_error(&EgemmTc::auto(spec).compute(&a, &b).to_f64_vec(), &truth);
+        assert!(e_h16 > 4.0 * e_h32, "f16 acc {e_h16} vs f32 acc {e_h32}");
+        assert!(e_h32 > 20.0 * e_eg, "f32-acc half {e_h32} vs emulation {e_eg}");
+    }
+
+    #[test]
+    fn shallow_products_are_less_affected() {
+        let (m, k, n) = (32, 8, 32);
+        let a = Matrix::<f32>::random_uniform(m, k, 3);
+        let b = Matrix::<f32>::random_uniform(k, n, 4);
+        let truth = gemm_f64_of_f32(&a, &b).to_f64_vec();
+        let spec = DeviceSpec::t4();
+        let e_h16 =
+            max_abs_error(&CublasTcHalfAccum::new(spec).compute(&a, &b).to_f64_vec(), &truth);
+        // At k = 8 the damage is bounded by a few accumulator ULPs.
+        assert!(e_h16 < 0.05, "shallow-k f16-acc error {e_h16}");
+    }
+
+    #[test]
+    fn slightly_faster_than_f32_accumulate() {
+        let spec = DeviceSpec::t4();
+        let shape = GemmShape::square(4096);
+        let t16 = CublasTcHalfAccum::new(spec).time(&spec, shape);
+        let t32 = CublasTcHalf::new(spec).time(&spec, shape);
+        assert!(t16.time_s <= t32.time_s);
+    }
+}

@@ -1,0 +1,153 @@
+//! Dekker \[7\] on Tensor Cores — the 16-instruction strawman of §1.
+//!
+//! Classical extended-precision emulation assumes the hardware's output
+//! precision equals its input precision (binary16 here), so every
+//! emulated multiply-accumulate costs 16 serialized half-precision
+//! instructions. The paper argues this overhead — 16x against the mere 8x
+//! TC-over-CUDA-core advantage — "can easily make emulation
+//! inappropriate"; this module makes that argument executable:
+//!
+//! * functionally, the GEMM is computed in double-half (Dekker)
+//!   arithmetic via [`egemm_fp::DoubleHalf`];
+//! * the timed kernel issues 4x the Tensor Core instructions of EGEMM-TC
+//!   *serially* (every step consumes the previous step's output, so no
+//!   instruction-level parallelism survives within an emulated op).
+
+use crate::GemmBaseline;
+use egemm::TilingConfig;
+use egemm_fp::{DoubleHalf, DEKKER_FMA_HALF_INSTRUCTIONS};
+use egemm_matrix::{GemmShape, Matrix};
+use egemm_tcsim::{
+    kernel_time, BlockResources, DepRef, DeviceSpec, KernelDesc, KernelTiming, LoopBody, Op,
+    ScheduleMode,
+};
+use rayon::prelude::*;
+
+/// The Dekker-on-Tensor-Cores strawman.
+#[derive(Debug, Clone)]
+pub struct DekkerTc {
+    /// Tiling of the host kernel (shared with EGEMM-TC for comparability).
+    pub config: TilingConfig,
+}
+
+impl DekkerTc {
+    /// Construct for a device.
+    pub fn new(spec: DeviceSpec) -> DekkerTc {
+        let _ = spec;
+        DekkerTc { config: TilingConfig::T4_PAPER }
+    }
+}
+
+impl GemmBaseline for DekkerTc {
+    fn name(&self) -> &'static str {
+        "Dekker-TC"
+    }
+
+    fn compute(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::<f32>::zeros(m, n);
+        let bt = b.transpose();
+        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            for (j, slot) in row.iter_mut().enumerate() {
+                let _ = k;
+                *slot = DoubleHalf::dot(a.row(i), bt.row(j)).to_f32();
+            }
+        });
+        out
+    }
+
+    fn time(&self, spec: &DeviceSpec, shape: GemmShape) -> KernelTiming {
+        // Per warp k-step: EGEMM-TC needs `hmmas_per_step * 4`
+        // instructions, independently schedulable; Dekker needs
+        // `hmmas_per_step * 16`, serialized in chains of 16 (each emulated
+        // op's steps feed each other).
+        let cfg = &self.config;
+        let per_op = DEKKER_FMA_HALF_INSTRUCTIONS;
+        let ops = cfg.hmmas_per_warp_step_per_term();
+        let mut body = LoopBody::new();
+        let lds = body.push(Op::Lds128, vec![]);
+        for _ in 0..6 {
+            body.push(Op::Lds128, vec![]);
+        }
+        for _ in 0..ops {
+            let mut prev = lds;
+            for _ in 0..per_op {
+                prev = body.push(Op::Hmma1688, vec![DepRef::Same(prev)]);
+            }
+        }
+        let resources = BlockResources {
+            smem_bytes: cfg.smem_bytes(),
+            regs_per_thread: cfg.regs_per_thread(),
+            threads: cfg.threads_per_block(),
+        };
+        let blocks = cfg.grid_blocks(shape.m, shape.n);
+        let desc = KernelDesc {
+            name: format!("Dekker-TC[{}]", cfg),
+            body,
+            iterations_per_warp: shape.k.div_ceil(cfg.wk) as u64,
+            blocks,
+            warps_per_block: cfg.warps_per_block(),
+            resources,
+            // Same split-operand traffic as EGEMM-TC.
+            dram_bytes: blocks * ((2 * cfg.bm + 2 * cfg.bn) * 2) as u64 * shape.k as u64
+                + (shape.m * shape.n * 4) as u64,
+            launches: 1,
+            schedule: ScheduleMode::Interleaved,
+            prologue_cycles: spec.lat.ldg128_latency as u64,
+            useful_flops: shape.flops(),
+            fp32_clock: false,
+        };
+        kernel_time(spec, &desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egemm_fp::max_abs_error;
+    use egemm_matrix::gemm_f64_of_f32;
+
+    #[test]
+    fn instruction_ratio_is_four() {
+        assert_eq!(DEKKER_FMA_HALF_INSTRUCTIONS / egemm_fp::EGEMM_TC_INSTRUCTIONS, 4);
+    }
+
+    #[test]
+    fn functional_accuracy_beats_half() {
+        let a = Matrix::<f32>::random_uniform(48, 48, 21);
+        let b = Matrix::<f32>::random_uniform(48, 48, 22);
+        let truth = gemm_f64_of_f32(&a, &b).to_f64_vec();
+        let spec = DeviceSpec::t4();
+        let dk = DekkerTc::new(spec).compute(&a, &b);
+        let half = crate::CublasTcHalf::new(spec).compute(&a, &b);
+        let e_dk = max_abs_error(&dk.to_f64_vec(), &truth);
+        let e_half = max_abs_error(&half.to_f64_vec(), &truth);
+        assert!(e_dk * 5.0 < e_half, "dekker {e_dk} vs half {e_half}");
+    }
+
+    #[test]
+    fn much_slower_than_egemm() {
+        // §1: the 16x serialized overhead sinks the approach. Expect
+        // EGEMM-TC to win by roughly the 4x instruction ratio or more.
+        let spec = DeviceSpec::t4();
+        let shape = GemmShape::square(8192);
+        let dk = DekkerTc::new(spec).tflops(&spec, shape);
+        let eg = crate::EgemmTc::auto(spec).tflops(&spec, shape);
+        assert!(
+            eg > 3.0 * dk,
+            "EGEMM {eg} should be >=3x Dekker-TC {dk}"
+        );
+    }
+
+    #[test]
+    fn slower_even_than_cublas_fp32() {
+        // The paper's point: naive emulation loses to just using CUDA
+        // cores in single precision.
+        let spec = DeviceSpec::t4();
+        let shape = GemmShape::square(8192);
+        let dk = DekkerTc::new(spec).tflops(&spec, shape);
+        let fp32 = crate::CublasCudaFp32::new().tflops(&spec, shape);
+        assert!(fp32 > dk, "cuBLAS-FP32 {fp32} vs Dekker-TC {dk}");
+    }
+}

@@ -1,0 +1,135 @@
+//! SDK-CUDA-FP32: the CUDA SDK `matrixMul` sample on CUDA cores
+//! (Table 5).
+//!
+//! The canonical teaching kernel: 16x16 shared-memory tiles, one output
+//! element per thread, no register blocking, no software pipelining, naive
+//! row-major block order. It is the paper's "open-source kernel" baseline
+//! (11.18x average speedup for EGEMM-TC, §7.3) and lands around 1 TFLOPS
+//! on the T4 (§A.3).
+
+use crate::GemmBaseline;
+use egemm::{wave_reuse_ab_bytes, TilingConfig};
+use egemm_matrix::{gemm_f32_reference, GemmShape, Matrix};
+use egemm_tcsim::{
+    kernel_time, BlockResources, DepRef, DeviceSpec, KernelDesc, KernelTiming, LoopBody, Op,
+    ScheduleMode,
+};
+
+/// The CUDA-SDK `matrixMul` baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SdkCudaFp32;
+
+impl SdkCudaFp32 {
+    /// Construct.
+    pub fn new() -> SdkCudaFp32 {
+        SdkCudaFp32
+    }
+
+    const TILE: usize = 16;
+
+    /// Build the timed kernel for `shape` on `spec`.
+    pub fn kernel(&self, spec: &DeviceSpec, shape: GemmShape) -> KernelDesc {
+        // One iteration = one 16-deep k tile. 16x16 threads per block
+        // (8 warps), one output element each:
+        //  * per thread per k: 1 FMA + 2 shared loads (scalar!), so per
+        //    warp per iteration: 16 FFMA + 32 LDS.32;
+        //  * staging: 2 * 16*16 * 4 B per block over 8 warps = 256 B per
+        //    warp -> 1 LDG + 1 STS, with a naive same-iteration chain
+        //    (the SDK kernel __syncthreads around every tile).
+        let mut body = LoopBody::new();
+        let g = body.push(Op::Ldg128, vec![]);
+        let s = body.push(Op::Sts128, vec![DepRef::Same(g)]);
+        let mut last_lds = s;
+        for _ in 0..32 {
+            last_lds = body.push(Op::Lds32, vec![DepRef::Same(s)]);
+        }
+        for _ in 0..16 {
+            body.push(Op::Ffma, vec![DepRef::Same(last_lds)]);
+        }
+        let resources = BlockResources {
+            smem_bytes: 2 * Self::TILE * Self::TILE * 4,
+            regs_per_thread: 32,
+            threads: 256,
+        };
+        let cfg = TilingConfig {
+            bm: Self::TILE,
+            bn: Self::TILE,
+            bk: Self::TILE,
+            // Warp-tile fields are unused by the traffic helper beyond
+            // validation-free arithmetic; keep them consistent.
+            wm: 16,
+            wn: 16,
+            wk: 16,
+        };
+        let ab = wave_reuse_ab_bytes(spec, &cfg, shape, (2, 2), &resources, false);
+        let blocks =
+            (shape.m.div_ceil(Self::TILE) as u64) * (shape.n.div_ceil(Self::TILE) as u64);
+        KernelDesc {
+            name: "SDK-CUDA-FP32[16x16]".to_string(),
+            body,
+            iterations_per_warp: shape.k.div_ceil(Self::TILE) as u64,
+            blocks,
+            warps_per_block: 8,
+            resources,
+            dram_bytes: ab + (shape.m * shape.n * 4) as u64,
+            launches: 1,
+            // No instruction-level scheduling at all: the compiler
+            // serializes through the per-tile barrier.
+            schedule: ScheduleMode::Sequential,
+            prologue_cycles: spec.lat.ldg128_latency as u64,
+            useful_flops: shape.flops(),
+            fp32_clock: true,
+        }
+    }
+}
+
+impl GemmBaseline for SdkCudaFp32 {
+    fn name(&self) -> &'static str {
+        "SDK-CUDA-FP32"
+    }
+
+    fn compute(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+        // Same numerics as any scalar f32 kernel with k-ascending
+        // accumulation.
+        let mut c = Matrix::<f32>::zeros(a.rows(), b.cols());
+        gemm_f32_reference(a, b, &mut c);
+        c
+    }
+
+    fn time(&self, spec: &DeviceSpec, shape: GemmShape) -> KernelTiming {
+        kernel_time(spec, &self.kernel(spec, shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lands_near_paper_throughput_on_t4() {
+        // §A.3: SDK_CUDA_FP32 around 1 TFLOPS at 8192^3 on T4.
+        let t = SdkCudaFp32::new().tflops(&DeviceSpec::t4(), GemmShape::square(8192));
+        assert!((0.5..=1.8).contains(&t), "SDK-FP32: {t} TFLOPS");
+    }
+
+    #[test]
+    fn egemm_speedup_in_paper_band() {
+        // §7.3: 11.18x on average over SDK-CUDA-FP32; accept 7-20x at
+        // 8192.
+        let spec = DeviceSpec::t4();
+        let shape = GemmShape::square(8192);
+        let base = SdkCudaFp32::new().tflops(&spec, shape);
+        let eg = crate::EgemmTc::auto(spec).tflops(&spec, shape);
+        let speedup = eg / base;
+        assert!((7.0..=20.0).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn much_slower_than_cublas() {
+        let spec = DeviceSpec::t4();
+        let shape = GemmShape::square(4096);
+        let sdk = SdkCudaFp32::new().tflops(&spec, shape);
+        let cublas = crate::CublasCudaFp32::new().tflops(&spec, shape);
+        assert!(cublas > 2.0 * sdk, "cuBLAS {cublas} vs SDK {sdk}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 10 machinery: functional open-source
+//! baseline kernels (Markidis truncate-split emulation, SDK-style f32)
+//! against EGEMM-TC, wall-time of our Rust implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egemm_baselines::{EgemmTc, GemmBaseline, Markidis, SdkCudaFp32};
+use egemm_matrix::Matrix;
+use egemm_tcsim::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::t4();
+    let egemm = EgemmTc::auto(spec);
+    let markidis = Markidis::new(spec);
+    let sdk = SdkCudaFp32::new();
+    let kernels: Vec<(&str, &dyn GemmBaseline)> =
+        vec![("EGEMM-TC", &egemm), ("Markidis", &markidis), ("SDK-CUDA-FP32", &sdk)];
+    let mut g = c.benchmark_group("fig10_functional");
+    g.sample_size(10);
+    let n = 256;
+    let a = Matrix::<f32>::random_uniform(n, n, 1);
+    let b = Matrix::<f32>::random_uniform(n, n, 2);
+    for (name, k) in &kernels {
+        g.bench_with_input(BenchmarkId::new(*name, n), &n, |bench, _| {
+            bench.iter(|| black_box(k.compute(&a, &b)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Figure 11 machinery: the instruction-level
+//! scheduler itself — simulating the EGEMM-TC inner loop under the
+//! software-pipelined vs naive orderings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egemm::{build_kernel, EmulationScheme, KernelOpts, TilingConfig};
+use egemm_matrix::GemmShape;
+use egemm_tcsim::{simulate_loop, DeviceSpec, ScheduleMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::t4();
+    let shape = GemmShape::square(8192);
+    let pipelined = build_kernel(
+        &spec,
+        &TilingConfig::T4_PAPER,
+        shape,
+        EmulationScheme::EgemmTc,
+        KernelOpts::default(),
+    );
+    let naive = build_kernel(
+        &spec,
+        &TilingConfig::T4_PAPER,
+        shape,
+        EmulationScheme::EgemmTc,
+        KernelOpts { latency_hiding: false, ..KernelOpts::default() },
+    );
+    let mut g = c.benchmark_group("fig11_scheduler_simulation");
+    for (label, body) in [("pipelined", &pipelined.body), ("naive", &naive.body)] {
+        for warps in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(label, warps),
+                &warps,
+                |bench, &w| {
+                    bench.iter(|| {
+                        black_box(simulate_loop(&spec, body, w, 64, ScheduleMode::Interleaved))
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

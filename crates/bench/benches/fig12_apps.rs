@@ -1,0 +1,44 @@
+//! Criterion bench for the Figure 12 machinery: functional kMeans and kNN
+//! iterations over the EGEMM-TC backend, plus the application time model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egemm_baselines::{CublasCudaFp32, EgemmTc};
+use egemm_sci::{
+    gaussian_blobs, kmeans_iteration, knn_iteration, uniform_cloud, KMeans, Knn, KMEANS_D,
+    KMEANS_K, KNN_D, KNN_K,
+};
+use egemm_tcsim::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::t4();
+    let egemm = EgemmTc::auto(spec);
+    let cublas = CublasCudaFp32::new();
+
+    let mut g = c.benchmark_group("fig12_functional");
+    g.sample_size(10);
+    let (data, _, _) = gaussian_blobs(512, 32, 8, 0.05, 3);
+    g.bench_function(BenchmarkId::new("kmeans_fit", 512), |b| {
+        b.iter(|| black_box(KMeans::new(&egemm).fit(&data, 8, 7)));
+    });
+    let q = uniform_cloud(128, 64, 4);
+    let r = uniform_cloud(1024, 64, 5);
+    g.bench_function(BenchmarkId::new("knn_search", 1024), |b| {
+        b.iter(|| black_box(Knn::new(&egemm).search(&q, &r, 10)));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig12_time_model");
+    for n in [2048usize, 16384] {
+        g.bench_with_input(BenchmarkId::new("kmeans_iteration", n), &n, |b, &n| {
+            b.iter(|| black_box(kmeans_iteration(&spec, &cublas, n, KMEANS_D, KMEANS_K)));
+        });
+        g.bench_with_input(BenchmarkId::new("knn_iteration", n), &n, |b, &n| {
+            b.iter(|| black_box(knn_iteration(&spec, &egemm, n, KNN_D, KNN_K)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the Figure 8 machinery: the full vendor-kernel
+//! timing pipeline (kernel build + occupancy + pipeline simulation +
+//! roofline) per baseline, plus the functional square GEMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egemm_baselines::{CublasCudaFp32, CublasTcEmulation, EgemmTc, GemmBaseline};
+use egemm_matrix::{GemmShape, Matrix};
+use egemm_tcsim::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::t4();
+    let egemm = EgemmTc::auto(spec);
+    let cublas = CublasCudaFp32::new();
+    let emu = CublasTcEmulation::new(spec);
+    let kernels: Vec<(&str, &dyn GemmBaseline)> = vec![
+        ("EGEMM-TC", &egemm),
+        ("cuBLAS-CUDA-FP32", &cublas),
+        ("cuBLAS-TC-Emulation", &emu),
+    ];
+    let mut g = c.benchmark_group("fig8_timing_model");
+    for (name, k) in &kernels {
+        g.bench_with_input(BenchmarkId::new(*name, 8192), &8192usize, |bench, &n| {
+            bench.iter(|| black_box(k.time(&spec, GemmShape::square(n))));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig8_functional_gemm");
+    g.sample_size(10);
+    let a = Matrix::<f32>::random_uniform(384, 384, 1);
+    let b = Matrix::<f32>::random_uniform(384, 384, 2);
+    for (name, k) in &kernels {
+        g.bench_with_input(BenchmarkId::new(*name, 384), &384usize, |bench, _| {
+            bench.iter(|| black_box(k.compute(&a, &b)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 9 machinery: timing-model evaluation on
+//! the skewed shape families, including the split-K heuristic path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egemm_baselines::{CublasTcEmulation, EgemmTc, GemmBaseline};
+use egemm_matrix::GemmShape;
+use egemm_tcsim::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::t4();
+    let egemm = EgemmTc::auto(spec);
+    let emu = CublasTcEmulation::new(spec);
+    let mut g = c.benchmark_group("fig9_skewed_timing");
+    for (label, shape) in [
+        ("egemm_k_skew", GemmShape::skewed_k(4096)),
+        ("egemm_m_skew", GemmShape::skewed_m(4096)),
+    ] {
+        g.bench_function(BenchmarkId::new(label, 4096), |bench| {
+            bench.iter(|| black_box(egemm.time(&spec, shape)));
+        });
+    }
+    // The split-K cliff path of cuBLAS-TC-Emulation (k = 2N > 8192).
+    g.bench_function(BenchmarkId::new("tc_emulation_splitk", 8192), |bench| {
+        bench.iter(|| black_box(emu.time(&spec, GemmShape::skewed_k(8192))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

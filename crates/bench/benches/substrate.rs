@@ -1,0 +1,65 @@
+//! Criterion benches of the numeric substrate: binary16 conversions, the
+//! split kernels (the O(N²) CUDA-core phase of §3.2), and the Tensor Core
+//! functional primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use egemm::SplitMatrix;
+use egemm_fp::{round_split, truncate_split, Half, SplitScheme};
+use egemm_matrix::Matrix;
+use egemm_tcsim::{tensor_core_mma, MmaShape};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Scalar conversion and split kernels.
+    let xs: Vec<f32> = Matrix::<f32>::random_uniform(64, 64, 1).into_vec();
+    let mut g = c.benchmark_group("substrate_scalar");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("f32_to_f16_rne", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(Half::from_f32(x));
+            }
+        })
+    });
+    g.bench_function("round_split", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(round_split(x));
+            }
+        })
+    });
+    g.bench_function("truncate_split", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(truncate_split(x));
+            }
+        })
+    });
+    g.finish();
+
+    // Matrix-level split (parallel) — the per-GEMM O(N^2) preprocessing.
+    let m = Matrix::<f32>::random_uniform(1024, 1024, 2);
+    let mut g = c.benchmark_group("substrate_split_matrix");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((1024 * 1024) as u64));
+    g.bench_function("split_1024x1024", |b| {
+        b.iter(|| black_box(SplitMatrix::split(&m, SplitScheme::Round)));
+    });
+    g.finish();
+
+    // The Tensor Core primitive.
+    let a: Vec<Half> =
+        Matrix::<f32>::random_uniform(16, 16, 3).as_slice().iter().map(|&x| Half::from_f32(x)).collect();
+    let bm: Vec<Half> =
+        Matrix::<f32>::random_uniform(16, 16, 4).as_slice().iter().map(|&x| Half::from_f32(x)).collect();
+    let acc = vec![0f32; 256];
+    let mut g = c.benchmark_group("substrate_mma");
+    g.throughput(Throughput::Elements(MmaShape::WMMA_16X16X16.flops()));
+    g.bench_function(BenchmarkId::new("tensor_core_mma", "16x16x16"), |b| {
+        b.iter(|| black_box(tensor_core_mma(&a, &bm, &acc, MmaShape::WMMA_16X16X16)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

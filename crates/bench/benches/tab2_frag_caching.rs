@@ -1,0 +1,29 @@
+//! Criterion bench for the Table 2 machinery: the tensorized executor
+//! with FRAG-cache accounting, with and without intra-warp caching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egemm::tensorize::TensorizedGemm;
+use egemm::{EmulationScheme, SplitMatrix, TilingConfig};
+use egemm_fp::SplitScheme;
+use egemm_matrix::Matrix;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = TilingConfig { bm: 32, bn: 32, bk: 16, wm: 16, wn: 16, wk: 8 };
+    let a = Matrix::<f32>::random_uniform(64, 64, 1);
+    let b = Matrix::<f32>::random_uniform(64, 64, 2);
+    let sa = SplitMatrix::split(&a, SplitScheme::Round);
+    let sb = SplitMatrix::split(&b, SplitScheme::Round);
+    let mut g = c.benchmark_group("tab2_tensorized_executor");
+    g.sample_size(10);
+    for (label, caching) in [("with_frag_caching", true), ("without_frag_caching", false)] {
+        g.bench_function(BenchmarkId::new(label, 64), |bench| {
+            let exec = TensorizedGemm { config: cfg, frag_caching: caching };
+            bench.iter(|| black_box(exec.execute(&sa, &sb, None, EmulationScheme::EgemmTc)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

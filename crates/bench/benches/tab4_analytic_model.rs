@@ -1,0 +1,20 @@
+//! Criterion bench for the Table 4 machinery: the hardware-aware analytic
+//! model — candidate evaluation and the full solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egemm::{solve_tiling, AnalyticModel, TilingConfig};
+use egemm_tcsim::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = AnalyticModel::for_device(&DeviceSpec::t4());
+    c.bench_function("tab4_evaluate_candidate", |b| {
+        b.iter(|| black_box(model.evaluate(TilingConfig::T4_PAPER)));
+    });
+    c.bench_function("tab4_solve_tiling", |b| {
+        b.iter(|| black_box(solve_tiling(&model)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

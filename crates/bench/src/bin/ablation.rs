@@ -1,0 +1,82 @@
+//! Ablation study over the design choices DESIGN.md calls out: every
+//! combination of {FRAG caching, latency hiding} x {emulation scheme},
+//! plus split-K and batching behaviour — quantifying what each EGEMM-TC
+//! optimization individually buys.
+
+use egemm::{build_kernel, Egemm, EmulationScheme, KernelOpts, TilingConfig};
+use egemm_matrix::GemmShape;
+use egemm_tcsim::{kernel_time, DeviceSpec};
+
+fn main() {
+    let spec = DeviceSpec::t4();
+    let shape = GemmShape::square(8192);
+    println!("== optimization ablation at 8192^3 on {} ==\n", spec.name);
+    println!(
+        "{:<14}{:<16}{:<16}{:>10}{:>12}",
+        "scheme", "FRAG caching", "latency hiding", "TFLOPS", "vs full"
+    );
+    // Without FRAG caching the C accumulator lives in shared memory, which
+    // the paper-size block tile cannot afford: those variants shrink to a
+    // (64,64) tile, as generic kernels do.
+    let small = TilingConfig { bm: 64, bn: 64, bk: 32, wm: 32, wn: 32, wk: 8 };
+    let full = {
+        let d = build_kernel(
+            &spec,
+            &TilingConfig::T4_PAPER,
+            shape,
+            EmulationScheme::EgemmTc,
+            KernelOpts::default(),
+        );
+        kernel_time(&spec, &d).tflops
+    };
+    for scheme in [EmulationScheme::EgemmTc, EmulationScheme::MarkidisFourTerm] {
+        for frag_caching in [true, false] {
+            for latency_hiding in [true, false] {
+                let cfg = if frag_caching { TilingConfig::T4_PAPER } else { small };
+                let d = build_kernel(
+                    &spec,
+                    &cfg,
+                    shape,
+                    scheme,
+                    KernelOpts { frag_caching, latency_hiding, launches: 1 },
+                );
+                let t = kernel_time(&spec, &d).tflops;
+                println!(
+                    "{:<14}{:<16}{:<16}{:>10.2}{:>11.2}x",
+                    scheme.label(),
+                    if frag_caching { "on" } else { "off (64x64)" },
+                    if latency_hiding { "on" } else { "off" },
+                    t,
+                    full / t
+                );
+            }
+        }
+    }
+
+    println!("\n== split-K ablation (tall reductions, EGEMM-TC) ==\n");
+    let eng = Egemm::auto(spec);
+    println!("{:<22}{:>8}{:>12}{:>12}", "shape", "slices", "fused ms", "split ms");
+    for (m, k) in [(512usize, 131072usize), (1024, 65536), (4096, 16384)] {
+        let shape = GemmShape::new(m, m, k);
+        let s = egemm::choose_slices(&spec, &eng.config, shape);
+        let fused = eng.time(shape).time_s * 1e3;
+        let split = eng.time_split_k(shape, s.max(2)).time_s * 1e3;
+        println!(
+            "{:<22}{:>8}{:>12.3}{:>12.3}",
+            shape.to_string(),
+            s,
+            fused,
+            split
+        );
+    }
+
+    println!("\n== batching ablation (many small GEMMs, EGEMM-TC) ==\n");
+    println!("{:<10}{:>10}{:>16}{:>16}", "size", "batch", "serial ms", "batched ms");
+    for n in [128usize, 256, 512] {
+        let shape = GemmShape::square(n);
+        let batch = 32;
+        let serial = eng.time(shape).time_s * batch as f64 * 1e3;
+        let batched = eng.time_batched(shape, batch).time_s * 1e3;
+        println!("{:<10}{:>10}{:>16.3}{:>16.3}", n, batch, serial, batched);
+    }
+}

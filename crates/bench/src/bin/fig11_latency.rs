@@ -1,0 +1,54 @@
+//! Regenerates **Figure 11**: benefit of the register-enhanced
+//! instruction scheduling (latency hiding, §5.1) on square matrices.
+
+use egemm::{build_kernel, EmulationScheme, KernelOpts, TilingConfig};
+use egemm_bench::{format_table, geo_mean, maybe_write_csv, Series};
+use egemm_matrix::GemmShape;
+use egemm_tcsim::{kernel_time, DeviceSpec};
+
+fn main() {
+    let spec = DeviceSpec::t4();
+    let xs: Vec<usize> = vec![1024, 2048, 4096, 6144, 8192, 12288, 16384];
+    let time = |n: usize, latency_hiding: bool| {
+        let opts = KernelOpts { latency_hiding, ..KernelOpts::default() };
+        let d = build_kernel(
+            &spec,
+            &TilingConfig::T4_PAPER,
+            GemmShape::square(n),
+            EmulationScheme::EgemmTc,
+            opts,
+        );
+        kernel_time(&spec, &d)
+    };
+    let series = vec![
+        Series {
+            label: "w/o Latency Hiding".into(),
+            points: xs.iter().map(|&n| (n, time(n, false).tflops)).collect(),
+        },
+        Series {
+            label: "w/ Latency Hiding".into(),
+            points: xs.iter().map(|&n| (n, time(n, true).tflops)).collect(),
+        },
+    ];
+    maybe_write_csv("fig11_latency", &series);
+    println!(
+        "{}",
+        format_table("Figure 11: benefit of instruction scheduling — Tesla T4", "N (NxNxN)", &series)
+    );
+    let speedups: Vec<f64> = series[1]
+        .points
+        .iter()
+        .zip(&series[0].points)
+        .map(|(w, wo)| w.1 / wo.1)
+        .collect();
+    println!(
+        "latency-hiding speedup: {:.3}x geometric mean (paper: 1.14x average)",
+        geo_mean(&speedups)
+    );
+    println!(
+        "\nmechanism: the SASS ordering breaks global->shared staging into LDG +\n\
+         delayed STS and interleaves them with HMMAs (Figure 6); the unscheduled\n\
+         ordering leaves the 360-cycle global-load latency on every iteration's\n\
+         critical path."
+    );
+}

@@ -1,0 +1,53 @@
+//! Regenerates the **precision-profiling** artifact claim (Figure 2/3,
+//! §3.2, §A.3): the Tensor Core's intermediate results are bitwise
+//! identical to single-precision CUDA-core computation.
+
+use egemm_fp::Half;
+use egemm_matrix::Matrix;
+use egemm_tcsim::mma::{mma, OpPrecision};
+use egemm_tcsim::probe::{agreement_mantissa_bits, identify_precision, ComputePrimitive, ExactDatapathDevice, TensorCoreDevice};
+use egemm_tcsim::MmaShape;
+
+fn main() {
+    let shape = MmaShape::WMMA_16X16X16;
+    // The §A.3 sample output: one randomized trial's element.
+    let a32 = Matrix::<f32>::random_uniform(16, 16, 1);
+    let b32 = Matrix::<f32>::random_uniform(16, 16, 2);
+    let a: Vec<Half> = a32.as_slice().iter().map(|&x| Half::from_f32(x * 30.0)).collect();
+    let b: Vec<Half> = b32.as_slice().iter().map(|&x| Half::from_f32(x * 30.0)).collect();
+    let c = vec![0f32; 256];
+    let d_half = mma(&a, &b, &c, shape, OpPrecision::Half);
+    let d_single = mma(&a, &b, &c, shape, OpPrecision::Single);
+    let d_tc = TensorCoreDevice.mma(&a, &b, &c, shape);
+    println!("half_result:   {:>14.8}, {:#010x}", d_half[0], d_half[0].to_bits());
+    println!("single_result: {:>14.8}, {:#010x}", d_single[0], d_single[0].to_bits());
+    println!("Tensor Core :  {:>14.8}, {:#010x}", d_tc[0], d_tc[0].to_bits());
+
+    // The paper's full workflow: 10,000 randomized trials.
+    let trials = 10_000;
+    let report = identify_precision(&TensorCoreDevice, shape, trials, 20210227);
+    println!("\nFigure 2 workflow over {trials} randomized trials:");
+    for o in &report.outcomes {
+        println!(
+            "  probe {:?}: {}/{} bitwise matches, max |diff| {:.3e} -> {}",
+            o.hypothesis,
+            o.matching_trials,
+            o.trials,
+            o.max_abs_diff,
+            if o.accepted() { "ACCEPTED" } else { "rejected" }
+        );
+    }
+    println!("\nverdict: {:?}", report.verdict());
+    let depth = agreement_mantissa_bits(&TensorCoreDevice, shape, 1000, 77);
+    let depth_exact = agreement_mantissa_bits(&ExactDatapathDevice, shape, 1000, 77);
+    println!(
+        "agreement with the single-precision probe: {depth} mantissa bits\n\
+         (paper observes >= 21 on real silicon; an exact-accumulation device\n\
+         would still agree to {depth_exact} bits — either satisfies the emulation)."
+    );
+    println!(
+        "paper: \"all d_TCs are identical to d_FLOAT bit-wisely up to 21 mantissa\n\
+         bits\" — operation precision is single, enabling the 4-instruction\n\
+         emulation (Algorithm 1)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Runs every table/figure regenerator in sequence — the one-shot
+//! reproduction of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p egemm-bench --bin repro_all          # full
+//! cargo run --release -p egemm-bench --bin repro_all -- --quick
+//! ```
+//!
+//! `--quick` caps the Figure 7 precision sweep at N = 1024 (the only
+//! genuinely expensive experiment; everything else is model evaluation).
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bins: &[(&str, &[&str])] = &[
+        ("tab1_formats", &[]),
+        ("profiling", &[]),
+        ("precision_test", &[]),
+        ("tab2_memaccess", &[]),
+        ("tab3_budget", &[]),
+        ("tab4_analytic", &[]),
+        ("fig7_precision", if quick { &["--quick"] } else { &[] }),
+        ("fig8_vendor", &[]),
+        ("fig9_skewed", &[]),
+        ("fig10_opensource", &[]),
+        ("fig11_latency", &[]),
+        ("fig12_apps", &[]),
+        ("ablation", &[]),
+    ];
+    // Resolve sibling binaries from our own path so this works from any
+    // cwd and any profile directory.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+    for (bin, args) in bins {
+        println!("\n{:=^78}\n", format!(" {bin} "));
+        let path = dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).args(*args).status()
+        } else {
+            // Fall back to cargo run (slower, but works in fresh trees).
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "egemm-bench", "--bin", bin, "--"])
+                .args(*args)
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("\nall experiments regenerated; compare against EXPERIMENTS.md.");
+}

@@ -1,0 +1,134 @@
+//! Ad-hoc kernel simulation CLI: cost any GEMM shape on any modeled
+//! device with any kernel from the evaluation.
+//!
+//! ```text
+//! cargo run --release -p egemm-bench --bin simulate -- \
+//!     --m 8192 --n 8192 --k 8192 --device t4 --kernel egemm
+//! cargo run --release -p egemm-bench --bin simulate -- --m 512 --n 512 \
+//!     --k 131072 --kernel egemm --split-k 0      # 0 = auto
+//! cargo run --release -p egemm-bench --bin simulate -- --list
+//! ```
+
+use egemm::Egemm;
+use egemm_baselines::{
+    CublasCudaFp32, CublasTcEmulation, CublasTcHalf, DekkerTc, EgemmTc, GemmBaseline, Markidis,
+    SdkCudaFp32,
+};
+use egemm_matrix::GemmShape;
+use egemm_tcsim::DeviceSpec;
+
+const KERNELS: &[&str] = &[
+    "egemm",
+    "cublas-fp32",
+    "cublas-tc-half",
+    "cublas-tc-emulation",
+    "sdk-fp32",
+    "markidis",
+    "dekker-tc",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--device t4|rtx6000] [--kernel NAME|all] \
+         --m M --n N --k K [--split-k S]\n       simulate --list\n\
+         kernels: {}",
+        KERNELS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (DeviceSpec, String, GemmShape, Option<usize>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("kernels: {}", KERNELS.join(", "));
+        println!("devices: t4, rtx6000");
+        std::process::exit(0);
+    }
+    let mut device = DeviceSpec::t4();
+    let mut kernel = "all".to_string();
+    let (mut m, mut n, mut k) = (0usize, 0usize, 0usize);
+    let mut split_k = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--device" => {
+                device = match val().as_str() {
+                    "t4" => DeviceSpec::t4(),
+                    "rtx6000" => DeviceSpec::rtx6000(),
+                    other => {
+                        eprintln!("unknown device {other}");
+                        usage()
+                    }
+                }
+            }
+            "--kernel" => kernel = val(),
+            "--m" => m = val().parse().unwrap_or_else(|_| usage()),
+            "--n" => n = val().parse().unwrap_or_else(|_| usage()),
+            "--k" => k = val().parse().unwrap_or_else(|_| usage()),
+            "--split-k" => split_k = Some(val().parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+    }
+    if m == 0 || n == 0 || k == 0 {
+        usage();
+    }
+    (device, kernel, GemmShape::new(m, n, k), split_k)
+}
+
+fn make_kernel(name: &str, spec: DeviceSpec) -> Option<Box<dyn GemmBaseline>> {
+    Some(match name {
+        "egemm" => Box::new(EgemmTc::auto(spec)),
+        "cublas-fp32" => Box::new(CublasCudaFp32::new()),
+        "cublas-tc-half" => Box::new(CublasTcHalf::new(spec)),
+        "cublas-tc-emulation" => Box::new(CublasTcEmulation::new(spec)),
+        "sdk-fp32" => Box::new(SdkCudaFp32::new()),
+        "markidis" => Box::new(Markidis::new(spec)),
+        "dekker-tc" => Box::new(DekkerTc::new(spec)),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let (spec, kernel, shape, split_k) = parse_args();
+    println!(
+        "simulating {shape} on {} ({} SMs, {:.0}/{:.0} GB/s DRAM/L2)\n",
+        spec.name, spec.sm_count, spec.dram_bandwidth_gbps, spec.l2_bandwidth_gbps
+    );
+    println!(
+        "{:<22}{:>12}{:>10}{:>10}{:>12}{:>8}",
+        "kernel", "time (ms)", "TFLOPS", "bound", "blocks/SM", "waves"
+    );
+    let names: Vec<&str> =
+        if kernel == "all" { KERNELS.to_vec() } else { vec![kernel.as_str()] };
+    for name in names {
+        let Some(k) = make_kernel(name, spec) else {
+            eprintln!("unknown kernel {name}");
+            usage();
+        };
+        let t = k.time(&spec, shape);
+        println!(
+            "{:<22}{:>12.3}{:>10.2}{:>10}{:>12}{:>8}",
+            k.name(),
+            t.time_s * 1e3,
+            t.tflops,
+            format!("{:?}", t.bound),
+            t.blocks_per_sm,
+            t.waves
+        );
+    }
+    if let Some(s) = split_k {
+        let eng = Egemm::auto(spec);
+        let s_eff = if s == 0 { egemm::choose_slices(&spec, &eng.config, shape) } else { s };
+        let t = eng.time_split_k(shape, s_eff);
+        println!(
+            "{:<22}{:>12.3}{:>10.2}{:>10}{:>12}{:>8}",
+            format!("egemm split-k={s_eff}"),
+            t.time_s * 1e3,
+            t.tflops,
+            format!("{:?}", t.bound),
+            t.blocks_per_sm,
+            t.waves
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Table 1**: precision specifications.
+
+use egemm_fp::PrecisionFormat;
+
+fn main() {
+    println!("Table 1. Precision Specifications. Unit: Number of Bits.\n");
+    println!("{:<22}{:>6}{:>10}{:>10}{:>14}", "Data Type", "Sign", "Exponent", "Mantissa", "epsilon");
+    for f in PrecisionFormat::TABLE_1 {
+        println!(
+            "{:<22}{:>6}{:>10}{:>10}{:>14.3e}",
+            f.name, f.sign_bits, f.exponent_bits, f.mantissa_bits, f.epsilon()
+        );
+    }
+    println!(
+        "\nextended-precision carries {} mantissa bit(s) more than Markidis-precision\n\
+         (the round-split 's' bit of Figure 4b).",
+        PrecisionFormat::EXTENDED.mantissa_bits - PrecisionFormat::MARKIDIS.mantissa_bits
+    );
+}

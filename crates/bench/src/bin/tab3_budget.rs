@@ -1,0 +1,17 @@
+//! Regenerates **Table 3**: the resource budget on the T4 GPU — the only
+//! device-specific input the analytic model needs (§6).
+
+use egemm_tcsim::DeviceSpec;
+
+fn main() {
+    for spec in [DeviceSpec::t4(), DeviceSpec::rtx6000()] {
+        let b = spec.resource_budget();
+        println!("Table 3. Resource Budget on {}.", spec.name);
+        println!("  Shared Memory Size   {:>8} KB", b.shared_mem_bytes / 1024);
+        println!("  FRAG/Register Size   {:>8} KB", b.register_file_bytes / 1024);
+        println!("  Peak Computation     {:>8.0} TFLOPS (~2^6 on T4)", b.peak_tflops);
+        println!("  L2 Cache Speed       {:>8.0} GB/s", b.l2_bandwidth_gbps);
+        println!();
+    }
+    println!("paper (Table 3, T4): 64 KB shared, 256 KB FRAG/register, 2^6 TFLOPS, 750 GB/s.");
+}

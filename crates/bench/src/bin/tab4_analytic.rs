@@ -1,0 +1,39 @@
+//! Regenerates **Table 4**: the analytic model's design choice on the T4
+//! budget (§6.2).
+
+use egemm::{continuous_optimum, solve_tiling, AnalyticModel};
+use egemm_tcsim::{blocks_per_sm, BlockResources, DeviceSpec};
+
+fn main() {
+    let spec = DeviceSpec::t4();
+    let model = AnalyticModel::for_device(&spec);
+    let n_cands = model.feasible_candidates().len();
+    let best = solve_tiling(&model).expect("feasible tiling");
+    let c = best.config;
+    let res = BlockResources {
+        smem_bytes: c.smem_bytes(),
+        regs_per_thread: c.regs_per_thread(),
+        threads: c.threads_per_block(),
+    };
+    println!("Table 4. Design Choice on T4 GPU (solved from the Table 3 budget).");
+    println!("  (b_m, b_n, b_k)      ({}, {}, {})", c.bm, c.bn, c.bk);
+    println!("  (w_m, w_n, w_k)      ({}, {}, {})", c.wm, c.wn, c.wk);
+    println!("  Shared memory/block  {} KB", c.smem_bytes() / 1024);
+    println!("  Active Blocks/SM     {}", blocks_per_sm(&spec, &res));
+    println!("  Active Warps/Block   {}", c.warps_per_block());
+    println!();
+    println!("paper (Table 4): (128,128,32) / (64,32,8), 36 KB, 1 block/SM, 8 warps/block.");
+    println!(
+        "\nsolver internals: Eq.4 objective = {:.1}; continuous symmetric optimum\n\
+         x* = {:.0} at b_k = {} (rounded down to the power-of-two grid);\n\
+         T_comp = {:.0} cyc vs T_Mem1+T_Mem2 = {:.0} cyc; registers/thread = {};\n\
+         {} feasible grid candidates examined.",
+        best.objective,
+        continuous_optimum(model.budget.register_file_bytes, c.bk),
+        c.bk,
+        best.t_comp,
+        best.t_mem1 + best.t_mem2,
+        best.regs_per_thread,
+        n_cands,
+    );
+}

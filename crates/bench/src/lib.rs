@@ -1,0 +1,248 @@
+//! # egemm-bench — harness utilities shared by the table/figure
+//! regenerators.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index); the functions here do
+//! the shared heavy lifting:
+//!
+//! * [`precision_sweep`] — the Figure 7 experiment: max error of each
+//!   emulation scheme against the single-precision reference, with
+//!   row-sampled evaluation at the large sizes to keep the exact
+//!   arithmetic tractable;
+//! * [`perf_table`] / [`Series`] — uniform throughput sweeps over
+//!   baselines and formatted table output;
+//! * [`geo_mean`] and friends — the §7.3 summary statistics.
+
+use egemm::{emulated_gemm, emulated_gemm_rows, EmulationScheme, SplitMatrix};
+use egemm_baselines::GemmBaseline;
+use egemm_fp::max_abs_error;
+use egemm_matrix::{GemmShape, Matrix};
+use egemm_tcsim::DeviceSpec;
+use rayon::prelude::*;
+
+/// A named series of (x, y) points — one line of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (matrix size / point count, value) pairs.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Mean of the y values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// Render series as an aligned text table (sizes as columns).
+pub fn format_table(title: &str, xlabel: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    if series.is_empty() {
+        return out;
+    }
+    out.push_str(&format!("{:<22}", xlabel));
+    for (x, _) in &series[0].points {
+        out.push_str(&format!("{:>10}", x));
+    }
+    out.push('\n');
+    for s in series {
+        out.push_str(&format!("{:<22}", s.label));
+        for (_, y) in &s.points {
+            if *y >= 100.0 {
+                out.push_str(&format!("{:>10.1}", y));
+            } else if *y >= 0.01 {
+                out.push_str(&format!("{:>10.3}", y));
+            } else {
+                out.push_str(&format!("{:>10.2e}", y));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render series as CSV (`x,label1,label2,...` header then one row per x).
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut out = String::new();
+    if series.is_empty() {
+        return out;
+    }
+    out.push('x');
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    for (i, (x, _)) in series[0].points.iter().enumerate() {
+        out.push_str(&x.to_string());
+        for s in series {
+            out.push(',');
+            out.push_str(&format!("{}", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// If the `EGEMM_CSV_DIR` environment variable is set, write the series as
+/// `<dir>/<name>.csv` (for plotting); errors are reported, not fatal.
+pub fn maybe_write_csv(name: &str, series: &[Series]) {
+    let Ok(dir) = std::env::var("EGEMM_CSV_DIR") else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, series_to_csv(series)))
+    {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Geometric mean of ratios.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Throughput sweep: TFLOPS of each kernel over the shapes.
+pub fn perf_table(
+    spec: &DeviceSpec,
+    kernels: &[&dyn GemmBaseline],
+    shapes: &[GemmShape],
+    xs: &[usize],
+) -> Vec<Series> {
+    kernels
+        .iter()
+        .map(|k| Series {
+            label: k.name().to_string(),
+            points: xs
+                .iter()
+                .zip(shapes)
+                .map(|(&x, &s)| (x, k.tflops(spec, s)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The f32 single-precision reference (scalar k-ascending accumulation)
+/// restricted to a set of rows — the Figure 7 yardstick at large sizes.
+pub fn f32_reference_rows(a: &Matrix<f32>, b: &Matrix<f32>, rows: &[usize]) -> Vec<f64> {
+    let (k, n) = (a.cols(), b.cols());
+    let mut out = vec![0f64; rows.len() * n];
+    out.par_chunks_mut(n).zip(rows.par_iter()).for_each(|(chunk, &i)| {
+        let arow = a.row(i);
+        for j in 0..n {
+            let mut acc = 0f32;
+            for p in 0..k {
+                acc += arow[p] * b.get(p, j);
+            }
+            chunk[j] = acc as f64;
+        }
+    });
+    out
+}
+
+/// One Figure 7 cell: max |V_scheme - V_single| over sampled rows of an
+/// `n x n x n` product with U[-1,1] inputs (Eq. 10).
+pub fn precision_cell(n: usize, scheme: EmulationScheme, sample_rows: usize, seed: u64) -> f64 {
+    let a = Matrix::<f32>::random_uniform(n, n, seed);
+    let b = Matrix::<f32>::random_uniform(n, n, seed + 1);
+    let sa = SplitMatrix::split(&a, scheme.split_scheme());
+    let sb = SplitMatrix::split(&b, scheme.split_scheme());
+    if n <= sample_rows {
+        let d = emulated_gemm(&sa, &sb, None, scheme);
+        let rows: Vec<usize> = (0..n).collect();
+        let reference = f32_reference_rows(&a, &b, &rows);
+        max_abs_error(&d.to_f64_vec(), &reference)
+    } else {
+        // Deterministic stratified row sample.
+        let stride = n / sample_rows;
+        let rows: Vec<usize> = (0..sample_rows).map(|i| i * stride).collect();
+        let d = emulated_gemm_rows(&sa, &sb, &rows, scheme);
+        let reference = f32_reference_rows(&a, &b, &rows);
+        max_abs_error(&d.to_f64_vec(), &reference)
+    }
+}
+
+/// The full Figure 7 sweep for the given sizes.
+pub fn precision_sweep(sizes: &[usize], sample_rows: usize, seed: u64) -> Vec<Series> {
+    let schemes = [
+        (EmulationScheme::EgemmTc, "EGEMM-TC"),
+        (EmulationScheme::Markidis, "Markidis"),
+        (EmulationScheme::TcHalf, "cuBLAS-TC-Half"),
+    ];
+    schemes
+        .iter()
+        .map(|&(scheme, label)| Series {
+            label: label.to_string(),
+            points: sizes
+                .iter()
+                .map(|&n| (n, precision_cell(n, scheme, sample_rows, seed)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Paper reference values for Figure 7 (max error, T4): size -> (EGEMM-TC,
+/// Markidis, cuBLAS-TC-Half), transcribed from the figure.
+pub const FIG7_PAPER: [(usize, f64, f64, f64); 7] = [
+    (128, 0.000008, 0.0000086, 0.008),
+    (256, 0.000019, 0.00003, 0.01),
+    (512, 0.000053, 0.0001, 0.017),
+    (1024, 0.000089, 0.00023, 0.02),
+    (2048, 0.000187, 0.00046, 0.029),
+    (4096, 0.0003, 0.0011, 0.043),
+    (8192, 0.00067, 0.002, 0.055),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_cell_orders_schemes() {
+        let e_eg = precision_cell(128, EmulationScheme::EgemmTc, 128, 1);
+        let e_mk = precision_cell(128, EmulationScheme::Markidis, 128, 1);
+        let e_half = precision_cell(128, EmulationScheme::TcHalf, 128, 1);
+        assert!(e_eg <= e_mk);
+        assert!(e_mk < e_half);
+        // Magnitudes near the paper's 128-row cells.
+        assert!(e_eg < 1e-4, "EGEMM err {e_eg}");
+        assert!(e_half > 1e-3, "half err {e_half}");
+    }
+
+    #[test]
+    fn sampled_equals_full_on_sampled_rows() {
+        // n=256 with 64 sampled rows: the sample is a subset of the full
+        // computation, so the sampled max error is <= the full one.
+        let full = precision_cell(256, EmulationScheme::EgemmTc, 256, 2);
+        let sampled = precision_cell(256, EmulationScheme::EgemmTc, 64, 2);
+        assert!(sampled <= full * 1.0000001, "{sampled} vs {full}");
+        assert!(sampled > full * 0.2, "sample should be representative");
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_formatting() {
+        let s = vec![Series { label: "x".into(), points: vec![(1, 0.5), (2, 123.0)] }];
+        let t = format_table("T", "size", &s);
+        assert!(t.contains("T"));
+        assert!(t.contains("0.500"));
+        assert!(t.contains("123.0"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Batched emulated GEMM — an extension beyond the paper.
+//!
+//! Many GEMM-based scientific workloads (the paper's own kNN among them,
+//! when queries arrive in waves) issue many small products rather than
+//! one large one. A batched entry point amortizes the launch overhead and
+//! fills the device with blocks from independent problems: the grid of
+//! one launch covers the whole batch, so occupancy at small per-problem
+//! sizes stops being the bottleneck the §7.3 small-size discussion
+//! describes.
+
+use crate::gemm::Egemm;
+use crate::kernel::build_kernel;
+use crate::split_matrix::SplitMatrix;
+use egemm_matrix::{GemmShape, Matrix};
+use egemm_tcsim::{kernel_time, KernelTiming};
+use rayon::prelude::*;
+
+/// Result of a batched GEMM.
+#[derive(Debug, Clone)]
+pub struct BatchedOutput {
+    /// Per-problem products, in input order.
+    pub d: Vec<Matrix<f32>>,
+    /// Simulated timing of the single batched launch.
+    pub timing: KernelTiming,
+}
+
+impl Egemm {
+    /// Compute `D_i = A_i · B_i` for every pair in the batch with one
+    /// simulated launch. All problems must share one shape.
+    ///
+    /// # Panics
+    /// On an empty batch, length mismatch, or heterogeneous shapes.
+    pub fn gemm_batched(&self, a: &[Matrix<f32>], b: &[Matrix<f32>]) -> BatchedOutput {
+        assert!(!a.is_empty(), "empty batch");
+        assert_eq!(a.len(), b.len(), "batch length mismatch");
+        let shape = GemmShape::new(a[0].rows(), b[0].cols(), a[0].cols());
+        for (ai, bi) in a.iter().zip(b) {
+            assert_eq!(
+                (ai.rows(), ai.cols(), bi.rows(), bi.cols()),
+                (shape.m, shape.k, shape.k, shape.n),
+                "heterogeneous batch shapes"
+            );
+        }
+        let d: Vec<Matrix<f32>> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(ai, bi)| {
+                let sa = SplitMatrix::split(ai, self.scheme.split_scheme());
+                let sb = SplitMatrix::split(bi, self.scheme.split_scheme());
+                crate::emulation::emulated_gemm(&sa, &sb, None, self.scheme)
+            })
+            .collect();
+        BatchedOutput { d, timing: self.time_batched(shape, a.len()) }
+    }
+
+    /// Timing of a batched launch: one kernel whose grid is the union of
+    /// the per-problem grids, with traffic summed across the batch.
+    pub fn time_batched(&self, shape: GemmShape, batch: usize) -> KernelTiming {
+        assert!(batch > 0, "empty batch");
+        let mut desc = build_kernel(&self.spec, &self.config, shape, self.scheme, self.opts);
+        desc.blocks *= batch as u64;
+        desc.dram_bytes *= batch as u64;
+        desc.useful_flops *= batch as u64;
+        desc.name = format!("{} x{batch}", desc.name);
+        kernel_time(&self.spec, &desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TilingConfig;
+    use egemm_tcsim::DeviceSpec;
+
+    fn engine() -> Egemm {
+        Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER)
+    }
+
+    #[test]
+    fn batched_matches_singles_bitwise() {
+        let eng = engine();
+        let a: Vec<Matrix<f32>> =
+            (0..4).map(|i| Matrix::random_uniform(32, 24, 10 + i)).collect();
+        let b: Vec<Matrix<f32>> =
+            (0..4).map(|i| Matrix::random_uniform(24, 16, 20 + i)).collect();
+        let out = eng.gemm_batched(&a, &b);
+        assert_eq!(out.d.len(), 4);
+        for i in 0..4 {
+            let single = eng.gemm(&a[i], &b[i]).d;
+            assert_eq!(out.d[i], single, "batch element {i}");
+        }
+    }
+
+    #[test]
+    fn batching_beats_serial_launches_at_small_sizes() {
+        // 16 problems of 256^3: serially launched, each underfills the
+        // device and pays a launch; batched, the grid fills it once.
+        let eng = engine();
+        let shape = GemmShape::square(256);
+        let single = eng.time(shape);
+        let batched = eng.time_batched(shape, 16);
+        assert!(
+            batched.time_s < 16.0 * single.time_s,
+            "batched {} vs 16x serial {}",
+            batched.time_s,
+            16.0 * single.time_s
+        );
+        // And per-problem throughput improves.
+        assert!(batched.tflops > single.tflops);
+    }
+
+    #[test]
+    #[should_panic(expected = "heterogeneous batch shapes")]
+    fn mixed_shapes_rejected() {
+        let eng = engine();
+        let a = vec![Matrix::<f32>::zeros(8, 8), Matrix::<f32>::zeros(16, 8)];
+        let b = vec![Matrix::<f32>::zeros(8, 8), Matrix::<f32>::zeros(8, 8)];
+        eng.gemm_batched(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        engine().gemm_batched(&[], &[]);
+    }
+}

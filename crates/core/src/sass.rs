@@ -1,0 +1,591 @@
+//! SASS lowering and register allocation (§5.2) — the paper's artifact
+//! ships hand-written SASS compiled by `TuringAs`; this module generates
+//! the equivalent annotated listing for any tiling/scheme and performs the
+//! §5.2 heuristic register allocation on it.
+//!
+//! The kernel runs in four stages with largely disjoint register needs —
+//! context/addressing, C load, compute, C store. The allocator assigns
+//! physical registers by linear scan over value lifetimes; with
+//! **cross-stage reuse** (the paper's heuristic for the NP-hard problem
+//! \[32\]) registers freed by a dead stage return to the pool and the
+//! footprint is near the *maximum* stage demand (232 of 256 registers in
+//! the paper's kernel); without it each stage holds its registers to the
+//! end and the kernel spills.
+//!
+//! Register-operand widths follow the real Turing encodings:
+//! `HMMA.1688.F32 Rd(4), Ra(2), Rb(1), Rc(4)`; 128-bit memory ops move 4
+//! registers per thread.
+
+use crate::config::TilingConfig;
+use crate::emulation::EmulationScheme;
+use crate::kernel::{plane_counts, KernelOpts, BYTES_PER_128B_INSTR};
+use egemm_tcsim::DeviceSpec;
+
+/// A virtual register range (pre-allocation) or physical range
+/// (post-allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegRange {
+    /// First register index.
+    pub base: u32,
+    /// Registers spanned.
+    pub width: u32,
+}
+
+impl core::fmt::Display for RegRange {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.width == 1 {
+            write!(f, "R{}", self.base)
+        } else {
+            write!(f, "R{}..R{}", self.base, self.base + self.width - 1)
+        }
+    }
+}
+
+/// Kernel execution stage (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// threadIdx/blockIdx decoding, tile base addresses.
+    Context,
+    /// Load the C accumulator fragments.
+    LoadC,
+    /// The steady-state emulation loop.
+    Compute,
+    /// Store the D fragments.
+    StoreC,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 4] = [Stage::Context, Stage::LoadC, Stage::Compute, Stage::StoreC];
+}
+
+/// One instruction of the lowered kernel.
+#[derive(Debug, Clone)]
+pub struct SassInstr {
+    /// Stage the instruction belongs to.
+    pub stage: Stage,
+    /// Mnemonic, e.g. `HMMA.1688.F32`.
+    pub mnemonic: &'static str,
+    /// Destination registers (allocated), if any.
+    pub dst: Option<RegRange>,
+    /// Source registers.
+    pub src: Vec<RegRange>,
+    /// Human annotation.
+    pub comment: String,
+}
+
+/// A virtual value with its lifetime over instruction positions.
+#[derive(Debug, Clone, Copy)]
+struct Value {
+    width: u32,
+    def: usize,
+    last_use: usize,
+    /// Pinned values (loop accumulators) live for the whole kernel.
+    pinned: bool,
+}
+
+/// Allocation statistics — the §5.2 numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationReport {
+    /// Peak registers live with cross-stage reuse (the paper: 232).
+    pub peak_with_reuse: u32,
+    /// Registers needed if nothing is ever reused (naive per-value
+    /// allocation) — what a compiler without the stage insight can
+    /// approach.
+    pub total_without_reuse: u32,
+    /// Architectural limit used for the spill verdict.
+    pub limit: u32,
+    /// Whether the reuse allocation fits the limit.
+    pub fits: bool,
+}
+
+/// The lowered kernel.
+#[derive(Debug, Clone)]
+pub struct SassKernel {
+    /// Instructions in program order (prologue stages + one loop body +
+    /// epilogue; the loop body is marked by `Stage::Compute`).
+    pub instrs: Vec<SassInstr>,
+    /// Allocation statistics.
+    pub alloc: AllocationReport,
+    /// Tiling the kernel was generated for.
+    pub config: TilingConfig,
+}
+
+/// Linear-scan allocation over value lifetimes. Returns
+/// `(assignments, peak)`; with `reuse == false`, freed registers never
+/// return to the pool (every value gets fresh registers).
+fn linear_scan(values: &[Value], reuse: bool) -> (Vec<u32>, u32) {
+    // Free list of (base, width) holes; start with one infinite arena and
+    // track the high-water mark.
+    let mut next_fresh: u32 = 0;
+    let mut free: Vec<(u32, u32)> = Vec::new();
+    let mut assignment = vec![0u32; values.len()];
+    let mut live: Vec<(usize, u32, u32)> = Vec::new(); // (last_use, base, width)
+    let mut peak: u32 = 0;
+    let mut live_regs: u32 = 0;
+    let order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by_key(|&i| values[i].def);
+        idx
+    };
+    for &i in &order {
+        let v = values[i];
+        // Expire dead values.
+        if reuse {
+            live.retain(|&(last, base, width)| {
+                if last < v.def {
+                    free.push((base, width));
+                    live_regs -= width;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // First-fit from the free list.
+        let mut base = None;
+        if reuse {
+            if let Some(pos) = free.iter().position(|&(_, w)| w >= v.width) {
+                let (b, w) = free.swap_remove(pos);
+                base = Some(b);
+                if w > v.width {
+                    free.push((b + v.width, w - v.width));
+                }
+            }
+        }
+        let b = base.unwrap_or_else(|| {
+            let b = next_fresh;
+            next_fresh += v.width;
+            b
+        });
+        assignment[i] = b;
+        let last = if v.pinned { usize::MAX } else { v.last_use };
+        live.push((last, b, v.width));
+        live_regs += v.width;
+        peak = peak.max(if reuse { live_regs } else { next_fresh });
+    }
+    (assignment, peak.max(next_fresh.min(peak.max(1))))
+}
+
+/// Lower one warp's kernel to an annotated SASS-like listing with
+/// registers allocated by the §5.2 heuristic.
+pub fn generate_sass(
+    spec: &DeviceSpec,
+    config: &TilingConfig,
+    scheme: EmulationScheme,
+    opts: KernelOpts,
+) -> SassKernel {
+    config.validate().expect("invalid tiling");
+    assert!(
+        spec.supports_turingas_sass(),
+        "SASS kernels require the Turing architecture (artifact §A.2: on \
+         {} the TuringAs output is invalid — the paper's artifact reports \
+         'Segmentation fault (core dumped)')",
+        spec.name
+    );
+    let tc = TilingConfig::TC;
+    let (a_planes, b_planes) = plane_counts(scheme);
+    let terms = scheme.terms();
+
+    // ---- build (stage, mnemonic, width, uses, pinned, comment) tuples ----
+    struct Proto {
+        stage: Stage,
+        mnemonic: &'static str,
+        width: u32,
+        uses: Vec<usize>, // indices of values consumed
+        pinned: bool,
+        comment: String,
+    }
+    let mut protos: Vec<Proto> = Vec::new();
+
+    // Stage 1: context — threadIdx/blockIdx decode and tile addressing.
+    // The paper counts ~40 registers of context state; we materialize the
+    // address chain explicitly: 10 IMAD/SHF producing 4-wide address
+    // quads.
+    let mut ctx_ids = Vec::new();
+    for i in 0..10 {
+        protos.push(Proto {
+            stage: Stage::Context,
+            mnemonic: "IMAD",
+            width: 4,
+            uses: vec![],
+            pinned: false,
+            comment: format!("address chain {i}: blockIdx/threadIdx -> tile base"),
+        });
+        ctx_ids.push(protos.len() - 1);
+    }
+
+    // Stage 2: load C fragments (one LDG.128 quad per 4 registers of the
+    // thread's accumulator slice). These become the pinned accumulators:
+    // 4·w_m·w_n bytes across 32 lanes = w_m·w_n/32 registers per thread.
+    let acc_quads = (config.wm * config.wn / 32).div_ceil(4);
+    let mut acc_ids = Vec::new();
+    for q in 0..acc_quads {
+        protos.push(Proto {
+            stage: Stage::LoadC,
+            mnemonic: "LDG.E.128",
+            width: 4,
+            uses: vec![ctx_ids[q % ctx_ids.len()]],
+            pinned: true,
+            comment: format!("C accumulator quad {q}"),
+        });
+        acc_ids.push(protos.len() - 1);
+    }
+
+    // Stage 3: the steady-state loop body — one b_k chunk, i.e.
+    // b_k / w_k unrolled w_k-substeps, with double-buffered operand
+    // fragments (each substep prefetches the next substep's fragments
+    // while its own HMMAs drain — the §5.1 register-enhanced pipelining).
+    // Global staging for the next chunk: LDG early, STS delayed to the end.
+    let stage_bytes = (a_planes * config.bm + b_planes * config.bn) * config.bk * 2;
+    let n_ldg = (stage_bytes.div_ceil(config.warps_per_block()))
+        .div_ceil(BYTES_PER_128B_INSTR)
+        .max(1);
+    let mut ldg_ids = Vec::new();
+    for i in 0..n_ldg {
+        protos.push(Proto {
+            stage: Stage::Compute,
+            mnemonic: "LDG.E.128",
+            width: 4,
+            uses: vec![ctx_ids[i % ctx_ids.len()]],
+            pinned: false,
+            comment: format!("prefetch next-chunk quad {i}"),
+        });
+        ldg_ids.push(protos.len() - 1);
+    }
+    let a_frag_quads = (a_planes * config.wm * tc.k * 2 / 32).div_ceil(16);
+    let b_frag_quads = (b_planes * tc.k * config.wn * 2 / 32).div_ceil(16);
+    let substeps = config.bk / config.wk;
+    let hmmas_per_substep = config.hmmas_per_warp_step_per_term() * terms.len();
+    for sub in 0..substeps {
+        // Double-buffered fragment loads for this substep (buffer 0: the
+        // live operands; buffer 1: the prefetch for substep+1).
+        let mut a_ids = Vec::new();
+        let mut b_ids = Vec::new();
+        for buf in 0..2 {
+            for q in 0..a_frag_quads {
+                protos.push(Proto {
+                    stage: Stage::Compute,
+                    mnemonic: "LDS.128",
+                    width: 4,
+                    uses: vec![],
+                    pinned: false,
+                    comment: format!("substep {sub} A frag quad {q} (buf {buf})"),
+                });
+                if buf == 0 {
+                    a_ids.push(protos.len() - 1);
+                }
+            }
+            for q in 0..b_frag_quads {
+                protos.push(Proto {
+                    stage: Stage::Compute,
+                    mnemonic: "LDS.128",
+                    width: 4,
+                    uses: vec![],
+                    pinned: false,
+                    comment: format!("substep {sub} B frag quad {q} (buf {buf})"),
+                });
+                if buf == 0 {
+                    b_ids.push(protos.len() - 1);
+                }
+            }
+        }
+        // HMMAs: Rd(4) = Ra(2) x Rb(1) + Rc(4), accumulating in place.
+        for h in 0..hmmas_per_substep {
+            let acc = acc_ids[h % acc_ids.len()];
+            let a = a_ids[h % a_ids.len()];
+            let b = b_ids[h % b_ids.len()];
+            let term = terms[h % terms.len()];
+            protos.push(Proto {
+                stage: Stage::Compute,
+                mnemonic: "HMMA.1688.F32",
+                width: 0, // accumulates into the pinned quad, no new value
+                uses: vec![acc, a, b],
+                pinned: false,
+                comment: format!(
+                    "substep {sub} term A{}*B{}",
+                    if term.0 { "lo" } else { "hi" },
+                    if term.1 { "lo" } else { "hi" }
+                ),
+            });
+        }
+    }
+    // Delayed STS of the prefetched chunk.
+    for (i, &g) in ldg_ids.iter().enumerate() {
+        protos.push(Proto {
+            stage: Stage::Compute,
+            mnemonic: "STS.128",
+            width: 0,
+            uses: vec![g],
+            pinned: false,
+            comment: format!("delayed store of prefetch quad {i}"),
+        });
+    }
+
+    // Stage 4: store C.
+    for (q, &acc) in acc_ids.iter().enumerate() {
+        protos.push(Proto {
+            stage: Stage::StoreC,
+            mnemonic: "STG.E.128",
+            width: 0,
+            uses: vec![acc, ctx_ids[q % ctx_ids.len()]],
+            pinned: false,
+            comment: format!("D writeback quad {q}"),
+        });
+    }
+
+    // ---- lifetimes ----
+    let mut values: Vec<Value> = Vec::new();
+    let mut value_of_proto: Vec<Option<usize>> = Vec::new();
+    for (pos, p) in protos.iter().enumerate() {
+        if p.width > 0 {
+            values.push(Value { width: p.width, def: pos, last_use: pos, pinned: p.pinned });
+            value_of_proto.push(Some(values.len() - 1));
+        } else {
+            value_of_proto.push(None);
+        }
+    }
+    for (pos, p) in protos.iter().enumerate() {
+        for &u in &p.uses {
+            if let Some(v) = value_of_proto[u] {
+                values[v].last_use = values[v].last_use.max(pos);
+            }
+        }
+    }
+    // Context values are consumed throughout; extend to the end.
+    let end = protos.len().saturating_sub(1);
+    for (&cid, _) in ctx_ids.iter().zip(0..) {
+        if let Some(v) = value_of_proto[cid] {
+            values[v].last_use = end;
+        }
+    }
+
+    let (assignment, peak) = linear_scan(&values, true);
+    let (_, total) = linear_scan(&values, false);
+    let limit = spec.max_registers_per_thread as u32;
+    let alloc = AllocationReport {
+        peak_with_reuse: peak,
+        total_without_reuse: total,
+        limit,
+        fits: peak <= limit,
+    };
+
+    // ---- final listing ----
+    let instrs = protos
+        .iter()
+        .enumerate()
+        .map(|(pos, p)| {
+            let dst = value_of_proto[pos].map(|v| RegRange {
+                base: assignment[v],
+                width: values[v].width,
+            });
+            let src = p
+                .uses
+                .iter()
+                .filter_map(|&u| value_of_proto[u])
+                .map(|v| RegRange { base: assignment[v], width: values[v].width })
+                .collect();
+            SassInstr {
+                stage: p.stage,
+                mnemonic: p.mnemonic,
+                dst,
+                src,
+                comment: p.comment.clone(),
+            }
+        })
+        .collect();
+    let _ = opts;
+    SassKernel { instrs, alloc, config: *config }
+}
+
+impl SassKernel {
+    /// Render the annotated listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "// EGEMM-TC SASS listing, tiling {}\n\
+             // register allocation: peak {} / {} with cross-stage reuse \
+             (without: {}){}\n",
+            self.config,
+            self.alloc.peak_with_reuse,
+            self.alloc.limit,
+            self.alloc.total_without_reuse,
+            if self.alloc.fits { "" } else { "  ** SPILLS **" }
+        ));
+        let mut stage = None;
+        for i in &self.instrs {
+            if stage != Some(i.stage) {
+                stage = Some(i.stage);
+                out.push_str(&format!("\n.stage {:?}:\n", i.stage));
+                if i.stage == Stage::Compute {
+                    out.push_str("LOOP:  // one b_k chunk; iterated k/b_k times\n");
+                }
+            }
+            let dst = i.dst.map(|d| format!("{d}, ")).unwrap_or_default();
+            let src =
+                i.src.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ");
+            out.push_str(&format!(
+                "    {:<14} {}{:<24} // {}\n",
+                i.mnemonic, dst, src, i.comment
+            ));
+        }
+        out.push_str("    BRA LOOP\n");
+        out
+    }
+
+    /// Instructions in the compute loop body.
+    pub fn loop_instruction_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.stage == Stage::Compute).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4_kernel() -> SassKernel {
+        generate_sass(
+            &DeviceSpec::t4(),
+            &TilingConfig::T4_PAPER,
+            EmulationScheme::EgemmTc,
+            KernelOpts::default(),
+        )
+    }
+
+    #[test]
+    fn paper_kernel_fits_with_reuse_and_spills_without() {
+        // §5.2: with cross-stage reuse the kernel uses most-but-not-all of
+        // the 256 registers; a naive allocation would spill.
+        let k = t4_kernel();
+        assert!(k.alloc.fits, "{:?}", k.alloc);
+        assert!(
+            (128..=256).contains(&k.alloc.peak_with_reuse),
+            "peak {} (paper: 232)",
+            k.alloc.peak_with_reuse
+        );
+        assert!(
+            k.alloc.total_without_reuse > k.alloc.limit,
+            "naive allocation should spill: {} <= {}",
+            k.alloc.total_without_reuse,
+            k.alloc.limit
+        );
+    }
+
+    #[test]
+    fn loop_body_instruction_mix_matches_kernel_builder() {
+        let k = t4_kernel();
+        let hmmas = k
+            .instrs
+            .iter()
+            .filter(|i| i.mnemonic == "HMMA.1688.F32")
+            .count();
+        // 16 per term x 4 terms per w_k substep, x (b_k/w_k = 4) substeps.
+        assert_eq!(hmmas, 256);
+        // STS count equals prefetch LDG count (delayed stores).
+        let ldg_loop = k
+            .instrs
+            .iter()
+            .filter(|i| i.stage == Stage::Compute && i.mnemonic == "LDG.E.128")
+            .count();
+        let sts = k.instrs.iter().filter(|i| i.mnemonic == "STS.128").count();
+        assert_eq!(ldg_loop, sts);
+    }
+
+    #[test]
+    fn hmma_encodes_real_operand_widths() {
+        // HMMA.1688.F32 Rd(4) = Ra(2)... our model: acc quad 4-wide, A
+        // fragment 4-wide (two k-steps packed), B fragment 4-wide; the
+        // accumulator source must be a pinned 4-wide quad.
+        let k = t4_kernel();
+        let h = k
+            .instrs
+            .iter()
+            .find(|i| i.mnemonic == "HMMA.1688.F32")
+            .expect("has HMMAs");
+        assert_eq!(h.src.len(), 3, "acc, a, b operands");
+        assert_eq!(h.src[0].width, 4, "accumulator quad");
+    }
+
+    #[test]
+    fn renders_all_stages() {
+        let k = t4_kernel();
+        let text = k.render();
+        for s in ["Context", "LoadC", "Compute", "StoreC", "LOOP:", "BRA LOOP"] {
+            assert!(text.contains(s), "missing {s} in listing:\n{text}");
+        }
+        assert!(text.contains("HMMA.1688.F32"));
+        assert!(text.contains("register allocation: peak"));
+    }
+
+    #[test]
+    fn accumulators_keep_their_registers_across_the_loop() {
+        // Pinned accumulator quads: every HMMA's accumulator operand must
+        // coincide with a LoadC destination.
+        let k = t4_kernel();
+        let acc_bases: Vec<u32> = k
+            .instrs
+            .iter()
+            .filter(|i| i.stage == Stage::LoadC)
+            .filter_map(|i| i.dst.map(|d| d.base))
+            .collect();
+        for h in k.instrs.iter().filter(|i| i.mnemonic == "HMMA.1688.F32") {
+            assert!(
+                acc_bases.contains(&h.src[0].base),
+                "HMMA accumulator {} not a pinned quad",
+                h.src[0]
+            );
+        }
+    }
+
+    #[test]
+    fn half_scheme_kernel_is_smaller() {
+        let full = t4_kernel();
+        let half = generate_sass(
+            &DeviceSpec::t4(),
+            &TilingConfig::T4_PAPER,
+            EmulationScheme::TcHalf,
+            KernelOpts::default(),
+        );
+        assert!(half.loop_instruction_count() < full.loop_instruction_count());
+        assert!(half.alloc.peak_with_reuse <= full.alloc.peak_with_reuse);
+    }
+
+    #[test]
+    #[should_panic(expected = "require the Turing architecture")]
+    fn volta_is_rejected_like_the_artifact_documents() {
+        // §A.2's "Typical Errors": compiling/running the SASS on V100
+        // fails; our generator refuses up front with the documented cause.
+        generate_sass(
+            &DeviceSpec::v100(),
+            &TilingConfig::T4_PAPER,
+            EmulationScheme::EgemmTc,
+            KernelOpts::default(),
+        );
+    }
+
+    #[test]
+    fn linear_scan_reuses_dead_ranges() {
+        // Two back-to-back values with disjoint lifetimes share registers
+        // under reuse and don't without.
+        let values = vec![
+            Value { width: 8, def: 0, last_use: 1, pinned: false },
+            Value { width: 8, def: 2, last_use: 3, pinned: false },
+        ];
+        let (asg_reuse, peak_reuse) = linear_scan(&values, true);
+        assert_eq!(asg_reuse[0], asg_reuse[1], "disjoint lifetimes share");
+        assert_eq!(peak_reuse, 8);
+        let (asg_naive, peak_naive) = linear_scan(&values, false);
+        assert_ne!(asg_naive[0], asg_naive[1]);
+        assert_eq!(peak_naive, 16);
+    }
+
+    #[test]
+    fn pinned_values_never_expire() {
+        let values = vec![
+            Value { width: 4, def: 0, last_use: 0, pinned: true },
+            Value { width: 4, def: 5, last_use: 6, pinned: false },
+        ];
+        let (asg, _) = linear_scan(&values, true);
+        assert_ne!(asg[0], asg[1], "pinned register must not be recycled");
+    }
+}

@@ -1,0 +1,386 @@
+//! Bit-level conversions between IEEE 754 binary16, binary32 and binary64.
+//!
+//! These routines are the foundation of the software [`Half`](crate::Half)
+//! type. They are written directly against the IEEE 754-2008 encodings so
+//! that every rounding decision is explicit and testable:
+//!
+//! * binary16: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits;
+//! * binary32: 1 sign bit, 8 exponent bits (bias 127), 23 mantissa bits;
+//! * binary64: 1 sign bit, 11 exponent bits (bias 1023), 52 mantissa bits.
+//!
+//! Widening conversions (f16 → f32/f64) are always exact. Narrowing
+//! conversions implement round-to-nearest-even (`rne`) — the rounding used
+//! by the paper's *round-split* — and round-toward-zero (`rtz`) — the
+//! rounding used by Markidis' *truncate-split*.
+
+/// Sign-bit mask of a binary16 encoding.
+pub const F16_SIGN_MASK: u16 = 0x8000;
+/// Exponent-field mask of a binary16 encoding.
+pub const F16_EXP_MASK: u16 = 0x7c00;
+/// Mantissa-field mask of a binary16 encoding.
+pub const F16_MAN_MASK: u16 = 0x03ff;
+/// Encoding of positive infinity.
+pub const F16_INF_BITS: u16 = 0x7c00;
+/// A canonical quiet NaN encoding.
+pub const F16_NAN_BITS: u16 = 0x7e00;
+/// Exponent bias of binary16.
+pub const F16_BIAS: i32 = 15;
+/// Number of explicit mantissa bits of binary16.
+pub const F16_MAN_BITS: u32 = 10;
+/// Largest finite binary16 value (65504.0).
+pub const F16_MAX: f64 = 65504.0;
+/// Smallest positive normal binary16 value (2^-14).
+pub const F16_MIN_POSITIVE: f64 = 6.103515625e-5;
+/// Smallest positive subnormal binary16 value (2^-24).
+pub const F16_MIN_SUBNORMAL: f64 = 5.960464477539063e-8;
+
+/// Rounding directions supported by the narrowing conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rounding {
+    /// Round to nearest, ties to even. IEEE 754 default; used by
+    /// round-split.
+    NearestEven,
+    /// Round toward zero (truncate). Used by truncate-split.
+    TowardZero,
+}
+
+/// Round a 64-bit integer significand right by `shift` bits with
+/// round-to-nearest-even; the caller supplies the sign of a residual that
+/// lies strictly below the discarded bits (in magnitude space), 0 if none.
+///
+/// This implements "rounding with a sticky hint": when the discarded bits
+/// are exactly one half ULP, a nonzero residual breaks the tie in its own
+/// direction; when they are short of / beyond half, the residual can tip the
+/// comparison. Used by the correctly-rounded fused multiply-add.
+#[inline]
+pub(crate) fn rne_shift_with_residual(sig: u64, shift: u32, residual: i32) -> u64 {
+    if shift == 0 {
+        // A nonzero positive residual cannot push an integer value upward
+        // past the representable point (it is < 1 ULP), so no action.
+        return sig;
+    }
+    if shift > 63 {
+        return 0;
+    }
+    let q = sig >> shift;
+    let rem = sig & ((1u64 << shift) - 1);
+    let half = 1u64 << (shift - 1);
+    let round_up = match rem.cmp(&half) {
+        core::cmp::Ordering::Greater => true,
+        core::cmp::Ordering::Less => {
+            // Residual can only matter when rem is exactly half +/- 0; a
+            // residual smaller than the discarded field cannot bridge a
+            // strict inequality.
+            false
+        }
+        core::cmp::Ordering::Equal => {
+            if residual > 0 {
+                true
+            } else if residual < 0 {
+                false
+            } else {
+                (q & 1) == 1
+            }
+        }
+    };
+    if round_up {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Truncating shift (round toward zero).
+#[inline]
+pub(crate) fn rtz_shift(sig: u64, shift: u32) -> u64 {
+    if shift > 63 {
+        0
+    } else {
+        sig >> shift
+    }
+}
+
+/// Decompose a finite, nonzero binary64 into `(sign_bit, unbiased_exponent,
+/// 53-bit significand)` such that the value equals
+/// `(-1)^sign * sig * 2^(exp - 52)` with `2^52 <= sig < 2^53`.
+#[inline]
+fn decompose_f64(x: f64) -> (u16, i32, u64) {
+    let bits = x.to_bits();
+    let sign = ((bits >> 48) & 0x8000) as u16;
+    let exp = ((bits >> 52) & 0x7ff) as i32;
+    let man = bits & 0x000f_ffff_ffff_ffff;
+    debug_assert!(exp != 0x7ff, "caller must handle non-finite");
+    if exp == 0 {
+        // Subnormal binary64: value = man * 2^-1074. Normalize.
+        debug_assert!(man != 0, "caller must handle zero");
+        let lz = man.leading_zeros(); // >= 12 for subnormals
+        let shift = lz - 11; // bring the MSB to bit 52
+        (sign, -1022 - shift as i32, man << shift)
+    } else {
+        (sign, exp - 1023, man | (1u64 << 52))
+    }
+}
+
+/// Core narrowing conversion: binary64 → binary16 bits, with an optional
+/// residual hint (sign of an infinitely-precise remainder strictly smaller
+/// than the f64 rounding error) used for tie-breaking.
+pub(crate) fn f64_to_f16_bits_round(x: f64, rounding: Rounding, residual: i32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 48) & 0x8000) as u16;
+    let exp = ((bits >> 52) & 0x7ff) as u32;
+    let man = bits & 0x000f_ffff_ffff_ffff;
+    if exp == 0x7ff {
+        if man == 0 {
+            return sign | F16_INF_BITS;
+        }
+        // Preserve quietness and the top payload bits, ensuring the result
+        // is still a NaN (nonzero mantissa field).
+        let payload = ((man >> 42) as u16) & F16_MAN_MASK;
+        return sign | F16_INF_BITS | 0x0200 | payload;
+    }
+    if x == 0.0 {
+        return sign; // signed zero
+    }
+    let (sign, e, sig) = decompose_f64(x);
+    // Value = sig * 2^(e - 52), 2^52 <= sig < 2^53.
+    if e > 15 {
+        // Definitely above the binary16 normal range; the rounding mode
+        // decides between MAX and infinity. (e == 16 values could in theory
+        // round down to 65504 only if they were below the overflow
+        // threshold 65520, but any f64 with e == 16 is >= 2^16 = 65536 >
+        // 65520, so overflow is certain.)
+        return match rounding {
+            Rounding::NearestEven => sign | F16_INF_BITS,
+            Rounding::TowardZero => sign | (F16_EXP_MASK - 0x400) | F16_MAN_MASK, // 65504
+        };
+    }
+    if e >= -14 {
+        // Normal range (possibly overflowing to a larger exponent after
+        // rounding).
+        let shift = 52 - F16_MAN_BITS; // 42
+        let q = match rounding {
+            Rounding::NearestEven => rne_shift_with_residual(sig, shift, residual),
+            Rounding::TowardZero => rtz_shift(sig, shift),
+        };
+        // q is an 11-bit significand in [2^10, 2^11]; q == 2^11 means the
+        // rounding carried out of the mantissa: bump the exponent.
+        let (q, e) = if q == (1 << (F16_MAN_BITS + 1)) {
+            (1 << F16_MAN_BITS, e + 1)
+        } else {
+            (q, e)
+        };
+        let be = e + F16_BIAS;
+        if be >= 0x1f {
+            return match rounding {
+                Rounding::NearestEven => sign | F16_INF_BITS,
+                Rounding::TowardZero => sign | (F16_EXP_MASK - 0x400) | F16_MAN_MASK,
+            };
+        }
+        return sign | ((be as u16) << F16_MAN_BITS) | ((q as u16) & F16_MAN_MASK);
+    }
+    // Subnormal result range: quantum is 2^-24; we need
+    // round(sig * 2^(e - 52) / 2^-24) = round(sig * 2^(e - 28)) with
+    // e <= -15, i.e. a right shift by 28 - e >= 43.
+    let shift = (28 - e) as u32;
+    let q = match rounding {
+        Rounding::NearestEven => rne_shift_with_residual(sig, shift, residual),
+        Rounding::TowardZero => rtz_shift(sig, shift),
+    };
+    // q <= 2^10 here; q == 2^10 lands exactly on the smallest normal, whose
+    // encoding (exponent 1, mantissa 0) is what `sign | q` produces.
+    sign | (q as u16)
+}
+
+/// Convert binary64 → binary16 with round-to-nearest-even.
+#[inline]
+pub fn f64_to_f16_bits_rne(x: f64) -> u16 {
+    f64_to_f16_bits_round(x, Rounding::NearestEven, 0)
+}
+
+/// Convert binary64 → binary16 with round-toward-zero (truncation).
+#[inline]
+pub fn f64_to_f16_bits_rtz(x: f64) -> u16 {
+    f64_to_f16_bits_round(x, Rounding::TowardZero, 0)
+}
+
+/// Convert binary32 → binary16 with round-to-nearest-even.
+///
+/// Goes through binary64, which is exact for every binary32 input, so the
+/// overall conversion is correctly rounded.
+#[inline]
+pub fn f32_to_f16_bits_rne(x: f32) -> u16 {
+    f64_to_f16_bits_rne(x as f64)
+}
+
+/// Convert binary32 → binary16 with round-toward-zero.
+#[inline]
+pub fn f32_to_f16_bits_rtz(x: f32) -> u16 {
+    f64_to_f16_bits_rtz(x as f64)
+}
+
+/// Exact widening conversion binary16 → binary32.
+#[inline]
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & F16_SIGN_MASK) as u32) << 16;
+    let exp = ((h & F16_EXP_MASK) >> F16_MAN_BITS) as u32;
+    let man = (h & F16_MAN_MASK) as u32;
+    let bits = if exp == 0 {
+        if man == 0 {
+            sign
+        } else {
+            // Subnormal: value = man * 2^-24 = 1.f * 2^(k - 24) where k is
+            // the position of the most-significant set bit. Normalize into
+            // binary32: lz = 10 - k, biased exponent = 127 + k - 24.
+            let lz = man.leading_zeros() - 21; // man has <= 10 significant bits
+            let man32 = (man << lz) & 0x3ff; // shift MSB to bit 10, drop it
+            let e32 = 113 - lz; // = 127 + (10 - lz) - 24
+            sign | (e32 << 23) | (man32 << 13)
+        }
+    } else if exp == 0x1f {
+        if man == 0 {
+            sign | 0x7f80_0000
+        } else {
+            sign | 0x7f80_0000 | 0x0040_0000 | (man << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Exact widening conversion binary16 → binary64.
+#[inline]
+pub fn f16_bits_to_f64(h: u16) -> f64 {
+    f16_bits_to_f32(h) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_finite_f16_through_f32() {
+        // Exhaustive: every one of the 65536 binary16 patterns must survive
+        // f16 -> f32 -> f16 unchanged (NaNs may canonicalize payloads but
+        // must stay NaN).
+        for bits in 0..=u16::MAX {
+            let f = f16_bits_to_f32(bits);
+            let back = f32_to_f16_bits_rne(f);
+            let is_nan = (bits & F16_EXP_MASK) == F16_EXP_MASK && (bits & F16_MAN_MASK) != 0;
+            if is_nan {
+                assert!(
+                    (back & F16_EXP_MASK) == F16_EXP_MASK && (back & F16_MAN_MASK) != 0,
+                    "NaN {bits:#06x} did not survive as NaN: {back:#06x}"
+                );
+            } else {
+                assert_eq!(bits, back, "roundtrip failed for {bits:#06x} (value {f})");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_finite_f16_through_f64() {
+        for bits in 0..=u16::MAX {
+            let is_nan = (bits & F16_EXP_MASK) == F16_EXP_MASK && (bits & F16_MAN_MASK) != 0;
+            if is_nan {
+                continue;
+            }
+            let f = f16_bits_to_f64(bits);
+            assert_eq!(bits, f64_to_f16_bits_rne(f), "f64 roundtrip {bits:#06x}");
+            assert_eq!(bits, f64_to_f16_bits_rtz(f), "rtz of exact value {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(f32_to_f16_bits_rne(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits_rne(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits_rne(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits_rne(-1.0), 0xbc00);
+        assert_eq!(f32_to_f16_bits_rne(2.0), 0x4000);
+        assert_eq!(f32_to_f16_bits_rne(0.5), 0x3800);
+        assert_eq!(f32_to_f16_bits_rne(65504.0), 0x7bff);
+        assert_eq!(f32_to_f16_bits_rne(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits_rne(f32::NEG_INFINITY), 0xfc00);
+        // 2^-24: smallest subnormal.
+        assert_eq!(f64_to_f16_bits_rne(F16_MIN_SUBNORMAL), 0x0001);
+        // 2^-14: smallest normal.
+        assert_eq!(f64_to_f16_bits_rne(F16_MIN_POSITIVE), 0x0400);
+        // 1/3 in binary16 is 0x3555 (0.333251953125).
+        assert_eq!(f32_to_f16_bits_rne(1.0 / 3.0), 0x3555);
+    }
+
+    #[test]
+    fn overflow_behaviour_by_rounding_mode() {
+        // 65520 is the RNE overflow threshold: exactly halfway between
+        // 65504 (max) and the phantom 65536; ties-to-even goes to infinity.
+        assert_eq!(f64_to_f16_bits_rne(65519.999), 0x7bff);
+        assert_eq!(f64_to_f16_bits_rne(65520.0), 0x7c00);
+        assert_eq!(f64_to_f16_bits_rne(70000.0), 0x7c00);
+        assert_eq!(f64_to_f16_bits_rne(-70000.0), 0xfc00);
+        // Truncation never overflows to infinity from a finite value.
+        assert_eq!(f64_to_f16_bits_rtz(65535.0), 0x7bff);
+        assert_eq!(f64_to_f16_bits_rtz(1e30), 0x7bff);
+        assert_eq!(f64_to_f16_bits_rtz(-1e30), 0xfbff);
+    }
+
+    #[test]
+    fn underflow_behaviour() {
+        // Below half the smallest subnormal: rounds to zero.
+        assert_eq!(f64_to_f16_bits_rne(F16_MIN_SUBNORMAL / 2.0 * 0.999), 0x0000);
+        // Exactly half the smallest subnormal: tie, rounds to even (zero).
+        assert_eq!(f64_to_f16_bits_rne(F16_MIN_SUBNORMAL / 2.0), 0x0000);
+        // Just above half: rounds to the smallest subnormal.
+        assert_eq!(f64_to_f16_bits_rne(F16_MIN_SUBNORMAL * 0.5000001), 0x0001);
+        // 1.5 * min_subnormal is a tie between 1 and 2 units: even -> 2.
+        assert_eq!(f64_to_f16_bits_rne(F16_MIN_SUBNORMAL * 1.5), 0x0002);
+        // 2.5 * min_subnormal ties between 2 and 3: even -> 2.
+        assert_eq!(f64_to_f16_bits_rne(F16_MIN_SUBNORMAL * 2.5), 0x0002);
+        // Truncation chops everything below the quantum.
+        assert_eq!(f64_to_f16_bits_rtz(F16_MIN_SUBNORMAL * 1.999), 0x0001);
+        // Subnormal f64 inputs are far below binary16 range.
+        assert_eq!(f64_to_f16_bits_rne(f64::MIN_POSITIVE / 2.0), 0x0000);
+    }
+
+    #[test]
+    fn rne_ties_to_even_in_normal_range() {
+        // 1 + 2^-11 is exactly halfway between 1.0 (0x3c00) and the next
+        // binary16 (0x3c01); even mantissa wins -> 0x3c00.
+        assert_eq!(f64_to_f16_bits_rne(1.0 + 2f64.powi(-11)), 0x3c00);
+        // 1 + 3*2^-11 is halfway between 0x3c01 and 0x3c02 -> even 0x3c02.
+        assert_eq!(f64_to_f16_bits_rne(1.0 + 3.0 * 2f64.powi(-11)), 0x3c02);
+        // Slightly above the tie rounds up.
+        assert_eq!(f64_to_f16_bits_rne(1.0 + 2f64.powi(-11) + 2f64.powi(-30)), 0x3c01);
+    }
+
+    #[test]
+    fn residual_hint_breaks_ties() {
+        let tie = 1.0 + 2f64.powi(-11); // halfway between 0x3c00 and 0x3c01
+        assert_eq!(f64_to_f16_bits_round(tie, Rounding::NearestEven, 0), 0x3c00);
+        assert_eq!(f64_to_f16_bits_round(tie, Rounding::NearestEven, 1), 0x3c01);
+        assert_eq!(f64_to_f16_bits_round(tie, Rounding::NearestEven, -1), 0x3c00);
+        // Residuals must not flip a non-tie decision.
+        assert_eq!(
+            f64_to_f16_bits_round(1.0 + 2f64.powi(-12), Rounding::NearestEven, 1),
+            0x3c00
+        );
+    }
+
+    #[test]
+    fn nan_propagation() {
+        let q = f32_to_f16_bits_rne(f32::NAN);
+        assert_eq!(q & F16_EXP_MASK, F16_EXP_MASK);
+        assert_ne!(q & F16_MAN_MASK, 0);
+        assert!(f16_bits_to_f32(F16_NAN_BITS).is_nan());
+        assert!(f16_bits_to_f64(F16_NAN_BITS).is_nan());
+    }
+
+    #[test]
+    fn subnormal_widening_is_exact() {
+        for man in 1u16..=0x3ff {
+            let f = f16_bits_to_f64(man);
+            let expect = man as f64 * 2f64.powi(-24);
+            assert_eq!(f, expect, "subnormal {man:#05x}");
+        }
+    }
+}

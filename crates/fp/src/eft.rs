@@ -1,0 +1,280 @@
+//! Error-free transforms (EFTs) — the classical building blocks of
+//! extended-precision emulation on CPUs \[7, 14, 34, 36\].
+//!
+//! The Dekker/Knuth transforms express the exact result of a floating-point
+//! operation as an unevaluated sum of two floating-point numbers:
+//!
+//! * [`two_sum`] (Knuth): `a + b = s + e` exactly, 6 flops, no branch;
+//! * [`fast_two_sum`] (Dekker): same, 3 flops, requires `|a| >= |b|`;
+//! * [`two_prod_fma`]: `a * b = p + e` exactly using a fused multiply-add;
+//! * [`veltkamp_split`]: split a value into high/low parts for the
+//!   fma-free [`two_prod_dekker`].
+//!
+//! These are provided generically over `f32`/`f64` and, in binary16, feed
+//! the [`crate::dekker`] baseline — the "traditional emulation algorithm"
+//! the paper contrasts with its 4-instruction design.
+
+/// Floating-point scalar abstraction so the EFTs can be written once for
+/// `f32` and `f64`.
+pub trait Float: Copy + PartialOrd {
+    /// Number of significand bits including the implicit bit.
+    const SIG_BITS: u32;
+    fn add(self, other: Self) -> Self;
+    fn sub(self, other: Self) -> Self;
+    fn mul(self, other: Self) -> Self;
+    fn mul_add_f(self, a: Self, b: Self) -> Self;
+    fn abs_f(self) -> Self;
+    fn from_u64(x: u64) -> Self;
+}
+
+impl Float for f32 {
+    const SIG_BITS: u32 = 24;
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    #[inline]
+    fn sub(self, other: Self) -> Self {
+        self - other
+    }
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        self * other
+    }
+    #[inline]
+    fn mul_add_f(self, a: Self, b: Self) -> Self {
+        self.mul_add(a, b)
+    }
+    #[inline]
+    fn abs_f(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        x as f32
+    }
+}
+
+impl Float for f64 {
+    const SIG_BITS: u32 = 53;
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    #[inline]
+    fn sub(self, other: Self) -> Self {
+        self - other
+    }
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        self * other
+    }
+    #[inline]
+    fn mul_add_f(self, a: Self, b: Self) -> Self {
+        self.mul_add(a, b)
+    }
+    #[inline]
+    fn abs_f(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        x as f64
+    }
+}
+
+/// Knuth's branch-free two-sum: returns `(s, e)` with `s = fl(a + b)` and
+/// `a + b = s + e` exactly. 6 flops.
+#[inline]
+pub fn two_sum<F: Float>(a: F, b: F) -> (F, F) {
+    let s = a.add(b);
+    let bp = s.sub(a);
+    let ap = s.sub(bp);
+    let eb = b.sub(bp);
+    let ea = a.sub(ap);
+    (s, ea.add(eb))
+}
+
+/// Dekker's fast two-sum: requires `|a| >= |b|` (or `a == 0`). 3 flops.
+#[inline]
+pub fn fast_two_sum<F: Float>(a: F, b: F) -> (F, F) {
+    debug_assert!(
+        // NaNs compare false both ways; only a strict |a| < |b| violates
+        // Dekker's precondition.
+        matches!(
+            a.abs_f().partial_cmp(&b.abs_f()),
+            Some(core::cmp::Ordering::Greater | core::cmp::Ordering::Equal) | None
+        ),
+        "fast_two_sum requires |a| >= |b|"
+    );
+    let s = a.add(b);
+    let e = b.sub(s.sub(a));
+    (s, e)
+}
+
+/// FMA-based two-prod: returns `(p, e)` with `p = fl(a * b)` and
+/// `a * b = p + e` exactly. 2 flops (one of them fused).
+#[inline]
+pub fn two_prod_fma<F: Float>(a: F, b: F) -> (F, F) {
+    let p = a.mul(b);
+    let neg_p = F::from_u64(0).sub(p);
+    let e = a.mul_add_f(b, neg_p);
+    (p, e)
+}
+
+/// Veltkamp splitting: decompose `x` into `(hi, lo)` with `x = hi + lo`
+/// exactly, `hi` carrying the top `ceil(t/2)` significand bits. This is the
+/// splitting step of Dekker's fma-free multiplication.
+#[inline]
+pub fn veltkamp_split<F: Float>(x: F) -> (F, F) {
+    // factor = 2^ceil(t/2) + 1.
+    let s = F::SIG_BITS.div_ceil(2);
+    let factor = F::from_u64((1u64 << s) + 1);
+    let c = factor.mul(x);
+    let hi = c.sub(c.sub(x));
+    let lo = x.sub(hi);
+    (hi, lo)
+}
+
+/// Dekker's fma-free two-prod: `(p, e)` with `a * b = p + e` exactly.
+/// 17 flops; the historical algorithm the 16-instruction half-precision
+/// emulation (§1, \[7\]) derives from.
+#[inline]
+pub fn two_prod_dekker<F: Float>(a: F, b: F) -> (F, F) {
+    let p = a.mul(b);
+    let (ah, al) = veltkamp_split(a);
+    let (bh, bl) = veltkamp_split(b);
+    // e = ((ah*bh - p) + ah*bl + al*bh) + al*bl
+    let e1 = ah.mul(bh).sub(p);
+    let e2 = e1.add(ah.mul(bl));
+    let e3 = e2.add(al.mul(bh));
+    let e = e3.add(al.mul(bl));
+    (p, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    /// Decompose a finite nonzero f64 into (m, e) with value = m * 2^e and
+    /// m an odd-or-even i128 of <= 53 bits.
+    fn scaled(x: f64) -> (i128, i32) {
+        if x == 0.0 {
+            return (0, 0);
+        }
+        let bits = x.to_bits();
+        let sign = if bits >> 63 != 0 { -1i128 } else { 1 };
+        let exp = ((bits >> 52) & 0x7ff) as i32;
+        let man = (bits & 0x000f_ffff_ffff_ffff) as i128;
+        if exp == 0 {
+            (sign * man, -1074)
+        } else {
+            (sign * (man | (1 << 52)), exp - 1075)
+        }
+    }
+
+    /// Exact comparison of m1*2^e1 + m2*2^e2 vs m3*2^e3 + m4*2^e4 in i128
+    /// (caller must keep the exponent span under ~120 bits).
+    fn exact_pair_eq(p: (f64, f64), q: (f64, f64)) -> bool {
+        let parts = [scaled(p.0), scaled(p.1), scaled(q.0), scaled(q.1)];
+        let emin = parts.iter().filter(|&&(m, _)| m != 0).map(|&(_, e)| e).min().unwrap_or(0);
+        let val = |(m, e): (i128, i32)| {
+            if m == 0 {
+                0
+            } else {
+                m << (e - emin)
+            }
+        };
+        val(parts[0]) + val(parts[1]) == val(parts[2]) + val(parts[3])
+    }
+
+    #[test]
+    fn two_sum_exactness_f64() {
+        let mut st = 42;
+        for _ in 0..10_000 {
+            let a = lcg(&mut st);
+            let b = lcg(&mut st) * 1e-8;
+            let (s, e) = two_sum(a, b);
+            // s must be the rounded sum, and s + e must equal a + b exactly
+            // (verified in exact integer arithmetic).
+            assert_eq!(s, a + b);
+            assert!(exact_pair_eq((s, e), (a, b)), "not exact: {a} + {b} -> ({s}, {e})");
+            // And the residual is below half an ULP of s.
+            assert!(e.abs() <= (s * 2f64.powi(-53)).abs() + 1e-300);
+        }
+    }
+
+    #[test]
+    fn fast_two_sum_matches_two_sum_when_ordered() {
+        let mut st = 7;
+        for _ in 0..10_000 {
+            let mut a = lcg(&mut st);
+            let mut b = lcg(&mut st) * 0.5;
+            if a.abs() < b.abs() {
+                core::mem::swap(&mut a, &mut b);
+            }
+            let (s1, e1) = two_sum(a, b);
+            let (s2, e2) = fast_two_sum(a, b);
+            assert_eq!(s1, s2);
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn two_prod_fma_exact_f64() {
+        let mut st = 99;
+        for _ in 0..10_000 {
+            let a = lcg(&mut st);
+            let b = lcg(&mut st);
+            let (p, e) = two_prod_fma(a, b);
+            assert_eq!(p, a * b);
+            // p + e must equal the exact product: check against f64 fma of
+            // the residual definition.
+            assert_eq!(e, a.mul_add(b, -p));
+        }
+    }
+
+    #[test]
+    fn two_prod_dekker_matches_fma_f64() {
+        let mut st = 123;
+        for _ in 0..10_000 {
+            let a = lcg(&mut st);
+            let b = lcg(&mut st);
+            let (p1, e1) = two_prod_fma(a, b);
+            let (p2, e2) = two_prod_dekker(a, b);
+            assert_eq!(p1, p2);
+            assert_eq!(e1, e2, "Dekker residual differs for {a} * {b}");
+        }
+    }
+
+    #[test]
+    fn two_prod_dekker_matches_fma_f32() {
+        let mut st = 321;
+        for _ in 0..10_000 {
+            let a = lcg(&mut st) as f32;
+            let b = lcg(&mut st) as f32;
+            let (p1, e1) = two_prod_fma(a, b);
+            let (p2, e2) = two_prod_dekker(a, b);
+            assert_eq!(p1, p2);
+            assert_eq!(e1, e2, "Dekker residual differs for {a} * {b}");
+        }
+    }
+
+    #[test]
+    fn veltkamp_split_is_exact_and_bounded() {
+        let mut st = 555;
+        for _ in 0..10_000 {
+            let x = lcg(&mut st);
+            let (hi, lo) = veltkamp_split(x);
+            assert_eq!(hi + lo, x);
+            // hi has at most ceil(53/2)=27 significant bits; its product
+            // with another hi must then be exact. Spot-check the bound:
+            assert!(lo.abs() <= 2f64.powi(-26) * x.abs() * 1.0001 + 1e-300);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Error metrics used across the precision experiments.
+//!
+//! The paper reports the **max error relative to the single-precision
+//! computation** (Eq. 10): `MaxError(p) = max_ij |V_p[ij] - V_single[ij]|`.
+//! We provide that metric plus standard companions (relative error, ULP
+//! distance, RMS) and a "true error" variant measured against a binary64
+//! reference, which the paper does not plot but which is useful for
+//! validating that single precision itself is a reasonable yardstick.
+
+/// Maximum absolute elementwise difference `max_i |a[i] - b[i]|` — the
+/// paper's Eq. 10 when `b` is the single-precision result.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Maximum elementwise relative difference `max_i |a[i]-b[i]| / |b[i]|`,
+/// skipping entries where `|b[i]|` is below `floor`.
+pub fn max_rel_error(a: &[f64], b: &[f64], floor: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .filter(|(_, &y)| y.abs() >= floor)
+        .map(|(&x, &y)| ((x - y) / y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square elementwise difference.
+pub fn rms_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+    (s / a.len() as f64).sqrt()
+}
+
+/// Distance in units-in-the-last-place between two binary32 values, using
+/// the monotone integer mapping of IEEE encodings. Returns `u32::MAX` if
+/// either input is NaN.
+pub fn ulp_distance_f32(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits & 0x8000_0000 != 0 {
+            0x8000_0000 - bits
+        } else {
+            bits
+        }
+    }
+    (key(a) - key(b)).unsigned_abs().min(u32::MAX as u64) as u32
+}
+
+/// Summary statistics of an elementwise comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Maximum absolute difference (paper's Eq. 10).
+    pub max_abs: f64,
+    /// Maximum relative difference over well-scaled entries.
+    pub max_rel: f64,
+    /// Root-mean-square difference.
+    pub rms: f64,
+    /// Mean absolute difference.
+    pub mean_abs: f64,
+}
+
+impl ErrorStats {
+    /// Compare `approx` against `reference` elementwise.
+    pub fn compare(approx: &[f64], reference: &[f64]) -> ErrorStats {
+        assert_eq!(approx.len(), reference.len(), "length mismatch");
+        if approx.is_empty() {
+            return ErrorStats::default();
+        }
+        let mut max_abs = 0f64;
+        let mut max_rel = 0f64;
+        let mut sum_sq = 0f64;
+        let mut sum_abs = 0f64;
+        for (&x, &y) in approx.iter().zip(reference) {
+            let d = (x - y).abs();
+            max_abs = max_abs.max(d);
+            sum_sq += d * d;
+            sum_abs += d;
+            if y.abs() >= 1e-6 {
+                max_rel = max_rel.max(d / y.abs());
+            }
+        }
+        let n = approx.len() as f64;
+        ErrorStats {
+            max_abs,
+            max_rel,
+            rms: (sum_sq / n).sqrt(),
+            mean_abs: sum_abs / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_basics() {
+        assert_eq!(max_abs_error(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_abs_error(&[], &[]), 0.0);
+        assert_eq!(max_abs_error(&[1.0, -3.0], &[0.0, 0.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn max_abs_length_mismatch_panics() {
+        max_abs_error(&[1.0], &[]);
+    }
+
+    #[test]
+    fn rel_error_respects_floor() {
+        let e = max_rel_error(&[1.0, 1e-12], &[2.0, 1e-13], 1e-6);
+        assert_eq!(e, 0.5); // the tiny entry is skipped
+    }
+
+    #[test]
+    fn rms_of_constant_offset() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.0, 1.0, 2.0];
+        assert!((rms_error(&a, &b) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ulp_distance_adjacent_values() {
+        assert_eq!(ulp_distance_f32(1.0, 1.0), 0);
+        assert_eq!(ulp_distance_f32(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        // Across zero: -min_subnormal to +min_subnormal is 2 ULPs apart
+        // (through -0/+0 which share a key... the mapping puts -0 at key 0
+        // and +0 at key 0, so distance is 2).
+        let tiny = f32::from_bits(1);
+        assert_eq!(ulp_distance_f32(-tiny, tiny), 2);
+        assert_eq!(ulp_distance_f32(f32::NAN, 1.0), u32::MAX);
+    }
+
+    #[test]
+    fn stats_compare() {
+        let s = ErrorStats::compare(&[1.0, 2.0, 3.0], &[1.0, 2.0, 4.0]);
+        assert_eq!(s.max_abs, 1.0);
+        assert!((s.max_rel - 0.25).abs() < 1e-15);
+        assert!((s.mean_abs - 1.0 / 3.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,119 @@
+//! Precision formats — Table 1 of the paper.
+//!
+//! | Data type          | Sign | Exponent | Mantissa |
+//! |--------------------|------|----------|----------|
+//! | Half-precision     | 1    | 5        | 10       |
+//! | Single-precision   | 1    | 8        | 23       |
+//! | Markidis-precision | 1    | 5        | 20       |
+//! | Extended-precision | 1    | 5        | 21       |
+//!
+//! "Markidis-precision" and "extended-precision" are *virtual* formats: the
+//! effective precision delivered by combining two binary16 values via
+//! truncate-split and round-split respectively.
+
+/// Description of a (possibly virtual) floating-point format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrecisionFormat {
+    /// Human-readable name as used in the paper.
+    pub name: &'static str,
+    /// Sign bits (always 1).
+    pub sign_bits: u32,
+    /// Exponent field width in bits.
+    pub exponent_bits: u32,
+    /// Explicit mantissa bits (excluding the implicit leading bit).
+    pub mantissa_bits: u32,
+}
+
+impl PrecisionFormat {
+    /// IEEE 754 binary16, the Tensor Core input type.
+    pub const HALF: PrecisionFormat = PrecisionFormat {
+        name: "half-precision",
+        sign_bits: 1,
+        exponent_bits: 5,
+        mantissa_bits: 10,
+    };
+    /// IEEE 754 binary32, the CUDA-core reference type.
+    pub const SINGLE: PrecisionFormat = PrecisionFormat {
+        name: "single-precision",
+        sign_bits: 1,
+        exponent_bits: 8,
+        mantissa_bits: 23,
+    };
+    /// Markidis' truncate-split emulated format (two binary16 mantissas).
+    pub const MARKIDIS: PrecisionFormat = PrecisionFormat {
+        name: "Markidis-precision",
+        sign_bits: 1,
+        exponent_bits: 5,
+        mantissa_bits: 20,
+    };
+    /// EGEMM-TC's round-split extended format (two binary16 mantissas plus
+    /// the lo sign bit).
+    pub const EXTENDED: PrecisionFormat = PrecisionFormat {
+        name: "extended-precision",
+        sign_bits: 1,
+        exponent_bits: 5,
+        mantissa_bits: 21,
+    };
+
+    /// All rows of Table 1 in paper order.
+    pub const TABLE_1: [PrecisionFormat; 4] =
+        [Self::HALF, Self::SINGLE, Self::MARKIDIS, Self::EXTENDED];
+
+    /// Total encoded width. For the virtual emulated formats this counts
+    /// the information-carrying bits, not the 32-bit storage.
+    pub const fn total_bits(&self) -> u32 {
+        self.sign_bits + self.exponent_bits + self.mantissa_bits
+    }
+
+    /// Unit roundoff `2^-(mantissa_bits + 1)` of the format.
+    pub fn unit_roundoff(&self) -> f64 {
+        2f64.powi(-(self.mantissa_bits as i32 + 1))
+    }
+
+    /// Machine epsilon `2^-mantissa_bits`.
+    pub fn epsilon(&self) -> f64 {
+        2f64.powi(-(self.mantissa_bits as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_values() {
+        assert_eq!(PrecisionFormat::HALF.mantissa_bits, 10);
+        assert_eq!(PrecisionFormat::SINGLE.mantissa_bits, 23);
+        assert_eq!(PrecisionFormat::MARKIDIS.mantissa_bits, 20);
+        assert_eq!(PrecisionFormat::EXTENDED.mantissa_bits, 21);
+        for f in PrecisionFormat::TABLE_1 {
+            assert_eq!(f.sign_bits, 1);
+        }
+        assert_eq!(PrecisionFormat::HALF.exponent_bits, 5);
+        assert_eq!(PrecisionFormat::SINGLE.exponent_bits, 8);
+    }
+
+    #[test]
+    fn extended_is_one_bit_better_than_markidis() {
+        // §2.2: "a round-split algorithm that achieves higher precision by
+        // 1 extra mantissa bit, compared to Markidis".
+        assert_eq!(
+            PrecisionFormat::EXTENDED.mantissa_bits,
+            PrecisionFormat::MARKIDIS.mantissa_bits + 1
+        );
+        assert!(PrecisionFormat::EXTENDED.epsilon() * 2.0 == PrecisionFormat::MARKIDIS.epsilon());
+    }
+
+    #[test]
+    fn epsilon_monotonic_in_precision() {
+        assert!(PrecisionFormat::HALF.epsilon() > PrecisionFormat::MARKIDIS.epsilon());
+        assert!(PrecisionFormat::MARKIDIS.epsilon() > PrecisionFormat::EXTENDED.epsilon());
+        assert!(PrecisionFormat::EXTENDED.epsilon() > PrecisionFormat::SINGLE.epsilon());
+    }
+
+    #[test]
+    fn total_bits() {
+        assert_eq!(PrecisionFormat::HALF.total_bits(), 16);
+        assert_eq!(PrecisionFormat::SINGLE.total_bits(), 32);
+    }
+}

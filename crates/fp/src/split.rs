@@ -1,0 +1,278 @@
+//! Data-split techniques (§3.2, Figure 4).
+//!
+//! The emulation design splits each binary32 input element `x` into a pair
+//! of binary16 values `(hi, lo)` with `x ≈ hi + lo`:
+//!
+//! * **truncate-split** (Figure 4a, Markidis \[20\]): `hi = rtz16(x)`,
+//!   `lo = rtz16(x - hi)`. The two 10-bit mantissas yield 20 effective
+//!   mantissa bits ("Markidis precision" in Table 1).
+//! * **round-split** (Figure 4b, EGEMM-TC): `hi = rne16(x)`,
+//!   `lo = rne16(x - hi)`. Rounding the high part to nearest lets the sign
+//!   bit of `lo` encode one extra bit of information — the paper's "s bit" —
+//!   yielding 21 effective mantissa bits ("extended precision" in Table 1).
+//!
+//! In both schemes the subtraction `x - hi` is performed in binary32 and is
+//! **exact**: `hi` reproduces the leading bits of `x`, so the difference
+//! cancels them and the remainder (at most 14 significant bits of `x` plus a
+//! possible borrow) is representable. The only information loss is the final
+//! rounding of `lo` to binary16, which is what bounds the effective
+//! precision.
+//!
+//! The split runs once per matrix element — `O(N²)` work against the
+//! `O(N³)` multiplication (§3.2, *Emulation Overhead*) — and in the full
+//! system is executed on the CUDA-core side of the simulated device.
+
+use crate::half::Half;
+
+/// Which split technique to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitScheme {
+    /// EGEMM-TC's round-split (Figure 4b): 21 effective mantissa bits.
+    Round,
+    /// Markidis' truncate-split (Figure 4a): 20 effective mantissa bits.
+    Truncate,
+}
+
+impl SplitScheme {
+    /// Effective mantissa bits recovered when the hi/lo pair is recombined,
+    /// per Table 1.
+    pub const fn effective_mantissa_bits(self) -> u32 {
+        match self {
+            SplitScheme::Round => 21,
+            SplitScheme::Truncate => 20,
+        }
+    }
+
+    /// Split a single element with this scheme.
+    #[inline]
+    pub fn split(self, x: f32) -> Split {
+        match self {
+            SplitScheme::Round => round_split(x),
+            SplitScheme::Truncate => truncate_split(x),
+        }
+    }
+}
+
+/// A binary32 value decomposed into two binary16 values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// High (leading-bits) part.
+    pub hi: Half,
+    /// Low (residual) part.
+    pub lo: Half,
+}
+
+impl Split {
+    /// Recombine in binary64 (exact, since both halves widen exactly).
+    #[inline]
+    pub fn reconstruct(self) -> f64 {
+        self.hi.to_f64() + self.lo.to_f64()
+    }
+
+    /// Recombine in binary32. Exact except for one possible rounding.
+    #[inline]
+    pub fn reconstruct_f32(self) -> f32 {
+        self.hi.to_f32() + self.lo.to_f32()
+    }
+}
+
+/// EGEMM-TC's round-split (Figure 4b).
+///
+/// `hi` is `x` rounded to nearest binary16; `lo` captures the signed
+/// residual. Because `|x - hi| <= ulp16(x)/2`, the residual's sign carries
+/// the 21st mantissa bit — the "s" bit of Figure 4b.
+///
+/// ```
+/// use egemm_fp::round_split;
+/// let s = round_split(0.1f32);
+/// let err = (s.reconstruct() - 0.1f64.min(0.1)).abs();
+/// assert!(err < 0.1 * 2f64.powi(-21) * 1.001); // 21-bit reconstruction
+/// ```
+#[inline]
+pub fn round_split(x: f32) -> Split {
+    let hi = Half::from_f32(x);
+    let residual = if hi.is_finite() { x - hi.to_f32() } else { 0.0 };
+    let lo = Half::from_f32(residual);
+    Split { hi, lo }
+}
+
+/// Markidis' truncate-split (Figure 4a).
+///
+/// `hi` is `x` truncated toward zero to binary16; the residual always has
+/// the same sign as `x`, so `lo`'s sign bit is redundant and one bit of
+/// precision is lost relative to round-split.
+#[inline]
+pub fn truncate_split(x: f32) -> Split {
+    let hi = Half::from_f32_rtz(x);
+    let residual = if hi.is_finite() { x - hi.to_f32() } else { 0.0 };
+    let lo = Half::from_f32_rtz(residual);
+    Split { hi, lo }
+}
+
+/// Split every element of a slice, producing parallel `hi` and `lo` arrays
+/// (the layout consumed by the tensorized kernels).
+pub fn split_slice(xs: &[f32], scheme: SplitScheme) -> (Vec<Half>, Vec<Half>) {
+    let mut hi = Vec::with_capacity(xs.len());
+    let mut lo = Vec::with_capacity(xs.len());
+    for &x in xs {
+        let s = scheme.split(x);
+        hi.push(s.hi);
+        lo.push(s.lo);
+    }
+    (hi, lo)
+}
+
+/// Maximum relative reconstruction error of a scheme for inputs whose
+/// magnitude is in the binary16 normal range: `2^-bits` with `bits` the
+/// effective mantissa width.
+pub fn worst_case_rel_error(scheme: SplitScheme) -> f64 {
+    2f64.powi(-(scheme.effective_mantissa_bits() as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(x: f32, s: Split) -> f64 {
+        if x == 0.0 {
+            s.reconstruct().abs()
+        } else {
+            ((x as f64 - s.reconstruct()) / x as f64).abs()
+        }
+    }
+
+    #[test]
+    fn exact_for_11bit_values() {
+        // Values with <= 11 significant bits reconstruct exactly with lo = 0.
+        for i in 0..2048u32 {
+            let x = i as f32;
+            for s in [round_split(x), truncate_split(x)] {
+                assert_eq!(s.reconstruct(), x as f64, "{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_21bit_values() {
+        // Values with <= 21 significant bits where hi/lo alignment is clean
+        // reconstruct exactly under round-split.
+        let x = 1.0 + 2f32.powi(-20); // 21-bit mantissa
+        let s = round_split(x);
+        assert_eq!(s.reconstruct(), x as f64);
+        let y = 1.5 - 2f32.powi(-20);
+        let sy = round_split(y);
+        assert_eq!(sy.reconstruct(), y as f64);
+    }
+
+    #[test]
+    fn round_split_residual_is_bounded_by_half_ulp() {
+        let mut x: u32 = 0xdeadbeef;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let v = ((x >> 8) as f32 / (1u32 << 24) as f32) * 2.0 - 1.0;
+            if v == 0.0 {
+                continue;
+            }
+            let s = round_split(v);
+            let ulp_hi = s.hi.ulp().to_f64();
+            assert!(
+                (v as f64 - s.hi.to_f64()).abs() <= ulp_hi / 2.0 + 1e-30,
+                "hi not nearest for {v}"
+            );
+            assert!(rel_err(v, s) <= 2f64.powi(-21) * 1.0001, "rel err too big for {v}");
+        }
+    }
+
+    #[test]
+    fn truncate_split_residual_sign_matches_input() {
+        // For truncate-split of a positive x, lo is always >= 0 — the
+        // redundancy the round-split exploits (Figure 4).
+        let mut x: u32 = 0xc0ffee;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let v = (x >> 8) as f32 / (1u32 << 24) as f32; // [0, 1)
+            let s = truncate_split(v);
+            assert!(!s.lo.is_sign_negative() || s.lo.is_zero(), "lo < 0 for {v}");
+            assert!(rel_err(v, s) <= 2f64.powi(-20) * 1.0001, "rel err for {v}");
+        }
+    }
+
+    #[test]
+    fn round_split_lo_uses_both_signs() {
+        // Round-split of positive inputs must produce negative lo for some
+        // inputs (when hi rounded up) — the extra encoded bit.
+        let mut saw_neg = false;
+        let mut saw_pos = false;
+        let mut x: u32 = 0xabcdef;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let v = (x >> 8) as f32 / (1u32 << 24) as f32;
+            let s = round_split(v);
+            if s.lo.is_zero() {
+                continue;
+            }
+            if s.lo.is_sign_negative() {
+                saw_neg = true;
+            } else {
+                saw_pos = true;
+            }
+        }
+        assert!(saw_neg && saw_pos, "round-split should produce both lo signs");
+    }
+
+    #[test]
+    fn round_split_beats_truncate_split_on_average() {
+        let mut x: u32 = 0x5eed;
+        let (mut sum_r, mut sum_t) = (0f64, 0f64);
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let v = ((x >> 8) as f32 / (1u32 << 24) as f32) * 2.0 - 1.0;
+            sum_r += rel_err(v, round_split(v));
+            sum_t += rel_err(v, truncate_split(v));
+        }
+        assert!(
+            sum_r < sum_t * 0.75,
+            "round-split mean rel err {sum_r} should be well below truncate {sum_t}"
+        );
+    }
+
+    #[test]
+    fn split_handles_specials() {
+        for scheme in [SplitScheme::Round, SplitScheme::Truncate] {
+            let s = scheme.split(0.0);
+            assert!(s.hi.is_zero() && s.lo.is_zero());
+            let s = scheme.split(f32::INFINITY);
+            assert!(s.hi.is_infinite() || s.hi == Half::MAX);
+            assert!(s.lo.is_finite(), "{scheme:?} lo must not be NaN/inf");
+            let s = scheme.split(f32::NAN);
+            assert!(s.hi.is_nan());
+        }
+    }
+
+    #[test]
+    fn split_slice_parallel_arrays() {
+        let xs = [0.1f32, -0.25, 1.0, 0.333, -0.97];
+        let (hi, lo) = split_slice(&xs, SplitScheme::Round);
+        assert_eq!(hi.len(), xs.len());
+        for i in 0..xs.len() {
+            let s = round_split(xs[i]);
+            assert_eq!(hi[i], s.hi);
+            assert_eq!(lo[i], s.lo);
+        }
+    }
+
+    #[test]
+    fn paper_figure4_example_bits() {
+        // The "s bit" mechanics: take x just above a binary16 tie so that
+        // round-split rounds hi up and lo is negative, while truncate-split
+        // keeps hi below and lo positive.
+        let x = 1.0f32 + 2f32.powi(-11) + 2f32.powi(-14);
+        let r = round_split(x);
+        let t = truncate_split(x);
+        assert!(r.lo.is_sign_negative());
+        assert!(!t.lo.is_sign_negative());
+        // Both reconstruct this 15-bit value exactly.
+        assert_eq!(r.reconstruct(), x as f64);
+        assert_eq!(t.reconstruct(), x as f64);
+    }
+}

@@ -1,0 +1,150 @@
+//! Reference GEMM kernels used as correctness and precision oracles.
+//!
+//! These are deliberately simple (i-k-j loop order, rayon over rows): they
+//! define the *numerics* the rest of the system is tested against, not the
+//! performance. The f64 reference is the "ground truth" of the precision
+//! experiments; the f32 reference reproduces the accumulation order of a
+//! sequential single-precision CUDA-core kernel, which is the yardstick of
+//! the paper's Eq. 10 max-error metric.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// `C = A * B + C` in f64 throughout (sequential per-row accumulation,
+/// parallel across rows).
+pub fn gemm_f64_reference(a: &Matrix<f64>, b: &Matrix<f64>, c: &mut Matrix<f64>) {
+    let (m, k, n) = check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+    let bt = b; // row-major b accessed by row in the k loop
+    let cols = n;
+    c.as_mut_slice()
+        .par_chunks_mut(cols)
+        .enumerate()
+        .for_each(|(i, crow)| {
+            for p in 0..k {
+                let aip = a.get(i, p);
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = bt.row(p);
+                for j in 0..n {
+                    crow[j] += aip * brow[j];
+                }
+            }
+        });
+    let _ = m;
+}
+
+/// `C = A * B + C` in f32 arithmetic with f32 accumulation, matching the
+/// single-precision CUDA-core computation the paper compares against.
+pub fn gemm_f32_reference(a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f32>) {
+    let (_m, k, n) = check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+    let cols = n;
+    c.as_mut_slice()
+        .par_chunks_mut(cols)
+        .enumerate()
+        .for_each(|(i, crow)| {
+            // k-major accumulation: for each output element the products
+            // are added in increasing-k order, like a scalar CUDA thread.
+            let arow = a.row(i);
+            for j in 0..n {
+                let mut acc = crow[j];
+                for p in 0..k {
+                    acc += arow[p] * b.get(p, j);
+                }
+                crow[j] = acc;
+            }
+        });
+}
+
+/// f64-accurate product of f32 inputs: widen, multiply in f64, return f64.
+/// This is the "true value" oracle for error measurements.
+pub fn gemm_f64_of_f32(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f64> {
+    let a64 = a.map(|x| x as f64);
+    let b64 = b.map(|x| x as f64);
+    let mut c = Matrix::<f64>::zeros(a.rows(), b.cols());
+    gemm_f64_reference(&a64, &b64, &mut c);
+    c
+}
+
+fn check_shapes(
+    am: usize,
+    ak: usize,
+    bk: usize,
+    bn: usize,
+    cm: usize,
+    cn: usize,
+) -> (usize, usize, usize) {
+    assert_eq!(ak, bk, "inner dimensions disagree: A is {am}x{ak}, B is {bk}x{bn}");
+    assert_eq!(am, cm, "C rows disagree with A");
+    assert_eq!(bn, cn, "C cols disagree with B");
+    (am, ak, bn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_matrix() {
+        let i4 = Matrix::from_fn(4, 4, |r, c| if r == c { 1.0f64 } else { 0.0 });
+        let b = Matrix::<f64>::random_uniform(4, 4, 1);
+        let mut c = Matrix::<f64>::zeros(4, 4);
+        gemm_f64_reference(&i4, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_vec(2, 2, vec![1.0f64, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0f64, 6.0, 7.0, 8.0]);
+        let mut c = Matrix::from_vec(2, 2, vec![1.0f64, 0.0, 0.0, 1.0]);
+        gemm_f64_reference(&a, &b, &mut c);
+        assert_eq!(c.as_slice(), &[20.0, 22.0, 43.0, 51.0]);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = Matrix::<f32>::random_uniform(8, 8, 2);
+        let b = Matrix::<f32>::random_uniform(8, 8, 3);
+        let mut c1 = Matrix::<f32>::zeros(8, 8);
+        gemm_f32_reference(&a, &b, &mut c1);
+        gemm_f32_reference(&a, &b, &mut c1);
+        let mut c2 = Matrix::<f32>::zeros(8, 8);
+        gemm_f32_reference(&a, &b, &mut c2);
+        for (x2, x1) in c2.as_slice().iter().zip(c1.as_slice()) {
+            assert!((x1 - 2.0 * x2).abs() <= 1e-4, "double-accumulate mismatch");
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::<f64>::random_uniform(3, 5, 4);
+        let b = Matrix::<f64>::random_uniform(5, 7, 5);
+        let mut c = Matrix::<f64>::zeros(3, 7);
+        gemm_f64_reference(&a, &b, &mut c);
+        // spot check one element
+        let want: f64 = (0..5).map(|p| a.get(2, p) * b.get(p, 6)).sum();
+        assert!((c.get(2, 6) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(4, 2);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        gemm_f64_reference(&a, &b, &mut c);
+    }
+
+    #[test]
+    fn f32_vs_f64_reference_close() {
+        let a = Matrix::<f32>::random_uniform(32, 32, 6);
+        let b = Matrix::<f32>::random_uniform(32, 32, 7);
+        let mut c32 = Matrix::<f32>::zeros(32, 32);
+        gemm_f32_reference(&a, &b, &mut c32);
+        let c64 = gemm_f64_of_f32(&a, &b);
+        for (x, y) in c32.as_slice().iter().zip(c64.as_slice()) {
+            assert!(((*x as f64) - y).abs() < 1e-4);
+        }
+    }
+}

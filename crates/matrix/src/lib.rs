@@ -1,0 +1,316 @@
+//! # egemm-matrix — dense matrices for the EGEMM-TC reproduction
+//!
+//! Row-major dense matrices over `f64`, `f32` and software binary16
+//! ([`egemm_fp::Half`]), with:
+//!
+//! * [`Matrix`] — owning storage with tile (block) extraction and writeback,
+//!   the primitive the hierarchical tensorization (§4) is built on;
+//! * [`GemmShape`] — (M, N, K) problem shapes, including the paper's square
+//!   and skewed families (Figures 8 and 9) and the Eq. 9 FLOP count;
+//! * random generation of the paper's workloads (values sampled from
+//!   U[-1, 1], §7.2);
+//! * reference GEMM kernels (`gemm_f64_reference`, `gemm_f32_reference`)
+//!   used as test and precision oracles.
+
+pub mod gemm_ref;
+pub mod shape;
+
+pub use gemm_ref::{gemm_f32_reference, gemm_f64_reference, gemm_f64_of_f32};
+pub use shape::GemmShape;
+
+use egemm_fp::Half;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Element types storable in a [`Matrix`].
+pub trait Scalar: Copy + Default + PartialEq + core::fmt::Debug + Send + Sync + 'static {
+    /// Widen to f64 (exact for all supported types).
+    fn to_f64(self) -> f64;
+    /// Narrow from f64 (correctly rounded).
+    fn from_f64(x: f64) -> Self;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+}
+
+impl Scalar for f32 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+}
+
+impl Scalar for Half {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        Half::to_f64(self)
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Half::from_f64(x)
+    }
+}
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// An all-default (zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+
+    /// Build from a generator function over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Matrix filled with values sampled i.i.d. from U[-1, 1] — the
+    /// workload distribution of §7.2.
+    pub fn random_uniform(rows: usize, cols: usize, seed: u64) -> Self
+    where
+        T: Scalar,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| T::from_f64(rng.random_range(-1.0..=1.0)))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the row-major element buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the row-major element buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the row-major element buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Copy the `rows x cols` block whose top-left corner is `(r0, c0)`
+    /// into a new matrix, zero-padding where the block overhangs the edge.
+    ///
+    /// This is the data-movement primitive of the tensorization hierarchy:
+    /// block matrices, warp matrices and TC matrices (§4) are all extracted
+    /// with it.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix<T> {
+        let mut out = Matrix::zeros(rows, cols);
+        let rmax = rows.min(self.rows.saturating_sub(r0));
+        let cmax = cols.min(self.cols.saturating_sub(c0));
+        for r in 0..rmax {
+            let src = &self.data[(r0 + r) * self.cols + c0..(r0 + r) * self.cols + c0 + cmax];
+            out.data[r * cols..r * cols + cmax].copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Write `block` back at `(r0, c0)`, clipping at the matrix edge.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix<T>) {
+        let rmax = block.rows.min(self.rows.saturating_sub(r0));
+        let cmax = block.cols.min(self.cols.saturating_sub(c0));
+        for r in 0..rmax {
+            let dst_off = (r0 + r) * self.cols + c0;
+            self.data[dst_off..dst_off + cmax]
+                .copy_from_slice(&block.data[r * block.cols..r * block.cols + cmax]);
+        }
+    }
+
+    /// Elementwise map to another scalar type.
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Widen every element to f64.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.data.iter().map(|&x| x.to_f64()).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+    }
+}
+
+impl Matrix<f32> {
+    /// Round every element to binary16 (RNE).
+    pub fn to_half(&self) -> Matrix<Half> {
+        self.map(Half::from_f32)
+    }
+}
+
+impl Matrix<Half> {
+    /// Widen every element to binary32 (exact).
+    pub fn to_f32(&self) -> Matrix<f32> {
+        self.map(|h| h.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(2, 3), 23.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn from_vec_size_checked() {
+        let _ = Matrix::<f32>::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::<f32>::random_uniform(5, 7, 42);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(3, 2), m.get(2, 3));
+    }
+
+    #[test]
+    fn block_extract_and_writeback_roundtrip() {
+        let m = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f32);
+        let b = m.block(2, 4, 3, 3);
+        assert_eq!(b.get(0, 0), m.get(2, 4));
+        assert_eq!(b.get(2, 2), m.get(4, 6));
+        let mut m2 = Matrix::<f32>::zeros(8, 8);
+        m2.set_block(2, 4, &b);
+        assert_eq!(m2.get(3, 5), m.get(3, 5));
+        assert_eq!(m2.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn block_zero_pads_overhang() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r + c) as f32 + 1.0);
+        let b = m.block(3, 3, 4, 4); // mostly past the edge
+        assert_eq!(b.get(0, 0), m.get(3, 3));
+        assert_eq!(b.get(0, 1), 0.0);
+        assert_eq!(b.get(1, 0), 0.0);
+        assert_eq!(b.get(3, 3), 0.0);
+    }
+
+    #[test]
+    fn set_block_clips_at_edge() {
+        let mut m = Matrix::<f32>::zeros(4, 4);
+        let b = Matrix::from_fn(3, 3, |_, _| 7.0f32);
+        m.set_block(2, 2, &b); // only the 2x2 overlap lands
+        assert_eq!(m.get(3, 3), 7.0);
+        assert_eq!(m.get(2, 2), 7.0);
+        // No panic and nothing else touched.
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn random_uniform_is_deterministic_and_in_range() {
+        let a = Matrix::<f32>::random_uniform(16, 16, 7);
+        let b = Matrix::<f32>::random_uniform(16, 16, 7);
+        let c = Matrix::<f32>::random_uniform(16, 16, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn half_roundtrip_through_f32_matrix() {
+        let a = Matrix::<f32>::random_uniform(8, 8, 3);
+        let h = a.to_half();
+        let back = h.to_f32();
+        for (x, y) in a.as_slice().iter().zip(back.as_slice()) {
+            assert!((x - y).abs() <= x.abs() * 2f32.powi(-11) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_vec(2, 2, vec![3.0f32, 0.0, 0.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

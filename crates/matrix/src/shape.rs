@@ -1,0 +1,91 @@
+//! GEMM problem shapes and the paper's evaluation families.
+
+/// A GEMM problem shape: `C (m x n) += A (m x k) * B (k x n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of B and C.
+    pub n: usize,
+    /// Columns of A / rows of B (the reduction dimension).
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Construct a shape.
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        GemmShape { m, n, k }
+    }
+
+    /// A square `N x N x N` problem (Figures 7, 8, 10, 11).
+    pub const fn square(n: usize) -> Self {
+        GemmShape { m: n, n, k: n }
+    }
+
+    /// The paper's K-skewed family `(N, N, 2N)` (Figure 9a).
+    pub const fn skewed_k(n: usize) -> Self {
+        GemmShape { m: n, n, k: 2 * n }
+    }
+
+    /// The paper's M-skewed family `(4N, N, N)` (Figure 9b).
+    pub const fn skewed_m(n: usize) -> Self {
+        GemmShape { m: 4 * n, n, k: n }
+    }
+
+    /// FLOPs of the multiply-accumulate: `2 * M * N * K` (Eq. 9).
+    pub const fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// TFLOPS achieved for this shape at the given execution time, per
+    /// Eq. 9 (`2·M·N·K / (T · 10^9)` with T in milliseconds; we take
+    /// seconds here and divide by 10^12, which is the same quantity).
+    pub fn tflops(&self, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "non-positive time");
+        self.flops() as f64 / seconds / 1e12
+    }
+
+    /// The matrix sizes swept by the square-matrix performance figures.
+    pub const PERF_SWEEP: [usize; 5] = [1024, 2048, 4096, 8192, 16384];
+
+    /// The matrix sizes swept by the precision figure (Figure 7).
+    pub const PRECISION_SWEEP: [usize; 7] = [128, 256, 512, 1024, 2048, 4096, 8192];
+}
+
+impl core::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families() {
+        assert_eq!(GemmShape::square(1024), GemmShape::new(1024, 1024, 1024));
+        assert_eq!(GemmShape::skewed_k(1024), GemmShape::new(1024, 1024, 2048));
+        assert_eq!(GemmShape::skewed_m(1024), GemmShape::new(4096, 1024, 1024));
+    }
+
+    #[test]
+    fn flops_and_tflops() {
+        let s = GemmShape::square(1024);
+        assert_eq!(s.flops(), 2 * 1024 * 1024 * 1024);
+        // 2^31 flops in 1 ms = ~2.147 TFLOPS.
+        let t = s.tflops(1e-3);
+        assert!((t - 2.147483648).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive time")]
+    fn tflops_rejects_zero_time() {
+        GemmShape::square(16).tflops(0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(GemmShape::new(1, 2, 3).to_string(), "1x2x3");
+    }
+}

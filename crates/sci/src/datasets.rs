@@ -1,0 +1,85 @@
+//! Synthetic dataset generators for the application workloads.
+//!
+//! The paper's application inputs are dense point sets ("number of data
+//! points" sweeps, Figure 12); we generate them as seeded Gaussian blobs
+//! (for clustering structure) or uniform clouds (for kNN), with values
+//! kept in the [-1, 1]-ish range of §7.2 so the binary16 splits stay well
+//! scaled.
+
+use egemm_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` points in `d` dimensions drawn from `k` isotropic Gaussian blobs
+/// with the given standard deviation; centers drawn from U[-1, 1]^d.
+/// Returns `(points, true_labels, centers)`.
+pub fn gaussian_blobs(
+    n: usize,
+    d: usize,
+    k: usize,
+    std_dev: f64,
+    seed: u64,
+) -> (Matrix<f32>, Vec<usize>, Matrix<f32>) {
+    assert!(k > 0 && n >= k, "need at least one point per blob");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = Matrix::<f32>::from_fn(k, d, |_, _| rng.random_range(-1.0..=1.0));
+    // Round-robin blob membership keeps every blob populated.
+    let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    let points = Matrix::<f32>::from_fn(n, d, |i, j| {
+        let c = centers.get(labels[i], j);
+        // Box-Muller for a Gaussian offset.
+        let u1: f64 = rng.random_range(1e-12..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        c + (z * std_dev) as f32
+    });
+    (points, labels, centers)
+}
+
+/// `n` points in `d` dimensions, i.i.d. U[-1, 1].
+pub fn uniform_cloud(n: usize, d: usize, seed: u64) -> Matrix<f32> {
+    Matrix::<f32>::random_uniform(n, d, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_shapes_and_determinism() {
+        let (p1, l1, c1) = gaussian_blobs(100, 8, 4, 0.05, 7);
+        let (p2, l2, c2) = gaussian_blobs(100, 8, 4, 0.05, 7);
+        assert_eq!(p1, p2);
+        assert_eq!(l1, l2);
+        assert_eq!(c1, c2);
+        assert_eq!(p1.rows(), 100);
+        assert_eq!(p1.cols(), 8);
+        assert_eq!(l1.len(), 100);
+        assert!(l1.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn blobs_cluster_around_their_centers() {
+        let (p, labels, centers) = gaussian_blobs(400, 16, 4, 0.02, 3);
+        for i in 0..400 {
+            let c = labels[i];
+            let d_own: f64 = (0..16)
+                .map(|j| ((p.get(i, j) - centers.get(c, j)) as f64).powi(2))
+                .sum();
+            // Own-center distance should be tiny relative to the unit box.
+            assert!(d_own.sqrt() < 0.5, "point {i} strayed {d_own}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn degenerate_blob_request_panics() {
+        let _ = gaussian_blobs(2, 4, 5, 0.1, 1);
+    }
+
+    #[test]
+    fn uniform_cloud_in_range() {
+        let p = uniform_cloud(64, 32, 11);
+        assert!(p.as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+}

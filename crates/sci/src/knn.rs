@@ -1,0 +1,204 @@
+//! GEMM-based k-nearest-neighbour search (Garcia et al. \[9\]) — §7.5's
+//! second application.
+//!
+//! The reference GPU implementation computes the full query-to-reference
+//! distance matrix with a GEMM (85% of the runtime, §1) and then selects
+//! each query's k smallest entries:
+//!
+//! ```text
+//! d(q, r)² = ‖q‖² − 2·q·r + ‖r‖²
+//! ```
+//!
+//! The cross-term `Q · Rᵀ` is an `(n_q, n_r, d)` GEMM through the
+//! pluggable backend; the selection epilogue is a per-row partial sort.
+//!
+//! kNN is the paper's precision poster child: with half-precision
+//! distances, near-ties between the k-th and (k+1)-th neighbour resolve
+//! wrongly and recall drops — the tests quantify it.
+
+use egemm_baselines::GemmBaseline;
+use egemm_matrix::Matrix;
+use rayon::prelude::*;
+
+/// kNN engine over a GEMM backend.
+pub struct Knn<'a> {
+    /// GEMM kernel used for the distance cross-term.
+    pub backend: &'a dyn GemmBaseline,
+}
+
+/// Result of a kNN search.
+#[derive(Debug, Clone)]
+pub struct KnnResult {
+    /// `n_q x k` neighbour indices, ascending by distance.
+    pub indices: Vec<Vec<usize>>,
+    /// `n_q x k` squared distances, ascending.
+    pub distances: Vec<Vec<f32>>,
+}
+
+impl<'a> Knn<'a> {
+    /// Build.
+    pub fn new(backend: &'a dyn GemmBaseline) -> Knn<'a> {
+        Knn { backend }
+    }
+
+    /// Find each query's `k` nearest references by Euclidean distance.
+    pub fn search(&self, queries: &Matrix<f32>, refs: &Matrix<f32>, k: usize) -> KnnResult {
+        assert_eq!(queries.cols(), refs.cols(), "dimensionality mismatch");
+        assert!(k >= 1 && k <= refs.rows(), "1 <= k <= n_refs required");
+        let d = queries.cols();
+        let nr = refs.rows();
+        // GEMM phase.
+        let cross = self.backend.compute(queries, &refs.transpose());
+        // Epilogue: reference norms once, then per-query selection.
+        let r_norm: Vec<f32> = (0..nr)
+            .map(|r| (0..d).map(|j| refs.get(r, j) * refs.get(r, j)).sum())
+            .collect();
+        let rows: Vec<(Vec<usize>, Vec<f32>)> = (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| {
+                let row = cross.row(qi);
+                let q_norm: f32 = queries.row(qi).iter().map(|&v| v * v).sum();
+                // Partial selection of the k smallest distances.
+                let mut scored: Vec<(f32, usize)> = (0..nr)
+                    .map(|r| ((q_norm - 2.0 * row[r] + r_norm[r]).max(0.0), r))
+                    .collect();
+                scored.select_nth_unstable_by(k - 1, |a, b| {
+                    a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
+                });
+                let mut top: Vec<(f32, usize)> = scored[..k].to_vec();
+                top.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                (
+                    top.iter().map(|&(_, r)| r).collect(),
+                    top.iter().map(|&(s, _)| s).collect(),
+                )
+            })
+            .collect();
+        let (indices, distances) = rows.into_iter().unzip();
+        KnnResult { indices, distances }
+    }
+}
+
+/// Brute-force f64 oracle.
+pub fn knn_exact(queries: &Matrix<f32>, refs: &Matrix<f32>, k: usize) -> Vec<Vec<usize>> {
+    let d = queries.cols();
+    (0..queries.rows())
+        .map(|qi| {
+            let mut scored: Vec<(f64, usize)> = (0..refs.rows())
+                .map(|r| {
+                    let dist: f64 = (0..d)
+                        .map(|j| {
+                            let t = (queries.get(qi, j) - refs.get(r, j)) as f64;
+                            t * t
+                        })
+                        .sum();
+                    (dist, r)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            scored[..k].iter().map(|&(_, r)| r).collect()
+        })
+        .collect()
+}
+
+/// Convenience: recall of `found` against the exact f64 oracle.
+pub fn knn_exact_recall(
+    queries: &Matrix<f32>,
+    refs: &Matrix<f32>,
+    k: usize,
+    found: &[Vec<usize>],
+) -> f64 {
+    recall_at_k(found, &knn_exact(queries, refs, k))
+}
+
+/// Fraction of true k-neighbours recovered, averaged over queries.
+pub fn recall_at_k(found: &[Vec<usize>], truth: &[Vec<usize>]) -> f64 {
+    assert_eq!(found.len(), truth.len());
+    if found.is_empty() {
+        return 1.0;
+    }
+    let mut acc = 0f64;
+    for (f, t) in found.iter().zip(truth) {
+        let hits = f.iter().filter(|i| t.contains(i)).count();
+        acc += hits as f64 / t.len() as f64;
+    }
+    acc / found.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::uniform_cloud;
+    use egemm_baselines::{CublasCudaFp32, CublasTcHalf, EgemmTc};
+    use egemm_tcsim::DeviceSpec;
+
+    #[test]
+    fn matches_exact_oracle_with_fp32_backend() {
+        let q = uniform_cloud(40, 24, 1);
+        let r = uniform_cloud(200, 24, 2);
+        let backend = CublasCudaFp32::new();
+        let got = Knn::new(&backend).search(&q, &r, 5);
+        let truth = knn_exact(&q, &r, 5);
+        let recall = recall_at_k(&got.indices, &truth);
+        assert!(recall >= 0.97, "fp32 recall {recall}");
+        // Distances ascending.
+        for row in &got.distances {
+            for w in row.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn egemm_recall_matches_fp32_and_beats_half() {
+        // The paper's precision motivation, measured. Dense reference sets
+        // in higher dimension create near-ties at the k-th neighbour: the
+        // half-precision cross-term error (~2^-11 per product, accumulated
+        // over d terms) exceeds the neighbour-distance gaps and flips
+        // rankings, while the 21-bit emulation preserves them.
+        let q = uniform_cloud(48, 256, 3);
+        let r = uniform_cloud(3000, 256, 4);
+        let truth = knn_exact(&q, &r, 10);
+        let spec = DeviceSpec::t4();
+        let eg = EgemmTc::auto(spec);
+        let half = CublasTcHalf::new(spec);
+        let rec_eg = recall_at_k(&Knn::new(&eg).search(&q, &r, 10).indices, &truth);
+        let rec_half = recall_at_k(&Knn::new(&half).search(&q, &r, 10).indices, &truth);
+        assert!(rec_eg >= 0.99, "EGEMM recall {rec_eg}");
+        assert!(rec_half < 0.999, "half recall {rec_half} should show misrankings");
+        assert!(rec_half < rec_eg, "half recall {rec_half} vs EGEMM {rec_eg}");
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let r = uniform_cloud(100, 16, 5);
+        let backend = CublasCudaFp32::new();
+        let got = Knn::new(&backend).search(&r, &r, 1);
+        for (i, row) in got.indices.iter().enumerate() {
+            assert_eq!(row[0], i, "query {i} should be its own nearest neighbour");
+        }
+    }
+
+    #[test]
+    fn k_equals_nrefs_returns_everything() {
+        let q = uniform_cloud(5, 8, 6);
+        let r = uniform_cloud(7, 8, 7);
+        let backend = CublasCudaFp32::new();
+        let got = Knn::new(&backend).search(&q, &r, 7);
+        for row in &got.indices {
+            let mut sorted = row.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dim_mismatch_panics() {
+        let backend = CublasCudaFp32::new();
+        let _ = Knn::new(&backend).search(
+            &Matrix::<f32>::zeros(2, 3),
+            &Matrix::<f32>::zeros(2, 4),
+            1,
+        );
+    }
+}

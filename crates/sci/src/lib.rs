@@ -1,0 +1,36 @@
+//! # egemm-sci — GEMM-based scientific computing on EGEMM-TC
+//!
+//! The paper's application study (§7.5, Figure 12): kMeans and kNN, whose
+//! popular GPU implementations spend 67% and 85% of their time in GEMM
+//! (§1). Both are built here over the pluggable
+//! [`egemm_baselines::GemmBaseline`] backend so the same application code
+//! runs on EGEMM-TC, cuBLAS-CUDA-FP32, or any other kernel:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with the GEMM-based distance
+//!   decomposition `‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²`;
+//! * [`knn`] — k-nearest-neighbour search (Garcia et al. \[9\]): GEMM
+//!   distance matrix + per-query selection;
+//! * [`datasets`] — synthetic workload generators (Gaussian blobs,
+//!   uniform clouds);
+//! * [`timing`] — the application-level time model: GEMM phase from the
+//!   kernel simulator, epilogue phase (argmin / selection / update) from
+//!   a CUDA-core roofline; Figure 12's speedups come from the ratio.
+//!
+//! These applications are exactly where extended precision matters: with
+//! plain half-precision GEMM, distance ties and near-ties resolve wrongly
+//! and neighbours/assignments flip (see the `knn` recall tests) — the
+//! paper's motivation for not simply using cuBLAS-TC-Half.
+
+pub mod datasets;
+pub mod kmeans;
+pub mod knn;
+pub mod timing;
+
+pub use datasets::{gaussian_blobs, uniform_cloud};
+pub use egemm_baselines::GemmBaseline;
+pub use kmeans::{KMeans, KMeansResult};
+pub use knn::{knn_exact, knn_exact_recall, recall_at_k, Knn, KnnResult};
+pub use timing::{
+    app_speedup, epilogue_time, kmeans_iteration, knn_iteration, AppPhase, AppTiming,
+    KMEANS_D, KMEANS_K, KNN_D, KNN_K,
+};

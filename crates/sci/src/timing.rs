@@ -1,0 +1,201 @@
+//! Application-level time model — the machinery behind Figure 12.
+//!
+//! An application iteration decomposes into the GEMM phase (costed by the
+//! backend's kernel model) and an epilogue phase (argmin / selection /
+//! centroid update), which runs on CUDA cores and is identical no matter
+//! which GEMM kernel is plugged in. The Figure 12 speedups are
+//!
+//! ```text
+//! speedup = (t_gemm_baseline + t_epilogue) / (t_gemm_egemm + t_epilogue)
+//! ```
+//!
+//! which is why they grow with the data size: the GEMM share of the total
+//! grows (the paper's 67% / 85% figures), and the GEMM kernel itself gets
+//! closer to peak.
+
+use egemm_baselines::GemmBaseline;
+use egemm_matrix::GemmShape;
+use egemm_tcsim::DeviceSpec;
+
+/// Figure 12a workload parameters: feature dimensionality of the kMeans
+/// sweep.
+pub const KMEANS_D: usize = 256;
+/// Figure 12a: cluster count.
+pub const KMEANS_K: usize = 128;
+/// Figure 12b: feature dimensionality of the kNN sweep.
+pub const KNN_D: usize = 256;
+/// Figure 12b: neighbours retrieved.
+pub const KNN_K: usize = 20;
+
+/// Which application phase a cost belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppPhase {
+    /// The GEMM through the pluggable backend.
+    Gemm,
+    /// Everything else (CUDA-core elementwise/reduction work).
+    Epilogue,
+}
+
+/// Timing breakdown of one application iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppTiming {
+    /// GEMM phase seconds.
+    pub gemm_s: f64,
+    /// Epilogue seconds.
+    pub epilogue_s: f64,
+}
+
+impl AppTiming {
+    /// Total seconds.
+    pub fn total_s(&self) -> f64 {
+        self.gemm_s + self.epilogue_s
+    }
+
+    /// GEMM share of the iteration (the paper's 67% / 85% numbers).
+    pub fn gemm_fraction(&self) -> f64 {
+        self.gemm_s / self.total_s()
+    }
+}
+
+/// Fixed per-iteration overhead of the applications' epilogues: the
+/// open-source implementations launch a handful of small kernels (argmin,
+/// reduction, update, convergence check) and synchronize with the host —
+/// roughly 15 launch-equivalents. At small data sizes this fixed cost
+/// dominates the epilogue, which is why the GEMM share (and hence the
+/// Figure 12 speedup) *grows* with the data size.
+pub const EPILOGUE_FIXED_LAUNCHES: f64 = 15.0;
+
+/// Roofline cost of an epilogue touching `bytes` of DRAM and executing
+/// `flops` CUDA-core operations, plus the fixed launch/sync overhead.
+pub fn epilogue_time(spec: &DeviceSpec, bytes: u64, flops: u64) -> f64 {
+    let mem = bytes as f64 / (spec.dram_bandwidth_gbps * 1e9);
+    // Elementwise kernels rarely exceed half the FFMA peak.
+    let comp = flops as f64 / (spec.fp32_peak_tflops() * 1e12 * 0.5);
+    mem.max(comp) + EPILOGUE_FIXED_LAUNCHES * spec.kernel_launch_us * 1e-6
+}
+
+/// One kMeans Lloyd iteration on `n` points, `d` dims, `k` clusters:
+/// GEMM `(n, k, d)` + argmin over `n x k` + centroid update over `n x d`.
+pub fn kmeans_iteration(
+    spec: &DeviceSpec,
+    backend: &dyn GemmBaseline,
+    n: usize,
+    d: usize,
+    k: usize,
+) -> AppTiming {
+    let gemm = backend.time(spec, GemmShape::new(n, k, d)).time_s;
+    // Epilogue of the open-source kernel [2]: an argmin pass over the
+    // n x k cross matrix and a centroid-update pass over the n x d points
+    // (with light access-pattern amplification), plus the fixed
+    // launch/sync overhead — calibrated so the GEMM share at large n
+    // matches the paper's 67% (§1).
+    let bytes = (n * k * 4 + n * d * 2 + k * d * 4) as u64;
+    let flops = (n * k * 3 + n * d) as u64;
+    AppTiming { gemm_s: gemm, epilogue_s: epilogue_time(spec, bytes, flops) }
+}
+
+/// One kNN search over `n` queries and `n` references in `d` dims with
+/// selection size `k`: GEMM `(n, n, d)` + selection over the `n x n`
+/// distance matrix.
+pub fn knn_iteration(
+    spec: &DeviceSpec,
+    backend: &dyn GemmBaseline,
+    n: usize,
+    d: usize,
+    k: usize,
+) -> AppTiming {
+    let gemm = backend.time(spec, GemmShape::new(n, n, d)).time_s;
+    // Selection in the reference implementation [9] is an insertion-based
+    // partial sort streaming the n x n distance matrix (~2x traffic with
+    // its comparison swaps) — calibrated to the paper's 85% GEMM share.
+    let bytes = (n * n * 8) as u64;
+    let flops = (n * n + n * k * 32) as u64;
+    AppTiming { gemm_s: gemm, epilogue_s: epilogue_time(spec, bytes, flops) }
+}
+
+/// Figure 12's quantity: total-time speedup of swapping the baseline GEMM
+/// for the EGEMM-TC GEMM, everything else unchanged.
+pub fn app_speedup(baseline: AppTiming, egemm: AppTiming) -> f64 {
+    assert!(
+        (baseline.epilogue_s - egemm.epilogue_s).abs() < 1e-12,
+        "epilogues must be identical for the comparison to be fair"
+    );
+    baseline.total_s() / egemm.total_s()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egemm_baselines::{CublasCudaFp32, EgemmTc};
+
+    #[test]
+    fn kmeans_speedup_band_and_growth() {
+        // Figure 12a: ~1.3x at 2048 points growing to ~1.82x at 16384,
+        // 1.9x average claims include favourable sizes; accept a band.
+        let spec = DeviceSpec::t4();
+        let eg = EgemmTc::auto(spec);
+        let fp = CublasCudaFp32::new();
+        let mut last = 0.0;
+        let mut speedups = Vec::new();
+        for n in [2048usize, 4096, 8192, 12288, 16384] {
+            let t_eg = kmeans_iteration(&spec, &eg, n, KMEANS_D, KMEANS_K);
+            let t_fp = kmeans_iteration(&spec, &fp, n, KMEANS_D, KMEANS_K);
+            let s = app_speedup(t_fp, t_eg);
+            assert!(s >= last * 0.9, "speedup should grow with n: {speedups:?} then {s}");
+            last = s;
+            speedups.push(s);
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!((1.2..=2.4).contains(&avg), "kMeans avg speedup {avg} ({speedups:?})");
+        assert!(speedups[0] < *speedups.last().unwrap(), "growth required");
+    }
+
+    #[test]
+    fn knn_speedup_band() {
+        // Figure 12b: ~1.7x average.
+        let spec = DeviceSpec::t4();
+        let eg = EgemmTc::auto(spec);
+        let fp = CublasCudaFp32::new();
+        let mut speedups = Vec::new();
+        for n in [2048usize, 4096, 8192, 16384] {
+            let t_eg = knn_iteration(&spec, &eg, n, KNN_D, KNN_K);
+            let t_fp = knn_iteration(&spec, &fp, n, KNN_D, KNN_K);
+            speedups.push(app_speedup(t_fp, t_eg));
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!((1.3..=2.6).contains(&avg), "kNN avg speedup {avg} ({speedups:?})");
+    }
+
+    #[test]
+    fn gemm_fractions_match_paper() {
+        // §1: GEMM takes ~67% of kMeans and ~85% of kNN at the scales the
+        // applications run.
+        let spec = DeviceSpec::t4();
+        let fp = CublasCudaFp32::new();
+        let f_kmeans = kmeans_iteration(&spec, &fp, 16384, KMEANS_D, KMEANS_K).gemm_fraction();
+        let f_knn = knn_iteration(&spec, &fp, 16384, KNN_D, KNN_K).gemm_fraction();
+        assert!((0.5..=0.85).contains(&f_kmeans), "kMeans GEMM fraction {f_kmeans}");
+        assert!((0.7..=0.95).contains(&f_knn), "kNN GEMM fraction {f_knn}");
+        assert!(f_knn > f_kmeans, "kNN is more GEMM-heavy than kMeans");
+    }
+
+    #[test]
+    fn kmeans_gemm_fraction_grows_with_size() {
+        // §7.5: "when data size increases, GEMM accounts for more running
+        // time" — driven by occupancy: the (n, 128, 256) GEMM underfills
+        // the GPU at small n.
+        let spec = DeviceSpec::t4();
+        let fp = CublasCudaFp32::new();
+        let f_small = kmeans_iteration(&spec, &fp, 2048, KMEANS_D, KMEANS_K).gemm_fraction();
+        let f_big = kmeans_iteration(&spec, &fp, 16384, KMEANS_D, KMEANS_K).gemm_fraction();
+        assert!(f_big > f_small, "{f_small} -> {f_big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "epilogues must be identical")]
+    fn mismatched_epilogues_rejected() {
+        let a = AppTiming { gemm_s: 1.0, epilogue_s: 0.5 };
+        let b = AppTiming { gemm_s: 0.5, epilogue_s: 0.4 };
+        let _ = app_speedup(a, b);
+    }
+}

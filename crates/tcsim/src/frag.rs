@@ -1,0 +1,297 @@
+//! The Fragment (FRAG) memory space and intra-warp fragment caching.
+//!
+//! Tensor Cores introduce a memory level between shared memory and the
+//! ALUs: a *fragment* is a matrix tile held collaboratively in the
+//! registers of the 32 threads of a warp (§2.1; \[12, 13\] show fragments
+//! are register-backed). Two properties the paper exploits (§4):
+//!
+//! 1. the register file (256 KB/SM) is 4x larger than shared memory
+//!    (64 KB/SM), so fragments are a *bigger* cache than smem;
+//! 2. a fragment persists across Tensor Core calls, so a TC-tile that will
+//!    be used again can skip its shared-memory reload ("intra-warp FRAG
+//!    caching").
+//!
+//! [`Fragment`] is the functional tile container (mirroring the CUDA WMMA
+//! `fragment<>` types); [`FragCache`] is the bookkeeping device the
+//! kernels use to decide whether a tile load can be skipped, while counting
+//! every byte moved — the counters behind Table 2.
+
+use egemm_fp::Half;
+use std::collections::HashMap;
+
+/// Role of a fragment in the compute primitive, mirroring
+/// `wmma::matrix_a` / `matrix_b` / `accumulator`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FragmentKind {
+    /// Left operand tile (binary16).
+    MatrixA,
+    /// Right operand tile (binary16).
+    MatrixB,
+    /// Accumulator tile (binary32 in all EGEMM-TC kernels).
+    Accumulator,
+}
+
+/// A matrix tile resident in a warp's registers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fragment {
+    kind: FragmentKind,
+    rows: usize,
+    cols: usize,
+    half_data: Vec<Half>,
+    float_data: Vec<f32>,
+}
+
+impl Fragment {
+    /// Allocate an operand fragment (binary16 payload).
+    pub fn new_operand(kind: FragmentKind, rows: usize, cols: usize) -> Fragment {
+        assert!(matches!(kind, FragmentKind::MatrixA | FragmentKind::MatrixB));
+        Fragment { kind, rows, cols, half_data: vec![Half::ZERO; rows * cols], float_data: Vec::new() }
+    }
+
+    /// Allocate an accumulator fragment (binary32 payload), zero-filled —
+    /// the `wmma::fill_fragment(frag, 0.0f)` idiom.
+    pub fn new_accumulator(rows: usize, cols: usize) -> Fragment {
+        Fragment {
+            kind: FragmentKind::Accumulator,
+            rows,
+            cols,
+            half_data: Vec::new(),
+            float_data: vec![0f32; rows * cols],
+        }
+    }
+
+    /// Role of this fragment.
+    pub fn kind(&self) -> FragmentKind {
+        self.kind
+    }
+
+    /// Tile dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Bytes of register space this fragment occupies across the warp.
+    pub fn bytes(&self) -> usize {
+        self.half_data.len() * 2 + self.float_data.len() * 4
+    }
+
+    /// `load_matrix_sync`: fill an operand fragment from a row-major
+    /// binary16 tile.
+    pub fn load_half(&mut self, tile: &[Half]) {
+        assert_eq!(tile.len(), self.rows * self.cols, "tile size");
+        assert!(!matches!(self.kind, FragmentKind::Accumulator), "operand fragment expected");
+        self.half_data.copy_from_slice(tile);
+    }
+
+    /// `load_matrix_sync` for the accumulator: fill from binary32.
+    pub fn load_float(&mut self, tile: &[f32]) {
+        assert_eq!(tile.len(), self.rows * self.cols, "tile size");
+        assert!(matches!(self.kind, FragmentKind::Accumulator), "accumulator expected");
+        self.float_data.copy_from_slice(tile);
+    }
+
+    /// Borrow the binary16 payload of an operand fragment.
+    pub fn half_payload(&self) -> &[Half] {
+        debug_assert!(!matches!(self.kind, FragmentKind::Accumulator));
+        &self.half_data
+    }
+
+    /// Borrow the binary32 payload of an accumulator fragment.
+    pub fn float_payload(&self) -> &[f32] {
+        debug_assert!(matches!(self.kind, FragmentKind::Accumulator));
+        &self.float_data
+    }
+
+    /// Mutably borrow the binary32 payload (`store_matrix_sync` source /
+    /// `mma_sync` destination).
+    pub fn float_payload_mut(&mut self) -> &mut [f32] {
+        debug_assert!(matches!(self.kind, FragmentKind::Accumulator));
+        &mut self.float_data
+    }
+}
+
+/// `mma_sync(d, a, b, c)` on fragments: the WMMA-style entry point of the
+/// simulated Tensor Core.
+pub fn mma_sync(d: &mut Fragment, a: &Fragment, b: &Fragment, c: &Fragment) {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(ka, kb, "fragment K mismatch");
+    assert_eq!(c.shape(), (m, n), "accumulator shape");
+    assert_eq!(d.shape(), (m, n), "destination shape");
+    let out = crate::mma::tensor_core_mma(
+        a.half_payload(),
+        b.half_payload(),
+        c.float_payload(),
+        crate::mma::MmaShape { m, n, k: ka },
+    );
+    d.float_payload_mut().copy_from_slice(&out);
+}
+
+/// Identity of a cached TC tile: (matrix id, tile row, tile col).
+pub type TileKey = (u32, u32, u32);
+
+/// Byte counters of fragment traffic — the raw data behind Table 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FragStats {
+    /// Bytes moved shared memory -> fragment (LDS traffic).
+    pub smem_to_frag_bytes: u64,
+    /// Tile loads skipped because the tile was already resident.
+    pub hits: u64,
+    /// Tile loads that had to touch shared memory.
+    pub misses: u64,
+}
+
+/// Tracks which TC tiles are resident in a warp's fragment space and
+/// counts the shared-memory traffic the residency decisions produce.
+///
+/// The replacement policy is deliberately simple — tiles marked cacheable
+/// stay resident until [`FragCache::reset`]; uncacheable tiles always
+/// reload — because the paper's kernels *plan* residency statically
+/// (accumulator C pinned for the whole kernel, A-lo/hi read once per
+/// k-step, §4) rather than reacting dynamically.
+#[derive(Debug, Default)]
+pub struct FragCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    resident: HashMap<TileKey, usize>,
+    /// Traffic counters.
+    pub stats: FragStats,
+}
+
+impl FragCache {
+    /// A cache bounded by the warp's register budget in bytes.
+    pub fn new(capacity_bytes: usize) -> FragCache {
+        FragCache { capacity_bytes, ..Default::default() }
+    }
+
+    /// Register the access of `bytes` for tile `key`.
+    ///
+    /// Returns `true` if the tile was already resident (no shared-memory
+    /// traffic). If `cacheable` and capacity remains, the tile becomes
+    /// resident for subsequent accesses.
+    pub fn access(&mut self, key: TileKey, bytes: usize, cacheable: bool) -> bool {
+        if self.resident.contains_key(&key) {
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        self.stats.smem_to_frag_bytes += bytes as u64;
+        if cacheable && self.used_bytes + bytes <= self.capacity_bytes {
+            self.resident.insert(key, bytes);
+            self.used_bytes += bytes;
+        }
+        false
+    }
+
+    /// Explicitly evict a tile (e.g. when the k-loop advances past it).
+    pub fn evict(&mut self, key: TileKey) {
+        if let Some(bytes) = self.resident.remove(&key) {
+            self.used_bytes -= bytes;
+        }
+    }
+
+    /// Bytes currently pinned in the fragment space.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Drop all residency (new kernel / new block), keeping the counters.
+    pub fn reset(&mut self) {
+        self.resident.clear();
+        self.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egemm_matrix::Matrix;
+
+    #[test]
+    fn fragment_mma_sync_matches_direct_mma() {
+        let a32 = Matrix::<f32>::random_uniform(16, 16, 1);
+        let b32 = Matrix::<f32>::random_uniform(16, 16, 2);
+        let ah: Vec<Half> = a32.as_slice().iter().map(|&x| Half::from_f32(x)).collect();
+        let bh: Vec<Half> = b32.as_slice().iter().map(|&x| Half::from_f32(x)).collect();
+        let mut a = Fragment::new_operand(FragmentKind::MatrixA, 16, 16);
+        let mut b = Fragment::new_operand(FragmentKind::MatrixB, 16, 16);
+        a.load_half(&ah);
+        b.load_half(&bh);
+        let c = Fragment::new_accumulator(16, 16);
+        let mut d = Fragment::new_accumulator(16, 16);
+        mma_sync(&mut d, &a, &b, &c);
+        let direct = crate::mma::tensor_core_mma(
+            &ah,
+            &bh,
+            &vec![0f32; 256],
+            crate::mma::MmaShape::WMMA_16X16X16,
+        );
+        assert_eq!(d.float_payload(), &direct[..]);
+    }
+
+    #[test]
+    fn fragment_byte_accounting() {
+        let a = Fragment::new_operand(FragmentKind::MatrixA, 16, 16);
+        assert_eq!(a.bytes(), 512); // 256 halfs
+        let c = Fragment::new_accumulator(16, 16);
+        assert_eq!(c.bytes(), 1024); // 256 floats
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator expected")]
+    fn typed_loads_enforced() {
+        let mut a = Fragment::new_operand(FragmentKind::MatrixA, 16, 16);
+        a.load_float(&[0.0; 256]);
+    }
+
+    #[test]
+    fn cache_hit_miss_and_traffic() {
+        let mut cache = FragCache::new(4096);
+        let k1 = (0, 0, 0);
+        assert!(!cache.access(k1, 512, true), "first access misses");
+        assert!(cache.access(k1, 512, true), "second access hits");
+        assert_eq!(cache.stats.smem_to_frag_bytes, 512);
+        assert_eq!(cache.stats.hits, 1);
+        assert_eq!(cache.stats.misses, 1);
+    }
+
+    #[test]
+    fn uncacheable_tiles_always_reload() {
+        let mut cache = FragCache::new(4096);
+        let k = (1, 2, 3);
+        assert!(!cache.access(k, 256, false));
+        assert!(!cache.access(k, 256, false));
+        assert_eq!(cache.stats.smem_to_frag_bytes, 512);
+    }
+
+    #[test]
+    fn capacity_bound_respected() {
+        let mut cache = FragCache::new(1000);
+        assert!(!cache.access((0, 0, 0), 600, true));
+        assert_eq!(cache.used_bytes(), 600);
+        // Does not fit: stays uncached, traffic counted on every access.
+        assert!(!cache.access((0, 0, 1), 600, true));
+        assert!(!cache.access((0, 0, 1), 600, true));
+        assert_eq!(cache.used_bytes(), 600);
+        assert_eq!(cache.stats.smem_to_frag_bytes, 600 + 1200);
+    }
+
+    #[test]
+    fn evict_frees_capacity() {
+        let mut cache = FragCache::new(1000);
+        cache.access((0, 0, 0), 600, true);
+        cache.evict((0, 0, 0));
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(!cache.access((0, 0, 1), 600, true));
+        assert!(cache.access((0, 0, 1), 600, true), "now resident");
+    }
+
+    #[test]
+    fn reset_clears_residency_not_stats() {
+        let mut cache = FragCache::new(4096);
+        cache.access((0, 0, 0), 512, true);
+        cache.reset();
+        assert!(!cache.access((0, 0, 0), 512, true), "reset evicted");
+        assert_eq!(cache.stats.misses, 2);
+    }
+}

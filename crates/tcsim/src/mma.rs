@@ -1,0 +1,225 @@
+//! The Tensor Core compute primitive `D = A × B + C`, functionally.
+//!
+//! NVIDIA documents the primitive's *storage* types (A, B half precision;
+//! C, D half or single) but not its *operation* precision (§3.2). The
+//! paper's profiling workflow establishes empirically that the result is
+//! bitwise identical, up to 21 mantissa bits, to converting A and B to
+//! single precision and computing with single-precision CUDA-core
+//! arithmetic. This module implements exactly those semantics as the
+//! simulated Tensor Core, and also the alternative *probing* semantics
+//! (all-half internal arithmetic; exact accumulation) that the Figure 2
+//! workflow discriminates between.
+
+use egemm_fp::Half;
+
+/// Shape of one matrix-multiply-accumulate primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MmaShape {
+    /// Rows of A/D.
+    pub m: usize,
+    /// Columns of B/D.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+}
+
+impl MmaShape {
+    /// The CUDA WMMA API tile (`wmma::mma_sync` with 16x16x16 fragments) —
+    /// what the paper's profiling code (Figure 3) calls.
+    pub const WMMA_16X16X16: MmaShape = MmaShape { m: 16, n: 16, k: 16 };
+    /// The native Turing SASS instruction HMMA.1688.F32 (m16 n8 k8): one
+    /// WMMA tile is 2x2x2 = 8 of these (§6, Eq. 5 uses its 2·16·8·8 FLOPs).
+    pub const HMMA_1688: MmaShape = MmaShape { m: 16, n: 8, k: 8 };
+
+    /// FLOPs of one primitive: 2·m·n·k.
+    pub const fn flops(&self) -> u64 {
+        2 * (self.m * self.n * self.k) as u64
+    }
+}
+
+/// Internal operation precision of a matrix-multiply-accumulate unit —
+/// the property the Figure 2 probing workflow identifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpPrecision {
+    /// Products and partial sums rounded to binary16 at every step (the
+    /// pessimistic hypothesis that would force Dekker-style emulation).
+    Half,
+    /// Inputs widened to binary32; products and the k-order accumulation
+    /// performed in binary32 (what the paper's profiling finds on real
+    /// Tensor Cores).
+    Single,
+    /// Exact (binary64) accumulation, rounded once at the end — an
+    /// idealized device used to bound what any hardware could do.
+    Exact,
+}
+
+/// Compute `D = A × B + C` for one primitive tile, row-major slices.
+///
+/// * `a`: `m x k` binary16, row-major;
+/// * `b`: `k x n` binary16, row-major;
+/// * `c`: `m x n` binary32, row-major (the paper's emulation always uses
+///   single-precision C/D — "Tensor Core natively supports single-precision
+///   C and D", Algorithm 1 line 4);
+/// * returns `d`: `m x n` binary32.
+///
+/// The accumulation order within the reduction is ascending `k`, matching
+/// a scalar CUDA-core loop — the order under which the paper observed
+/// bitwise identity with single precision.
+pub fn mma(a: &[Half], b: &[Half], c: &[f32], shape: MmaShape, prec: OpPrecision) -> Vec<f32> {
+    let MmaShape { m, n, k } = shape;
+    assert_eq!(a.len(), m * k, "A tile size");
+    assert_eq!(b.len(), k * n, "B tile size");
+    assert_eq!(c.len(), m * n, "C tile size");
+    let mut d = vec![0f32; m * n];
+    match prec {
+        OpPrecision::Single => {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = c[i * n + j];
+                    for p in 0..k {
+                        // f16 -> f32 is exact; the product of two 11-bit
+                        // significands is exact in f32; only the adds round.
+                        acc += a[i * k + p].to_f32() * b[p * n + j].to_f32();
+                    }
+                    d[i * n + j] = acc;
+                }
+            }
+        }
+        OpPrecision::Half => {
+            for i in 0..m {
+                for j in 0..n {
+                    // C is first demoted to the working precision, as a
+                    // genuinely all-half datapath would require.
+                    let mut acc = Half::from_f32(c[i * n + j]);
+                    for p in 0..k {
+                        acc += a[i * k + p] * b[p * n + j];
+                    }
+                    d[i * n + j] = acc.to_f32();
+                }
+            }
+        }
+        OpPrecision::Exact => {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = c[i * n + j] as f64;
+                    for p in 0..k {
+                        acc += a[i * k + p].to_f64() * b[p * n + j].to_f64();
+                    }
+                    d[i * n + j] = acc as f32;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// The simulated Tensor Core: [`mma`] with the profiled
+/// [`OpPrecision::Single`] semantics. This is the only entry point the
+/// EGEMM-TC kernels use — everything else in [`OpPrecision`] exists for the
+/// probing workflow.
+#[inline]
+pub fn tensor_core_mma(a: &[Half], b: &[Half], c: &[f32], shape: MmaShape) -> Vec<f32> {
+    mma(a, b, c, shape, OpPrecision::Single)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egemm_matrix::Matrix;
+
+    fn tile(seed: u64, rows: usize, cols: usize) -> Vec<Half> {
+        Matrix::<f32>::random_uniform(rows, cols, seed)
+            .as_slice()
+            .iter()
+            .map(|&x| Half::from_f32(x))
+            .collect()
+    }
+
+    #[test]
+    fn identity_tile() {
+        let shape = MmaShape::WMMA_16X16X16;
+        let mut a = vec![Half::ZERO; 256];
+        for i in 0..16 {
+            a[i * 16 + i] = Half::ONE;
+        }
+        let b = tile(1, 16, 16);
+        let c = vec![0f32; 256];
+        let d = tensor_core_mma(&a, &b, &c, shape);
+        for (x, y) in d.iter().zip(b.iter()) {
+            assert_eq!(*x, y.to_f32());
+        }
+    }
+
+    #[test]
+    fn accumulates_c() {
+        let shape = MmaShape::HMMA_1688;
+        let a = tile(2, 16, 8);
+        let b = tile(3, 8, 8);
+        let c0 = vec![0f32; 128];
+        let d0 = tensor_core_mma(&a, &b, &c0, shape);
+        let c1 = vec![2.5f32; 128];
+        let d1 = tensor_core_mma(&a, &b, &c1, shape);
+        for (x, y) in d1.iter().zip(&d0) {
+            assert!((x - y - 2.5).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn single_matches_scalar_f32_bitwise() {
+        // The defining property: the TC result equals a scalar f32 loop.
+        let shape = MmaShape::WMMA_16X16X16;
+        let a = tile(4, 16, 16);
+        let b = tile(5, 16, 16);
+        let c: Vec<f32> = Matrix::<f32>::random_uniform(16, 16, 6).into_vec();
+        let d = tensor_core_mma(&a, &b, &c, shape);
+        for i in 0..16 {
+            for j in 0..16 {
+                let mut acc = c[i * 16 + j];
+                for p in 0..16 {
+                    acc += a[i * 16 + p].to_f32() * b[p * 16 + j].to_f32();
+                }
+                assert_eq!(acc.to_bits(), d[i * 16 + j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn half_precision_mode_is_lossier() {
+        let shape = MmaShape::WMMA_16X16X16;
+        let a = tile(7, 16, 16);
+        let b = tile(8, 16, 16);
+        let c = vec![0f32; 256];
+        let exact = mma(&a, &b, &c, shape, OpPrecision::Exact);
+        let single = mma(&a, &b, &c, shape, OpPrecision::Single);
+        let half = mma(&a, &b, &c, shape, OpPrecision::Half);
+        let err = |v: &[f32]| -> f64 {
+            v.iter().zip(&exact).map(|(&x, &y)| (x as f64 - y as f64).abs()).fold(0.0, f64::max)
+        };
+        assert!(err(&half) > err(&single) * 10.0, "half {}, single {}", err(&half), err(&single));
+    }
+
+    #[test]
+    fn half_and_single_differ_bitwise() {
+        // The probing workflow relies on the hypotheses being bitwise
+        // distinguishable on random inputs.
+        let shape = MmaShape::WMMA_16X16X16;
+        let a = tile(9, 16, 16);
+        let b = tile(10, 16, 16);
+        let c = vec![0f32; 256];
+        let h = mma(&a, &b, &c, shape, OpPrecision::Half);
+        let s = mma(&a, &b, &c, shape, OpPrecision::Single);
+        assert!(h.iter().zip(&s).any(|(x, y)| x.to_bits() != y.to_bits()));
+    }
+
+    #[test]
+    fn shape_flops() {
+        assert_eq!(MmaShape::HMMA_1688.flops(), 2 * 16 * 8 * 8);
+        assert_eq!(MmaShape::WMMA_16X16X16.flops(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "A tile size")]
+    fn tile_size_checked() {
+        let _ = mma(&[Half::ZERO; 4], &[Half::ZERO; 256], &[0.0; 256], MmaShape::WMMA_16X16X16, OpPrecision::Single);
+    }
+}

@@ -1,0 +1,158 @@
+//! Occupancy and register-allocation modeling (§5.2, §6).
+//!
+//! A thread block's residency on an SM is limited by its shared-memory
+//! footprint, its register footprint, and the warp slots — the constraints
+//! of the analytic model's Eq. 8. [`blocks_per_sm`] evaluates them.
+//!
+//! The second half of the module models the paper's manual register
+//! allocation (§5.2): Tensor-Core GEMM kernels run in four stages with
+//! largely disjoint register needs — context/addressing, C load, compute,
+//! C store — and reusing registers across stages (the paper's heuristic
+//! for the NP-hard allocation problem \[32\]) brings the footprint from the
+//! *sum* of the stages to their *maximum*: 232 of the 256 architectural
+//! registers in the paper's kernel.
+
+use crate::spec::DeviceSpec;
+
+/// Per-block resource footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockResources {
+    /// Shared-memory bytes per block.
+    pub smem_bytes: usize,
+    /// Registers per thread (32-bit each).
+    pub regs_per_thread: usize,
+    /// Threads per block.
+    pub threads: usize,
+}
+
+impl BlockResources {
+    /// Register bytes per block.
+    pub fn register_bytes(&self) -> usize {
+        self.regs_per_thread * self.threads * 4
+    }
+}
+
+/// Number of blocks of the given footprint that fit on one SM —
+/// `min(smem limit, register limit, warp-slot limit)`, zero if the block
+/// exceeds the SM outright.
+pub fn blocks_per_sm(spec: &DeviceSpec, res: &BlockResources) -> usize {
+    if res.threads == 0 {
+        return 0;
+    }
+    if res.regs_per_thread > spec.max_registers_per_thread {
+        // The compiler would spill rather than refuse; the paper's manual
+        // allocation exists precisely to stay under this bound, so we treat
+        // exceeding it as non-resident (spilling is modeled by the caller
+        // choosing a degraded kernel).
+        return 0;
+    }
+    let by_smem = if res.smem_bytes == 0 {
+        usize::MAX
+    } else {
+        spec.shared_mem_per_sm / res.smem_bytes
+    };
+    let by_regs = if res.register_bytes() == 0 {
+        usize::MAX
+    } else {
+        spec.register_file_per_sm / res.register_bytes()
+    };
+    let warps = res.threads.div_ceil(32);
+    let by_warps = spec.max_warps_per_sm / warps.max(1);
+    by_smem.min(by_regs).min(by_warps)
+}
+
+/// A kernel execution stage with its register demand (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageRegs {
+    /// Stage name.
+    pub name: &'static str,
+    /// Registers the stage needs live at once, per thread.
+    pub regs: usize,
+}
+
+/// Register footprint with cross-stage reuse (the paper's heuristic):
+/// stages execute disjointly, so the block needs only the maximum.
+pub fn registers_with_reuse(stages: &[StageRegs]) -> usize {
+    stages.iter().map(|s| s.regs).max().unwrap_or(0)
+}
+
+/// Register footprint without reuse: every stage gets a private
+/// allocation, as naive CUDA-level code tends to produce — the sum.
+pub fn registers_without_reuse(stages: &[StageRegs]) -> usize {
+    stages.iter().map(|s| s.regs).sum()
+}
+
+/// The four-stage register model of the paper's EGEMM-TC kernel (§5.2):
+/// context/addressing, C-matrix load, emulated computation, C-matrix
+/// store. With reuse the footprint is the compute stage's 232 registers —
+/// "we utilize 232 out of 256 registers on each thread".
+pub const EGEMM_STAGES: [StageRegs; 4] = [
+    StageRegs { name: "context/addressing", regs: 40 },
+    StageRegs { name: "load C", regs: 148 },
+    StageRegs { name: "compute", regs: 232 },
+    StageRegs { name: "store C", regs: 140 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn t4() -> DeviceSpec {
+        DeviceSpec::t4()
+    }
+
+    #[test]
+    fn table4_design_point_is_one_block_per_sm() {
+        // Table 4: (128,128,32) tiling -> 36 KB smem/block, 8 warps/block,
+        // 1 active block/SM.
+        let res = BlockResources { smem_bytes: 36 * 1024, regs_per_thread: 232, threads: 256 };
+        assert_eq!(blocks_per_sm(&t4(), &res), 1);
+    }
+
+    #[test]
+    fn smem_limit() {
+        let res = BlockResources { smem_bytes: 20 * 1024, regs_per_thread: 32, threads: 128 };
+        // smem: 64/20 = 3; regs: 256KB/(32*128*4)=16; warps: 32/4 = 8.
+        assert_eq!(blocks_per_sm(&t4(), &res), 3);
+    }
+
+    #[test]
+    fn register_limit() {
+        let res = BlockResources { smem_bytes: 1024, regs_per_thread: 128, threads: 256 };
+        // regs: 262144 / (128*256*4) = 2.
+        assert_eq!(blocks_per_sm(&t4(), &res), 2);
+    }
+
+    #[test]
+    fn warp_slot_limit() {
+        let res = BlockResources { smem_bytes: 0, regs_per_thread: 16, threads: 512 };
+        // warps/block = 16, max 32 -> 2 blocks.
+        assert_eq!(blocks_per_sm(&t4(), &res), 2);
+    }
+
+    #[test]
+    fn over_limit_blocks_do_not_fit() {
+        let res = BlockResources { smem_bytes: 100 * 1024, regs_per_thread: 32, threads: 256 };
+        assert_eq!(blocks_per_sm(&t4(), &res), 0);
+        let res = BlockResources { smem_bytes: 1024, regs_per_thread: 300, threads: 32 };
+        assert_eq!(blocks_per_sm(&t4(), &res), 0, "exceeds architectural register bound");
+    }
+
+    #[test]
+    fn paper_register_allocation_numbers() {
+        // §5.2: reuse across the four stages fits in 232 regs, under the
+        // 256 architectural max; without reuse the kernel would spill.
+        let with = registers_with_reuse(&EGEMM_STAGES);
+        let without = registers_without_reuse(&EGEMM_STAGES);
+        assert_eq!(with, 232);
+        assert!(with <= t4().max_registers_per_thread);
+        assert!(without > t4().max_registers_per_thread, "naive allocation spills: {without}");
+    }
+
+    #[test]
+    fn empty_stage_list() {
+        assert_eq!(registers_with_reuse(&[]), 0);
+        assert_eq!(registers_without_reuse(&[]), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-crate integration: analytic model vs the timing simulator.
+//!
+//! §6's point is that the model picks good hyper-parameters *without*
+//! trial-and-error. Here we close the loop: the configuration the solver
+//! picks must actually be (near-)optimal when every feasible candidate is
+//! costed through the full pipeline simulator — i.e. the model's cheap
+//! objective is a faithful proxy for the expensive truth.
+
+use egemm::{build_kernel, solve_tiling, AnalyticModel, EmulationScheme, KernelOpts};
+use egemm_matrix::GemmShape;
+use egemm_tcsim::{kernel_time, DeviceSpec};
+
+#[test]
+fn solver_choice_is_near_optimal_under_full_simulation() {
+    let spec = DeviceSpec::t4();
+    let model = AnalyticModel::for_device(&spec);
+    let chosen = solve_tiling(&model).expect("solution");
+    let shape = GemmShape::square(8192);
+    let time_of = |cfg| {
+        let d = build_kernel(&spec, &cfg, shape, EmulationScheme::EgemmTc, KernelOpts::default());
+        kernel_time(&spec, &d).time_s
+    };
+    let chosen_time = time_of(chosen.config);
+    let times: Vec<f64> =
+        model.feasible_candidates().iter().map(|c| time_of(c.config)).collect();
+    assert!(times.len() > 3, "need a meaningful candidate set, got {}", times.len());
+    let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let beaten_clearly = times.iter().filter(|&&t| t < chosen_time * 0.95).count();
+    // §6 claims the model replaces trial-and-error, not that it is the
+    // global optimum of the full pipeline simulation: require the choice
+    // to be within 25% of the simulated best, with at most a quarter of
+    // the feasible set beating it by more than 5%.
+    assert!(
+        chosen_time <= best * 1.25,
+        "analytic choice {chosen_time} vs simulated best {best}"
+    );
+    assert!(
+        beaten_clearly * 4 <= times.len(),
+        "analytic choice beaten by >5% by {beaten_clearly}/{} candidates",
+        times.len()
+    );
+}
+
+#[test]
+fn objective_correlates_with_simulated_throughput() {
+    // Spearman-ish check: among feasible candidates, higher Eq. 4
+    // objective should not systematically mean lower simulated TFLOPS.
+    let spec = DeviceSpec::t4();
+    let model = AnalyticModel::for_device(&spec);
+    let shape = GemmShape::square(8192);
+    let mut pts: Vec<(f64, f64)> = model
+        .feasible_candidates()
+        .into_iter()
+        .map(|c| {
+            let d = build_kernel(
+                &spec,
+                &c.config,
+                shape,
+                EmulationScheme::EgemmTc,
+                KernelOpts::default(),
+            );
+            (c.objective, kernel_time(&spec, &d).tflops)
+        })
+        .collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let lo_third: f64 =
+        pts[..pts.len() / 3].iter().map(|p| p.1).sum::<f64>() / (pts.len() / 3) as f64;
+    let hi_third: f64 = pts[pts.len() * 2 / 3..].iter().map(|p| p.1).sum::<f64>()
+        / (pts.len() - pts.len() * 2 / 3) as f64;
+    assert!(
+        hi_third >= lo_third,
+        "high-objective candidates average {hi_third} TFLOPS < low-objective {lo_third}"
+    );
+}
+
+#[test]
+fn infeasible_register_points_would_spill_in_simulation() {
+    // A config the model rejects for register pressure must indeed exceed
+    // the occupancy model's architectural bound.
+    let spec = DeviceSpec::t4();
+    let model = AnalyticModel::for_device(&spec);
+    let cfg = egemm::TilingConfig { bm: 256, bn: 128, bk: 32, wm: 128, wn: 32, wk: 8 };
+    assert!(model.evaluate(cfg).is_none());
+    assert!(cfg.regs_per_thread() > spec.max_registers_per_thread);
+}
+
+#[test]
+fn budget_only_interface() {
+    // §6: "To support different GPUs, the user only needs to provide a
+    // small set of resource budgets." Shrink the register budget and the
+    // solver must adapt with a smaller block tile.
+    let spec = DeviceSpec::t4();
+    let mut model = AnalyticModel::for_device(&spec);
+    model.budget.register_file_bytes /= 2; // 128 KB register file
+    let best = solve_tiling(&model).expect("still feasible");
+    assert!(
+        best.config.bm * best.config.bn < 128 * 128,
+        "smaller budget must shrink the tile: got {}",
+        best.config
+    );
+    assert!(best.register_bytes <= model.budget.register_file_bytes);
+}
