@@ -13,7 +13,9 @@ fn main() {
         Box::new(DekkerTc::new(spec)),
     ];
     print!("{:<22}", "kernel");
-    for n in [1024, 2048, 4096, 8192, 16384] { print!("{:>9}", n); }
+    for n in [1024, 2048, 4096, 8192, 16384] {
+        print!("{:>9}", n);
+    }
     println!();
     for k in &kernels {
         print!("{:<22}", k.name());
@@ -23,7 +25,12 @@ fn main() {
         println!();
     }
     let eg = EgemmTc::auto(spec);
-    for (nm, other) in [("cuBLAS-FP32", 1usize), ("TC-Emu", 2), ("SDK", 4), ("Markidis", 5)] {
+    for (nm, other) in [
+        ("cuBLAS-FP32", 1usize),
+        ("TC-Emu", 2),
+        ("SDK", 4),
+        ("Markidis", 5),
+    ] {
         let mut acc = 0.0;
         for n in [1024usize, 2048, 4096, 8192, 16384] {
             let s = GemmShape::square(n);

@@ -37,7 +37,9 @@ impl CublasTcEmulation {
     /// Construct for a device.
     pub fn new(spec: DeviceSpec) -> CublasTcEmulation {
         let _ = spec;
-        CublasTcEmulation { config: TilingConfig::T4_PAPER }
+        CublasTcEmulation {
+            config: TilingConfig::T4_PAPER,
+        }
     }
 
     /// The vendor heuristic's split-K slice count for a shape: regular
@@ -90,12 +92,24 @@ impl GemmBaseline for CublasTcEmulation {
         let slices = Self::split_k_slices(shape);
         let config = if slices > 1 {
             // Split-K kernels run smaller tiles per slice.
-            TilingConfig { bm: 64, bn: 64, bk: 32, wm: 32, wn: 32, wk: 8 }
+            TilingConfig {
+                bm: 64,
+                bn: 64,
+                bk: 32,
+                wm: 32,
+                wn: 32,
+                wk: 8,
+            }
         } else {
             self.config
         };
-        let mut desc =
-            build_kernel(spec, &config, shape, EmulationScheme::TcHalf, KernelOpts::default());
+        let mut desc = build_kernel(
+            spec,
+            &config,
+            shape,
+            EmulationScheme::TcHalf,
+            KernelOpts::default(),
+        );
         let mn_bytes = (shape.m * shape.n * 4) as u64;
         // 4 launches: the A/B traffic quadruples relative to one launch
         // (each term re-reads its planes), C round-trips between launches
@@ -134,7 +148,10 @@ mod tests {
         let e_emu = max_abs_error(&emu.to_f64_vec(), &truth);
         let e_eg = max_abs_error(&eg.to_f64_vec(), &truth);
         assert!(e_emu < 1e-3, "term-major emulation err {e_emu}");
-        assert!(e_emu < 3.0 * e_eg + 1e-6, "within a small factor of fused: {e_emu} vs {e_eg}");
+        assert!(
+            e_emu < 3.0 * e_eg + 1e-6,
+            "within a small factor of fused: {e_emu} vs {e_eg}"
+        );
         // And the orders genuinely differ.
         assert_ne!(emu, eg);
     }
@@ -151,14 +168,20 @@ mod tests {
             speedups.push(eg / base);
         }
         let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        assert!((1.1..=1.8).contains(&avg), "avg speedup {avg} ({speedups:?})");
+        assert!(
+            (1.1..=1.8).contains(&avg),
+            "avg speedup {avg} ({speedups:?})"
+        );
     }
 
     #[test]
     fn split_k_cliff_on_skewed_shapes() {
         // Figure 9a: slowdown once the K-skewed family passes
         // 4096x4096x8192.
-        assert_eq!(CublasTcEmulation::split_k_slices(GemmShape::skewed_k(4096)), 1);
+        assert_eq!(
+            CublasTcEmulation::split_k_slices(GemmShape::skewed_k(4096)),
+            1
+        );
         assert!(CublasTcEmulation::split_k_slices(GemmShape::skewed_k(8192)) > 1);
         let spec = DeviceSpec::t4();
         let base = CublasTcEmulation::new(spec);
@@ -172,6 +195,9 @@ mod tests {
         let eg = crate::EgemmTc::auto(spec);
         let eg_before = eg.tflops(&spec, GemmShape::skewed_k(4096));
         let eg_after = eg.tflops(&spec, GemmShape::skewed_k(8192));
-        assert!(eg_after > eg_before * 0.9, "EGEMM: {eg_before} -> {eg_after}");
+        assert!(
+            eg_after > eg_before * 0.9,
+            "EGEMM: {eg_before} -> {eg_after}"
+        );
     }
 }

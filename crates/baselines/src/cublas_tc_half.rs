@@ -23,7 +23,9 @@ impl CublasTcHalf {
     /// Vendor kernel with the device-tuned tiling.
     pub fn new(spec: DeviceSpec) -> CublasTcHalf {
         let _ = spec; // same SM resources on both evaluated devices
-        CublasTcHalf { config: TilingConfig::T4_PAPER }
+        CublasTcHalf {
+            config: TilingConfig::T4_PAPER,
+        }
     }
 }
 
@@ -67,8 +69,8 @@ mod tests {
             for j in 0..16 {
                 let mut acc = 0f32;
                 for k in 0..16 {
-                    acc += Half::from_f32(a.get(i, k)).to_f32()
-                        * Half::from_f32(b.get(k, j)).to_f32();
+                    acc +=
+                        Half::from_f32(a.get(i, k)).to_f32() * Half::from_f32(b.get(k, j)).to_f32();
                 }
                 assert_eq!(d.get(i, j).to_bits(), acc.to_bits());
             }
@@ -92,6 +94,9 @@ mod tests {
         let truth = gemm_f64_of_f32(&a, &b).to_f64_vec();
         let e_half = max_abs_error(&half.compute(&a, &b).to_f64_vec(), &truth);
         let e_eg = max_abs_error(&eg.compute(&a, &b).to_f64_vec(), &truth);
-        assert!(e_half > 30.0 * e_eg, "half err {e_half} vs egemm err {e_eg}");
+        assert!(
+            e_half > 30.0 * e_eg,
+            "half err {e_half} vs egemm err {e_eg}"
+        );
     }
 }

@@ -27,7 +27,9 @@ impl CublasTcHalfAccum {
     /// Construct for a device.
     pub fn new(spec: DeviceSpec) -> CublasTcHalfAccum {
         let _ = spec;
-        CublasTcHalfAccum { config: TilingConfig::T4_PAPER }
+        CublasTcHalfAccum {
+            config: TilingConfig::T4_PAPER,
+        }
     }
 }
 
@@ -40,22 +42,33 @@ impl GemmBaseline for CublasTcHalfAccum {
         assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         // Demote inputs once (the cublasGemmEx CUDA_R_16F conversion).
-        let ah: Vec<f32> = a.as_slice().iter().map(|&x| Half::from_f32(x).to_f32()).collect();
-        let bh: Vec<f32> = b.as_slice().iter().map(|&x| Half::from_f32(x).to_f32()).collect();
+        let ah: Vec<f32> = a
+            .as_slice()
+            .iter()
+            .map(|&x| Half::from_f32(x).to_f32())
+            .collect();
+        let bh: Vec<f32> = b
+            .as_slice()
+            .iter()
+            .map(|&x| Half::from_f32(x).to_f32())
+            .collect();
         let mut out = Matrix::<f32>::zeros(m, n);
-        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-            for (j, slot) in crow.iter_mut().enumerate() {
-                // The HMMA datapath computes each k-slice's products at
-                // full precision but writes the accumulator back at
-                // binary16 every step.
-                let mut acc = Half::ZERO;
-                for p in 0..k {
-                    let prod = ah[i * k + p] * bh[p * n + j]; // exact in f32
-                    acc = Half::from_f32(acc.to_f32() + prod);
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| {
+                for (j, slot) in crow.iter_mut().enumerate() {
+                    // The HMMA datapath computes each k-slice's products at
+                    // full precision but writes the accumulator back at
+                    // binary16 every step.
+                    let mut acc = Half::ZERO;
+                    for p in 0..k {
+                        let prod = ah[i * k + p] * bh[p * n + j]; // exact in f32
+                        acc = Half::from_f32(acc.to_f32() + prod);
+                    }
+                    *slot = acc.to_f32();
                 }
-                *slot = acc.to_f32();
-            }
-        });
+            });
         out
     }
 
@@ -92,12 +105,20 @@ mod tests {
         let b = Matrix::<f32>::random_uniform(k, n, 2);
         let truth = gemm_f64_of_f32(&a, &b).to_f64_vec();
         let spec = DeviceSpec::t4();
-        let e_h16 =
-            max_abs_error(&CublasTcHalfAccum::new(spec).compute(&a, &b).to_f64_vec(), &truth);
-        let e_h32 = max_abs_error(&CublasTcHalf::new(spec).compute(&a, &b).to_f64_vec(), &truth);
+        let e_h16 = max_abs_error(
+            &CublasTcHalfAccum::new(spec).compute(&a, &b).to_f64_vec(),
+            &truth,
+        );
+        let e_h32 = max_abs_error(
+            &CublasTcHalf::new(spec).compute(&a, &b).to_f64_vec(),
+            &truth,
+        );
         let e_eg = max_abs_error(&EgemmTc::auto(spec).compute(&a, &b).to_f64_vec(), &truth);
         assert!(e_h16 > 4.0 * e_h32, "f16 acc {e_h16} vs f32 acc {e_h32}");
-        assert!(e_h32 > 20.0 * e_eg, "f32-acc half {e_h32} vs emulation {e_eg}");
+        assert!(
+            e_h32 > 20.0 * e_eg,
+            "f32-acc half {e_h32} vs emulation {e_eg}"
+        );
     }
 
     #[test]
@@ -107,8 +128,10 @@ mod tests {
         let b = Matrix::<f32>::random_uniform(k, n, 4);
         let truth = gemm_f64_of_f32(&a, &b).to_f64_vec();
         let spec = DeviceSpec::t4();
-        let e_h16 =
-            max_abs_error(&CublasTcHalfAccum::new(spec).compute(&a, &b).to_f64_vec(), &truth);
+        let e_h16 = max_abs_error(
+            &CublasTcHalfAccum::new(spec).compute(&a, &b).to_f64_vec(),
+            &truth,
+        );
         // At k = 8 the damage is bounded by a few accumulator ULPs.
         assert!(e_h16 < 0.05, "shallow-k f16-acc error {e_h16}");
     }

@@ -34,7 +34,9 @@ impl DekkerTc {
     /// Construct for a device.
     pub fn new(spec: DeviceSpec) -> DekkerTc {
         let _ = spec;
-        DekkerTc { config: TilingConfig::T4_PAPER }
+        DekkerTc {
+            config: TilingConfig::T4_PAPER,
+        }
     }
 }
 
@@ -48,12 +50,15 @@ impl GemmBaseline for DekkerTc {
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         let mut out = Matrix::<f32>::zeros(m, n);
         let bt = b.transpose();
-        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, row)| {
-            for (j, slot) in row.iter_mut().enumerate() {
-                let _ = k;
-                *slot = DoubleHalf::dot(a.row(i), bt.row(j)).to_f32();
-            }
-        });
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    let _ = k;
+                    *slot = DoubleHalf::dot(a.row(i), bt.row(j)).to_f32();
+                }
+            });
         out
     }
 
@@ -110,7 +115,10 @@ mod tests {
 
     #[test]
     fn instruction_ratio_is_four() {
-        assert_eq!(DEKKER_FMA_HALF_INSTRUCTIONS / egemm_fp::EGEMM_TC_INSTRUCTIONS, 4);
+        assert_eq!(
+            DEKKER_FMA_HALF_INSTRUCTIONS / egemm_fp::EGEMM_TC_INSTRUCTIONS,
+            4
+        );
     }
 
     #[test]
@@ -134,10 +142,7 @@ mod tests {
         let shape = GemmShape::square(8192);
         let dk = DekkerTc::new(spec).tflops(&spec, shape);
         let eg = crate::EgemmTc::auto(spec).tflops(&spec, shape);
-        assert!(
-            eg > 3.0 * dk,
-            "EGEMM {eg} should be >=3x Dekker-TC {dk}"
-        );
+        assert!(eg > 3.0 * dk, "EGEMM {eg} should be >=3x Dekker-TC {dk}");
     }
 
     #[test]

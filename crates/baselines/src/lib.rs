@@ -137,6 +137,9 @@ mod tests {
         assert!(egemm > markidis, "EGEMM {egemm} vs Markidis {markidis}");
         assert!(egemm > tc_emu, "EGEMM {egemm} vs TC-Emulation {tc_emu}");
         assert!(egemm > dekker, "EGEMM {egemm} vs Dekker {dekker}");
-        assert!(tc_half > egemm, "TC-Half {tc_half} should top EGEMM {egemm}");
+        assert!(
+            tc_half > egemm,
+            "TC-Half {tc_half} should top EGEMM {egemm}"
+        );
     }
 }

@@ -39,7 +39,16 @@ impl Markidis {
     /// Construct for a device.
     pub fn new(spec: DeviceSpec) -> Markidis {
         let _ = spec;
-        Markidis { config: TilingConfig { bm: 64, bn: 64, bk: 16, wm: 16, wn: 16, wk: 16 } }
+        Markidis {
+            config: TilingConfig {
+                bm: 64,
+                bn: 64,
+                bk: 16,
+                wm: 16,
+                wn: 16,
+                wk: 16,
+            },
+        }
     }
 }
 
@@ -126,11 +135,16 @@ mod tests {
         let truth = gemm_f64_of_f32(&a, &b).to_f64_vec();
         let spec = DeviceSpec::t4();
         let e_mk = max_abs_error(&Markidis::new(spec).compute(&a, &b).to_f64_vec(), &truth);
-        let e_eg =
-            max_abs_error(&crate::EgemmTc::auto(spec).compute(&a, &b).to_f64_vec(), &truth);
+        let e_eg = max_abs_error(
+            &crate::EgemmTc::auto(spec).compute(&a, &b).to_f64_vec(),
+            &truth,
+        );
         assert!(e_eg < e_mk, "egemm {e_eg} vs markidis {e_mk}");
         let ratio = e_mk / e_eg;
-        assert!((1.5..=6.0).contains(&ratio), "error ratio {ratio} (paper: ~2.33x)");
+        assert!(
+            (1.5..=6.0).contains(&ratio),
+            "error ratio {ratio} (paper: ~2.33x)"
+        );
     }
 
     #[test]
@@ -145,7 +159,10 @@ mod tests {
             speedups.push(eg / mk);
         }
         let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        assert!((2.0..=4.5).contains(&avg), "avg speedup {avg} ({speedups:?})");
+        assert!(
+            (2.0..=4.5).contains(&avg),
+            "avg speedup {avg} ({speedups:?})"
+        );
     }
 
     #[test]

@@ -62,8 +62,7 @@ impl SdkCudaFp32 {
             wk: 16,
         };
         let ab = wave_reuse_ab_bytes(spec, &cfg, shape, (2, 2), &resources, false);
-        let blocks =
-            (shape.m.div_ceil(Self::TILE) as u64) * (shape.n.div_ceil(Self::TILE) as u64);
+        let blocks = (shape.m.div_ceil(Self::TILE) as u64) * (shape.n.div_ceil(Self::TILE) as u64);
         KernelDesc {
             name: "SDK-CUDA-FP32[16x16]".to_string(),
             body,

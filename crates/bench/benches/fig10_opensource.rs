@@ -13,8 +13,11 @@ fn bench(c: &mut Criterion) {
     let egemm = EgemmTc::auto(spec);
     let markidis = Markidis::new(spec);
     let sdk = SdkCudaFp32::new();
-    let kernels: Vec<(&str, &dyn GemmBaseline)> =
-        vec![("EGEMM-TC", &egemm), ("Markidis", &markidis), ("SDK-CUDA-FP32", &sdk)];
+    let kernels: Vec<(&str, &dyn GemmBaseline)> = vec![
+        ("EGEMM-TC", &egemm),
+        ("Markidis", &markidis),
+        ("SDK-CUDA-FP32", &sdk),
+    ];
     let mut g = c.benchmark_group("fig10_functional");
     g.sample_size(10);
     let n = 256;

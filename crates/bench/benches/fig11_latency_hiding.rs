@@ -23,20 +23,19 @@ fn bench(c: &mut Criterion) {
         &TilingConfig::T4_PAPER,
         shape,
         EmulationScheme::EgemmTc,
-        KernelOpts { latency_hiding: false, ..KernelOpts::default() },
+        KernelOpts {
+            latency_hiding: false,
+            ..KernelOpts::default()
+        },
     );
     let mut g = c.benchmark_group("fig11_scheduler_simulation");
     for (label, body) in [("pipelined", &pipelined.body), ("naive", &naive.body)] {
         for warps in [1usize, 2, 4] {
-            g.bench_with_input(
-                BenchmarkId::new(label, warps),
-                &warps,
-                |bench, &w| {
-                    bench.iter(|| {
-                        black_box(simulate_loop(&spec, body, w, 64, ScheduleMode::Interleaved))
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, warps), &warps, |bench, &w| {
+                bench.iter(|| {
+                    black_box(simulate_loop(&spec, body, w, 64, ScheduleMode::Interleaved))
+                });
+            });
         }
     }
     g.finish();

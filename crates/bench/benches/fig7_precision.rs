@@ -19,13 +19,9 @@ fn bench(c: &mut Criterion) {
         ] {
             let sa = SplitMatrix::split(&a, scheme.split_scheme());
             let sb = SplitMatrix::split(&b, scheme.split_scheme());
-            g.bench_with_input(
-                BenchmarkId::new(scheme.label(), n),
-                &n,
-                |bench, _| {
-                    bench.iter(|| black_box(emulated_gemm(&sa, &sb, None, scheme)));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(scheme.label(), n), &n, |bench, _| {
+                bench.iter(|| black_box(emulated_gemm(&sa, &sb, None, scheme)));
+            });
         }
     }
     g.finish();

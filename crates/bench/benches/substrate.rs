@@ -48,10 +48,16 @@ fn bench(c: &mut Criterion) {
     g.finish();
 
     // The Tensor Core primitive.
-    let a: Vec<Half> =
-        Matrix::<f32>::random_uniform(16, 16, 3).as_slice().iter().map(|&x| Half::from_f32(x)).collect();
-    let bm: Vec<Half> =
-        Matrix::<f32>::random_uniform(16, 16, 4).as_slice().iter().map(|&x| Half::from_f32(x)).collect();
+    let a: Vec<Half> = Matrix::<f32>::random_uniform(16, 16, 3)
+        .as_slice()
+        .iter()
+        .map(|&x| Half::from_f32(x))
+        .collect();
+    let bm: Vec<Half> = Matrix::<f32>::random_uniform(16, 16, 4)
+        .as_slice()
+        .iter()
+        .map(|&x| Half::from_f32(x))
+        .collect();
     let acc = vec![0f32; 256];
     let mut g = c.benchmark_group("substrate_mma");
     g.throughput(Throughput::Elements(MmaShape::WMMA_16X16X16.flops()));

@@ -9,7 +9,14 @@ use egemm_matrix::Matrix;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let cfg = TilingConfig { bm: 32, bn: 32, bk: 16, wm: 16, wn: 16, wk: 8 };
+    let cfg = TilingConfig {
+        bm: 32,
+        bn: 32,
+        bk: 16,
+        wm: 16,
+        wn: 16,
+        wk: 8,
+    };
     let a = Matrix::<f32>::random_uniform(64, 64, 1);
     let b = Matrix::<f32>::random_uniform(64, 64, 2);
     let sa = SplitMatrix::split(&a, SplitScheme::Round);
@@ -18,7 +25,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for (label, caching) in [("with_frag_caching", true), ("without_frag_caching", false)] {
         g.bench_function(BenchmarkId::new(label, 64), |bench| {
-            let exec = TensorizedGemm { config: cfg, frag_caching: caching };
+            let exec = TensorizedGemm {
+                config: cfg,
+                frag_caching: caching,
+            };
             bench.iter(|| black_box(exec.execute(&sa, &sb, None, EmulationScheme::EgemmTc)));
         });
     }

@@ -18,7 +18,14 @@ fn main() {
     // Without FRAG caching the C accumulator lives in shared memory, which
     // the paper-size block tile cannot afford: those variants shrink to a
     // (64,64) tile, as generic kernels do.
-    let small = TilingConfig { bm: 64, bn: 64, bk: 32, wm: 32, wn: 32, wk: 8 };
+    let small = TilingConfig {
+        bm: 64,
+        bn: 64,
+        bk: 32,
+        wm: 32,
+        wn: 32,
+        wk: 8,
+    };
     let full = {
         let d = build_kernel(
             &spec,
@@ -32,13 +39,21 @@ fn main() {
     for scheme in [EmulationScheme::EgemmTc, EmulationScheme::MarkidisFourTerm] {
         for frag_caching in [true, false] {
             for latency_hiding in [true, false] {
-                let cfg = if frag_caching { TilingConfig::T4_PAPER } else { small };
+                let cfg = if frag_caching {
+                    TilingConfig::T4_PAPER
+                } else {
+                    small
+                };
                 let d = build_kernel(
                     &spec,
                     &cfg,
                     shape,
                     scheme,
-                    KernelOpts { frag_caching, latency_hiding, launches: 1 },
+                    KernelOpts {
+                        frag_caching,
+                        latency_hiding,
+                        ..KernelOpts::default()
+                    },
                 );
                 let t = kernel_time(&spec, &d).tflops;
                 println!(
@@ -55,7 +70,10 @@ fn main() {
 
     println!("\n== split-K ablation (tall reductions, EGEMM-TC) ==\n");
     let eng = Egemm::auto(spec);
-    println!("{:<22}{:>8}{:>12}{:>12}", "shape", "slices", "fused ms", "split ms");
+    println!(
+        "{:<22}{:>8}{:>12}{:>12}",
+        "shape", "slices", "fused ms", "split ms"
+    );
     for (m, k) in [(512usize, 131072usize), (1024, 65536), (4096, 16384)] {
         let shape = GemmShape::new(m, m, k);
         let s = egemm::choose_slices(&spec, &eng.config, shape);
@@ -71,7 +89,10 @@ fn main() {
     }
 
     println!("\n== batching ablation (many small GEMMs, EGEMM-TC) ==\n");
-    println!("{:<10}{:>10}{:>16}{:>16}", "size", "batch", "serial ms", "batched ms");
+    println!(
+        "{:<10}{:>10}{:>16}{:>16}",
+        "size", "batch", "serial ms", "batched ms"
+    );
     for n in [128usize, 256, 512] {
         let shape = GemmShape::square(n);
         let batch = 32;

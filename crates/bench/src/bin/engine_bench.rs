@@ -1,0 +1,127 @@
+//! Engine trajectory benchmark: naive row-streaming executor vs the
+//! blocked pack-and-tile engine, on the paper's square (Figure 8) and
+//! skewed (Figure 9) shapes. Writes `BENCH_engine.json` so future PRs
+//! have a perf baseline to compare against.
+//!
+//! GFLOP/s counts useful f32-equivalent work (2·m·n·k), not the 4x
+//! emulation-term overhead, identically for both executors. Both are
+//! checked bit-identical before timing — the speedup is pure execution
+//! engineering, not numerics.
+
+use egemm::{gemm_blocked, EmulationScheme, EngineConfig, SplitMatrix};
+use egemm_bench::row_streaming_gemm;
+use egemm_matrix::{GemmShape, Matrix};
+use std::time::Instant;
+
+const TK: usize = 8; // HMMA.1688 reduction depth, the EGEMM-TC kernel's
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn time_reps<F: FnMut() -> Matrix<f32>>(mut f: F, reps: usize) -> (f64, Matrix<f32>) {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        times.push(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (median(times), last.unwrap())
+}
+
+struct Row {
+    label: &'static str,
+    shape: GemmShape,
+    naive_gflops: f64,
+    blocked_gflops: f64,
+}
+
+fn bench_shape(label: &'static str, shape: GemmShape, reps: usize) -> Row {
+    let scheme = EmulationScheme::EgemmTc;
+    let a = Matrix::<f32>::random_uniform(shape.m, shape.k, 1);
+    let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 2);
+    let sa = SplitMatrix::split(&a, scheme.split_scheme());
+    let sb = SplitMatrix::split(&b, scheme.split_scheme());
+    let cfg = EngineConfig::default();
+
+    let (t_naive, d_naive) = time_reps(|| row_streaming_gemm(&sa, &sb, scheme, TK), reps);
+    let (t_blocked, d_blocked) = time_reps(|| gemm_blocked(&sa, &sb, None, scheme, TK, cfg), reps);
+    for (i, (x, y)) in d_naive
+        .as_slice()
+        .iter()
+        .zip(d_blocked.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "executors diverge at flat index {i} on {label}"
+        );
+    }
+    let gf = |t: f64| shape.flops() as f64 / t / 1e9;
+    Row {
+        label,
+        shape,
+        naive_gflops: gf(t_naive),
+        blocked_gflops: gf(t_blocked),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+    let shapes: &[(&'static str, GemmShape)] = if quick {
+        &[
+            ("square_512", GemmShape::square(512)),
+            ("skewed_m32", GemmShape::new(32, 2048, 2048)),
+        ]
+    } else {
+        &[
+            // Figure 8 regime: large square.
+            ("square_1024", GemmShape::square(1024)),
+            // Figure 9 regime: tall-skinny output (m = 64, n = k = 4096)
+            // where whole-row partitioning can use at most 64 workers and
+            // 2D tiling is required to spread the columns.
+            ("skewed_m64", GemmShape::new(64, 4096, 4096)),
+        ]
+    };
+
+    let rows: Vec<Row> = shapes
+        .iter()
+        .map(|&(label, shape)| bench_shape(label, shape, reps))
+        .collect();
+
+    println!(
+        "{:<14}{:>8}{:>8}{:>8}{:>14}{:>14}{:>10}",
+        "shape", "m", "n", "k", "naive GF/s", "blocked GF/s", "speedup"
+    );
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"threads\": {},\n  \"entries\": {{\n",
+        EngineConfig::default().resolved_threads()
+    ));
+    for (idx, r) in rows.iter().enumerate() {
+        let speedup = r.blocked_gflops / r.naive_gflops;
+        println!(
+            "{:<14}{:>8}{:>8}{:>8}{:>14.2}{:>14.2}{:>9.2}x",
+            r.label, r.shape.m, r.shape.n, r.shape.k, r.naive_gflops, r.blocked_gflops, speedup
+        );
+        json.push_str(&format!(
+            "    \"{}\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.label,
+            r.shape.m,
+            r.shape.n,
+            r.shape.k,
+            r.naive_gflops,
+            r.blocked_gflops,
+            speedup,
+            if idx + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    eprintln!("wrote BENCH_engine.json");
+}

@@ -18,12 +18,24 @@ fn main() {
     maybe_write_csv("fig10_opensource", &series);
     println!(
         "{}",
-        format_table("Figure 10: TFLOPS vs open-source kernels — Tesla T4", "N (NxNxN)", &series)
+        format_table(
+            "Figure 10: TFLOPS vs open-source kernels — Tesla T4",
+            "N (NxNxN)",
+            &series
+        )
     );
-    let sp_sdk: Vec<f64> =
-        series[2].points.iter().zip(&series[0].points).map(|(e, b)| e.1 / b.1).collect();
-    let sp_mk: Vec<f64> =
-        series[2].points.iter().zip(&series[1].points).map(|(e, b)| e.1 / b.1).collect();
+    let sp_sdk: Vec<f64> = series[2]
+        .points
+        .iter()
+        .zip(&series[0].points)
+        .map(|(e, b)| e.1 / b.1)
+        .collect();
+    let sp_mk: Vec<f64> = series[2]
+        .points
+        .iter()
+        .zip(&series[1].points)
+        .map(|(e, b)| e.1 / b.1)
+        .collect();
     println!(
         "EGEMM-TC speedup: {:.2}x vs SDK-CUDA-FP32 (paper avg 11.18x), {:.2}x vs Markidis (paper avg 3.0x)",
         geo_mean(&sp_sdk),

@@ -10,7 +10,10 @@ fn main() {
     let spec = DeviceSpec::t4();
     let xs: Vec<usize> = vec![1024, 2048, 4096, 6144, 8192, 12288, 16384];
     let time = |n: usize, latency_hiding: bool| {
-        let opts = KernelOpts { latency_hiding, ..KernelOpts::default() };
+        let opts = KernelOpts {
+            latency_hiding,
+            ..KernelOpts::default()
+        };
         let d = build_kernel(
             &spec,
             &TilingConfig::T4_PAPER,
@@ -33,7 +36,11 @@ fn main() {
     maybe_write_csv("fig11_latency", &series);
     println!(
         "{}",
-        format_table("Figure 11: benefit of instruction scheduling — Tesla T4", "N (NxNxN)", &series)
+        format_table(
+            "Figure 11: benefit of instruction scheduling — Tesla T4",
+            "N (NxNxN)",
+            &series
+        )
     );
     let speedups: Vec<f64> = series[1]
         .points

@@ -29,8 +29,14 @@ fn main() {
         })
         .collect();
     let series = vec![
-        Series { label: "kMeans (Fig. 12a)".into(), points: kmeans_points },
-        Series { label: "kNN (Fig. 12b)".into(), points: knn_points },
+        Series {
+            label: "kMeans (Fig. 12a)".into(),
+            points: kmeans_points,
+        },
+        Series {
+            label: "kNN (Fig. 12b)".into(),
+            points: knn_points,
+        },
     ];
     maybe_write_csv("fig12_apps", &series);
     println!(
@@ -41,7 +47,11 @@ fn main() {
             &series
         )
     );
-    println!("average: kMeans {:.2}x (paper 1.9x), kNN {:.2}x (paper 1.7x)", series[0].mean(), series[1].mean());
+    println!(
+        "average: kMeans {:.2}x (paper 1.9x), kNN {:.2}x (paper 1.7x)",
+        series[0].mean(),
+        series[1].mean()
+    );
     println!(
         "\npaper shape: speedups grow with data size (1.3x -> 1.82x for kMeans)\n\
          because the GEMM share of the iteration grows and the GEMM itself gets\n\

@@ -22,7 +22,11 @@ fn main() {
     maybe_write_csv("fig7_precision", &series);
     println!(
         "{}",
-        format_table("Figure 7: Emulation Precision (max error vs single precision)", "N (NxNxN)", &series)
+        format_table(
+            "Figure 7: Emulation Precision (max error vs single precision)",
+            "N (NxNxN)",
+            &series
+        )
     );
     // Headline reductions, as the paper reports them.
     let eg = &series[0];
@@ -57,7 +61,10 @@ fn main() {
     // where representation error dominates — small k against the f64
     // ground truth:
     println!("\nsupplement: representation-dominated regime (256 x k x 256, vs f64 truth):");
-    println!("  {:>4} {:>14} {:>14} {:>8}", "k", "EGEMM-TC", "Markidis", "ratio");
+    println!(
+        "  {:>4} {:>14} {:>14} {:>8}",
+        "k", "EGEMM-TC", "Markidis", "ratio"
+    );
     for k in [8usize, 16, 32] {
         let cell = |scheme: EmulationScheme| -> f64 {
             use egemm::SplitMatrix;

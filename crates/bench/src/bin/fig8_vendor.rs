@@ -25,16 +25,26 @@ fn main() {
             )
         );
         let eg = &series[2];
-        let sp_cublas: Vec<f64> =
-            eg.points.iter().zip(&series[0].points).map(|(e, b)| e.1 / b.1).collect();
-        let sp_emu: Vec<f64> =
-            eg.points.iter().zip(&series[1].points).map(|(e, b)| e.1 / b.1).collect();
+        let sp_cublas: Vec<f64> = eg
+            .points
+            .iter()
+            .zip(&series[0].points)
+            .map(|(e, b)| e.1 / b.1)
+            .collect();
+        let sp_emu: Vec<f64> = eg
+            .points
+            .iter()
+            .zip(&series[1].points)
+            .map(|(e, b)| e.1 / b.1)
+            .collect();
         println!(
             "EGEMM-TC speedup: {:.2}x vs cuBLAS-CUDA-FP32 (paper avg 3.13x), {:.2}x vs cuBLAS-TC-Emulation (paper avg 1.35x)\n",
             geo_mean(&sp_cublas),
             geo_mean(&sp_emu)
         );
     }
-    println!("paper shape: EGEMM-TC ~12 TFLOPS at large N on T4 (~25 on RTX 6000), rising with size;");
+    println!(
+        "paper shape: EGEMM-TC ~12 TFLOPS at large N on T4 (~25 on RTX 6000), rising with size;"
+    );
     println!("cuBLAS-CUDA-FP32 ~4 TFLOPS on T4; cuBLAS-TC-Emulation between the two.");
 }

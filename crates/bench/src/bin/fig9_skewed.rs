@@ -15,12 +15,25 @@ fn main() {
     let xs: Vec<usize> = vec![1024, 2048, 4096, 6144, 8192];
 
     for (title, f) in [
-        ("Figure 9a: skewed K — shape (N, N, 2N)", GemmShape::skewed_k as fn(usize) -> GemmShape),
-        ("Figure 9b: skewed M — shape (4N, N, N)", GemmShape::skewed_m as fn(usize) -> GemmShape),
+        (
+            "Figure 9a: skewed K — shape (N, N, 2N)",
+            GemmShape::skewed_k as fn(usize) -> GemmShape,
+        ),
+        (
+            "Figure 9b: skewed M — shape (4N, N, N)",
+            GemmShape::skewed_m as fn(usize) -> GemmShape,
+        ),
     ] {
         let shapes: Vec<GemmShape> = xs.iter().map(|&n| f(n)).collect();
         let series = perf_table(&spec, &kernels, &shapes, &xs);
-        maybe_write_csv(if title.contains("9a") { "fig9a_skewed_k" } else { "fig9b_skewed_m" }, &series);
+        maybe_write_csv(
+            if title.contains("9a") {
+                "fig9a_skewed_k"
+            } else {
+                "fig9b_skewed_m"
+            },
+            &series,
+        );
         println!("{}", format_table(title, "N", &series));
         let sp_emu: Vec<f64> = series[2]
             .points

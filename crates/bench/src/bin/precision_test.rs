@@ -1,8 +1,8 @@
 //! Regenerates the **precision_test** artifact claim (§A.3): emulation
 //! error vs half-precision cuBLAS error at one size.
 
-use egemm_bench::precision_cell;
 use egemm::EmulationScheme;
+use egemm_bench::precision_cell;
 
 fn main() {
     let n = 1024;
@@ -19,5 +19,9 @@ fn main() {
         "\npaper (§A.3, same size): emulation 0.00025177 vs half 0.13489914,\n\
          ratio 0.00186636 — \"the error is reduced by more than 500x\"."
     );
-    assert!(e_half / e_emu > 50.0, "error reduction collapsed: {}", e_half / e_emu);
+    assert!(
+        e_half / e_emu > 50.0,
+        "error reduction collapsed: {}",
+        e_half / e_emu
+    );
 }

@@ -5,7 +5,10 @@
 use egemm_fp::Half;
 use egemm_matrix::Matrix;
 use egemm_tcsim::mma::{mma, OpPrecision};
-use egemm_tcsim::probe::{agreement_mantissa_bits, identify_precision, ComputePrimitive, ExactDatapathDevice, TensorCoreDevice};
+use egemm_tcsim::probe::{
+    agreement_mantissa_bits, identify_precision, ComputePrimitive, ExactDatapathDevice,
+    TensorCoreDevice,
+};
 use egemm_tcsim::MmaShape;
 
 fn main() {
@@ -13,15 +16,35 @@ fn main() {
     // The §A.3 sample output: one randomized trial's element.
     let a32 = Matrix::<f32>::random_uniform(16, 16, 1);
     let b32 = Matrix::<f32>::random_uniform(16, 16, 2);
-    let a: Vec<Half> = a32.as_slice().iter().map(|&x| Half::from_f32(x * 30.0)).collect();
-    let b: Vec<Half> = b32.as_slice().iter().map(|&x| Half::from_f32(x * 30.0)).collect();
+    let a: Vec<Half> = a32
+        .as_slice()
+        .iter()
+        .map(|&x| Half::from_f32(x * 30.0))
+        .collect();
+    let b: Vec<Half> = b32
+        .as_slice()
+        .iter()
+        .map(|&x| Half::from_f32(x * 30.0))
+        .collect();
     let c = vec![0f32; 256];
     let d_half = mma(&a, &b, &c, shape, OpPrecision::Half);
     let d_single = mma(&a, &b, &c, shape, OpPrecision::Single);
     let d_tc = TensorCoreDevice.mma(&a, &b, &c, shape);
-    println!("half_result:   {:>14.8}, {:#010x}", d_half[0], d_half[0].to_bits());
-    println!("single_result: {:>14.8}, {:#010x}", d_single[0], d_single[0].to_bits());
-    println!("Tensor Core :  {:>14.8}, {:#010x}", d_tc[0], d_tc[0].to_bits());
+    println!(
+        "half_result:   {:>14.8}, {:#010x}",
+        d_half[0],
+        d_half[0].to_bits()
+    );
+    println!(
+        "single_result: {:>14.8}, {:#010x}",
+        d_single[0],
+        d_single[0].to_bits()
+    );
+    println!(
+        "Tensor Core :  {:>14.8}, {:#010x}",
+        d_tc[0],
+        d_tc[0].to_bits()
+    );
 
     // The paper's full workflow: 10,000 randomized trials.
     let trials = 10_000;

@@ -40,7 +40,16 @@ fn main() {
         } else {
             // Fall back to cargo run (slower, but works in fresh trees).
             Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "egemm-bench", "--bin", bin, "--"])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "egemm-bench",
+                    "--bin",
+                    bin,
+                    "--",
+                ])
                 .args(*args)
                 .status()
         };

@@ -99,8 +99,11 @@ fn main() {
         "{:<22}{:>12}{:>10}{:>10}{:>12}{:>8}",
         "kernel", "time (ms)", "TFLOPS", "bound", "blocks/SM", "waves"
     );
-    let names: Vec<&str> =
-        if kernel == "all" { KERNELS.to_vec() } else { vec![kernel.as_str()] };
+    let names: Vec<&str> = if kernel == "all" {
+        KERNELS.to_vec()
+    } else {
+        vec![kernel.as_str()]
+    };
     for name in names {
         let Some(k) = make_kernel(name, spec) else {
             eprintln!("unknown kernel {name}");
@@ -119,7 +122,11 @@ fn main() {
     }
     if let Some(s) = split_k {
         let eng = Egemm::auto(spec);
-        let s_eff = if s == 0 { egemm::choose_slices(&spec, &eng.config, shape) } else { s };
+        let s_eff = if s == 0 {
+            egemm::choose_slices(&spec, &eng.config, shape)
+        } else {
+            s
+        };
         let t = eng.time_split_k(shape, s_eff);
         println!(
             "{:<22}{:>12.3}{:>10.2}{:>10}{:>12}{:>8}",

@@ -4,11 +4,18 @@ use egemm_fp::PrecisionFormat;
 
 fn main() {
     println!("Table 1. Precision Specifications. Unit: Number of Bits.\n");
-    println!("{:<22}{:>6}{:>10}{:>10}{:>14}", "Data Type", "Sign", "Exponent", "Mantissa", "epsilon");
+    println!(
+        "{:<22}{:>6}{:>10}{:>10}{:>14}",
+        "Data Type", "Sign", "Exponent", "Mantissa", "epsilon"
+    );
     for f in PrecisionFormat::TABLE_1 {
         println!(
             "{:<22}{:>6}{:>10}{:>10}{:>14.3e}",
-            f.name, f.sign_bits, f.exponent_bits, f.mantissa_bits, f.epsilon()
+            f.name,
+            f.sign_bits,
+            f.exponent_bits,
+            f.mantissa_bits,
+            f.epsilon()
         );
     }
     println!(

@@ -13,7 +13,10 @@ fn main() {
     let model = MemAccessModel::new(cfg);
     println!("Table 2. Memory access on each GPU warp (bytes, per w_k step).");
     println!("tiling: {cfg}\n");
-    println!("{:<8}{:>12}{:>22}{:>20}", "Type", "Size", "w/o FRAG caching", "w/ FRAG caching");
+    println!(
+        "{:<8}{:>12}{:>22}{:>20}",
+        "Type", "Size", "w/o FRAG caching", "w/ FRAG caching"
+    );
     for row in model.table2() {
         println!(
             "{:<8}{:>12}{:>22}{:>20}",
@@ -29,15 +32,28 @@ fn main() {
     );
 
     // In-vivo cross-check with the tensorized executor at a test scale.
-    let small = TilingConfig { bm: 32, bn: 32, bk: 16, wm: 16, wn: 16, wk: 8 };
+    let small = TilingConfig {
+        bm: 32,
+        bn: 32,
+        bk: 16,
+        wm: 16,
+        wn: 16,
+        wk: 8,
+    };
     let a = Matrix::<f32>::random_uniform(64, 64, 1);
     let b = Matrix::<f32>::random_uniform(64, 64, 2);
     let sa = SplitMatrix::split(&a, SplitScheme::Round);
     let sb = SplitMatrix::split(&b, SplitScheme::Round);
-    let (_, on) = TensorizedGemm { config: small, frag_caching: true }
-        .execute(&sa, &sb, None, EmulationScheme::EgemmTc);
-    let (_, off) = TensorizedGemm { config: small, frag_caching: false }
-        .execute(&sa, &sb, None, EmulationScheme::EgemmTc);
+    let (_, on) = TensorizedGemm {
+        config: small,
+        frag_caching: true,
+    }
+    .execute(&sa, &sb, None, EmulationScheme::EgemmTc);
+    let (_, off) = TensorizedGemm {
+        config: small,
+        frag_caching: false,
+    }
+    .execute(&sa, &sb, None, EmulationScheme::EgemmTc);
     println!("\nmeasured by the tensorized executor (64^3, {small} tiling):");
     println!(
         "  operand shared->FRAG bytes: {} without, {} with ({:.2}x)",
@@ -51,5 +67,8 @@ fn main() {
         on.c_traffic_bytes,
         off.c_traffic_bytes as f64 / on.c_traffic_bytes as f64
     );
-    println!("  (identical numerics and HMMA counts either way: {})", on.hmma_count);
+    println!(
+        "  (identical numerics and HMMA counts either way: {})",
+        on.hmma_count
+    );
 }

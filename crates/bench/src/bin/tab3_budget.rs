@@ -8,8 +8,14 @@ fn main() {
         let b = spec.resource_budget();
         println!("Table 3. Resource Budget on {}.", spec.name);
         println!("  Shared Memory Size   {:>8} KB", b.shared_mem_bytes / 1024);
-        println!("  FRAG/Register Size   {:>8} KB", b.register_file_bytes / 1024);
-        println!("  Peak Computation     {:>8.0} TFLOPS (~2^6 on T4)", b.peak_tflops);
+        println!(
+            "  FRAG/Register Size   {:>8} KB",
+            b.register_file_bytes / 1024
+        );
+        println!(
+            "  Peak Computation     {:>8.0} TFLOPS (~2^6 on T4)",
+            b.peak_tflops
+        );
         println!("  L2 Cache Speed       {:>8.0} GB/s", b.l2_bandwidth_gbps);
         println!();
     }

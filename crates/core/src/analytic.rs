@@ -195,7 +195,14 @@ impl AnalyticModel {
                     for &wm in &pow2(16, 128) {
                         for &wn in &pow2(8, 128) {
                             for &wk in &pow2(8, 64) {
-                                let cfg = TilingConfig { bm, bn, bk, wm, wn, wk };
+                                let cfg = TilingConfig {
+                                    bm,
+                                    bn,
+                                    bk,
+                                    wm,
+                                    wn,
+                                    wk,
+                                };
                                 if let Some(c) = self.evaluate(cfg) {
                                     out.push(c);
                                 }
@@ -285,7 +292,10 @@ mod tests {
         let c = TilingConfig::T4_PAPER;
         assert_eq!(m.global_bytes_per_iter(&c), 4 * 256 * 32);
         assert_eq!(m.flops_per_iter(&c), 8 * 128 * 128 * 32);
-        assert!((m.objective(&c) - 128.0).abs() < 1e-12, "Eq. 4 = 2·128·128/256");
+        assert!(
+            (m.objective(&c) - 128.0).abs() < 1e-12,
+            "Eq. 4 = 2·128·128/256"
+        );
         // Eq. 4 is independent of b_k.
         let mut c2 = c;
         c2.bk = 64;
@@ -295,7 +305,9 @@ mod tests {
     #[test]
     fn paper_point_is_feasible_and_compute_bound() {
         let m = t4_model();
-        let cand = m.evaluate(TilingConfig::T4_PAPER).expect("Table 4 point feasible");
+        let cand = m
+            .evaluate(TilingConfig::T4_PAPER)
+            .expect("Table 4 point feasible");
         assert!(cand.t_mem1 + cand.t_mem2 <= cand.t_comp);
         assert!(cand.smem_bytes <= 64 * 1024);
         assert!(cand.regs_per_thread <= 256);
@@ -318,11 +330,25 @@ mod tests {
         let m = t4_model();
         // (256, 256) C accumulator alone = 256 KB: fills the register file.
         assert!(m
-            .evaluate(TilingConfig { bm: 256, bn: 256, bk: 8, wm: 64, wn: 32, wk: 8 })
+            .evaluate(TilingConfig {
+                bm: 256,
+                bn: 256,
+                bk: 8,
+                wm: 64,
+                wn: 32,
+                wk: 8
+            })
             .is_none());
         // Huge smem.
         assert!(m
-            .evaluate(TilingConfig { bm: 256, bn: 128, bk: 64, wm: 64, wn: 32, wk: 8 })
+            .evaluate(TilingConfig {
+                bm: 256,
+                bn: 128,
+                bk: 64,
+                wm: 64,
+                wn: 32,
+                wk: 8
+            })
             .is_none());
     }
 
@@ -334,7 +360,14 @@ mod tests {
         let m = t4_model();
         for wm in [32, 64, 128] {
             for wn in [16, 32, 64] {
-                let cfg = TilingConfig { bm: 256, bn: 128, bk: 32, wm, wn, wk: 8 };
+                let cfg = TilingConfig {
+                    bm: 256,
+                    bn: 128,
+                    bk: 32,
+                    wm,
+                    wn,
+                    wk: 8,
+                };
                 if cfg.validate().is_err() {
                     continue;
                 }

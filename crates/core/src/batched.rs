@@ -8,6 +8,8 @@
 //! sizes stops being the bottleneck the §7.3 small-size discussion
 //! describes.
 
+use crate::config::TilingConfig;
+use crate::engine;
 use crate::gemm::Egemm;
 use crate::kernel::build_kernel;
 use crate::split_matrix::SplitMatrix;
@@ -41,16 +43,22 @@ impl Egemm {
                 "heterogeneous batch shapes"
             );
         }
+        // Each problem runs the one blocked accumulation-order engine,
+        // honouring this Egemm's EngineConfig.
+        let tk = TilingConfig::TC.k;
         let d: Vec<Matrix<f32>> = a
             .par_iter()
             .zip(b.par_iter())
             .map(|(ai, bi)| {
                 let sa = SplitMatrix::split(ai, self.scheme.split_scheme());
                 let sb = SplitMatrix::split(bi, self.scheme.split_scheme());
-                crate::emulation::emulated_gemm(&sa, &sb, None, self.scheme)
+                engine::gemm_blocked(&sa, &sb, None, self.scheme, tk, self.opts.engine)
             })
             .collect();
-        BatchedOutput { d, timing: self.time_batched(shape, a.len()) }
+        BatchedOutput {
+            d,
+            timing: self.time_batched(shape, a.len()),
+        }
     }
 
     /// Timing of a batched launch: one kernel whose grid is the union of
@@ -79,10 +87,12 @@ mod tests {
     #[test]
     fn batched_matches_singles_bitwise() {
         let eng = engine();
-        let a: Vec<Matrix<f32>> =
-            (0..4).map(|i| Matrix::random_uniform(32, 24, 10 + i)).collect();
-        let b: Vec<Matrix<f32>> =
-            (0..4).map(|i| Matrix::random_uniform(24, 16, 20 + i)).collect();
+        let a: Vec<Matrix<f32>> = (0..4)
+            .map(|i| Matrix::random_uniform(32, 24, 10 + i))
+            .collect();
+        let b: Vec<Matrix<f32>> = (0..4)
+            .map(|i| Matrix::random_uniform(24, 16, 20 + i))
+            .collect();
         let out = eng.gemm_batched(&a, &b);
         assert_eq!(out.d.len(), 4);
         for i in 0..4 {

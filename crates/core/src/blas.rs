@@ -61,7 +61,12 @@ pub struct GemmCall {
 
 impl Default for GemmCall {
     fn default() -> Self {
-        GemmCall { op_a: Op::None, op_b: Op::None, alpha: 1.0, beta: 0.0 }
+        GemmCall {
+            op_a: Op::None,
+            op_b: Op::None,
+            alpha: 1.0,
+            beta: 0.0,
+        }
     }
 }
 
@@ -105,7 +110,10 @@ impl Egemm {
     ) -> BlasOutput {
         let (m, ka) = call.op_a.dims(a);
         let (kb, n) = call.op_b.dims(b);
-        assert_eq!(ka, kb, "inner dimensions disagree: op(A) is {m}x{ka}, op(B) is {kb}x{n}");
+        assert_eq!(
+            ka, kb,
+            "inner dimensions disagree: op(A) is {m}x{ka}, op(B) is {kb}x{n}"
+        );
         if call.beta != 0.0 {
             let c0 = c.expect("beta != 0 requires a C operand");
             assert_eq!((c0.rows(), c0.cols()), (m, n), "C shape");
@@ -118,7 +126,11 @@ impl Egemm {
             None
         } else {
             let c0 = c.expect("checked above");
-            Some(if call.beta == 1.0 { c0.clone() } else { c0.map(|x| x * call.beta) })
+            Some(if call.beta == 1.0 {
+                c0.clone()
+            } else {
+                c0.map(|x| x * call.beta)
+            })
         };
 
         // alpha handling: fold exact powers of two into A pre-split,
@@ -140,9 +152,7 @@ impl Egemm {
             let prod = emulated_gemm(&sa, &sb, None, self.scheme);
             match seed {
                 None => prod.map(|x| x * call.alpha),
-                Some(s) => Matrix::from_fn(m, n, |i, j| {
-                    call.alpha * prod.get(i, j) + s.get(i, j)
-                }),
+                Some(s) => Matrix::from_fn(m, n, |i, j| call.alpha * prod.get(i, j) + s.get(i, j)),
             }
         };
         let timing = self.time(GemmShape::new(m, n, ka));
@@ -163,7 +173,17 @@ pub fn sgemm_ex(
     beta: f32,
     c: Option<&Matrix<f32>>,
 ) -> BlasOutput {
-    engine.gemm_blas(GemmCall { op_a, op_b, alpha, beta }, a, b, c)
+    engine.gemm_blas(
+        GemmCall {
+            op_a,
+            op_b,
+            alpha,
+            beta,
+        },
+        a,
+        b,
+        c,
+    )
 }
 
 #[cfg(test)]
@@ -210,7 +230,11 @@ mod tests {
     fn transposes() {
         let a = Matrix::<f32>::random_uniform(32, 48, 3); // op(A)=A^T: 48x32
         let b = Matrix::<f32>::random_uniform(40, 32, 4); // op(B)=B^T: 32x40
-        let call = GemmCall { op_a: Op::Transpose, op_b: Op::Transpose, ..Default::default() };
+        let call = GemmCall {
+            op_a: Op::Transpose,
+            op_b: Op::Transpose,
+            ..Default::default()
+        };
         let eng = engine();
         let out = eng.gemm_blas(call, &a, &b, None);
         assert_eq!((out.d.rows(), out.d.cols()), (48, 40));
@@ -223,8 +247,15 @@ mod tests {
         let a = Matrix::<f32>::random_uniform(16, 16, 5);
         let b = Matrix::<f32>::random_uniform(16, 16, 6);
         let eng = engine();
-        let half_scale =
-            eng.gemm_blas(GemmCall { alpha: 0.5, ..Default::default() }, &a, &b, None);
+        let half_scale = eng.gemm_blas(
+            GemmCall {
+                alpha: 0.5,
+                ..Default::default()
+            },
+            &a,
+            &b,
+            None,
+        );
         let unit = eng.gemm(&a, &b);
         // Power-of-two alpha folds into A: every element is half, up to
         // the subnormal-lo envelope of the split itself.
@@ -247,7 +278,11 @@ mod tests {
         let a = Matrix::<f32>::random_uniform(24, 24, 7);
         let b = Matrix::<f32>::random_uniform(24, 24, 8);
         let c = Matrix::<f32>::random_uniform(24, 24, 9);
-        let call = GemmCall { alpha: 1.7, beta: -0.3, ..Default::default() };
+        let call = GemmCall {
+            alpha: 1.7,
+            beta: -0.3,
+            ..Default::default()
+        };
         let out = engine().gemm_blas(call, &a, &b, Some(&c));
         let t = truth(call, &a, &b, Some(&c));
         assert!(max_abs_error(&out.d.to_f64_vec(), &t) < 1e-3);
@@ -259,7 +294,15 @@ mod tests {
         let b = Matrix::<f32>::random_uniform(16, 16, 11);
         let c = Matrix::<f32>::random_uniform(16, 16, 12);
         let eng = engine();
-        let blas = eng.gemm_blas(GemmCall { beta: 1.0, ..Default::default() }, &a, &b, Some(&c));
+        let blas = eng.gemm_blas(
+            GemmCall {
+                beta: 1.0,
+                ..Default::default()
+            },
+            &a,
+            &b,
+            Some(&c),
+        );
         let direct = eng.gemm_with_c(&a, &b, Some(&c));
         assert_eq!(blas.d, direct.d);
     }
@@ -277,7 +320,15 @@ mod tests {
     #[should_panic(expected = "beta != 0 requires a C operand")]
     fn beta_without_c_panics() {
         let a = Matrix::<f32>::zeros(4, 4);
-        engine().gemm_blas(GemmCall { beta: 1.0, ..Default::default() }, &a, &a, None);
+        engine().gemm_blas(
+            GemmCall {
+                beta: 1.0,
+                ..Default::default()
+            },
+            &a,
+            &a,
+            None,
+        );
     }
 
     #[test]

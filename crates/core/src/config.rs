@@ -30,8 +30,14 @@ pub struct TilingConfig {
 
 impl TilingConfig {
     /// Table 4's design choice on the Tesla T4.
-    pub const T4_PAPER: TilingConfig =
-        TilingConfig { bm: 128, bn: 128, bk: 32, wm: 64, wn: 32, wk: 8 };
+    pub const T4_PAPER: TilingConfig = TilingConfig {
+        bm: 128,
+        bn: 128,
+        bk: 32,
+        wm: 64,
+        wn: 32,
+        wk: 8,
+    };
 
     /// The Tensor Core primitive the kernels lower to (HMMA.1688).
     pub const TC: MmaShape = MmaShape::HMMA_1688;
@@ -39,15 +45,30 @@ impl TilingConfig {
     /// Validate divisibility and positivity; returns an error string
     /// suitable for surfacing to the user.
     pub fn validate(&self) -> Result<(), String> {
-        let TilingConfig { bm, bn, bk, wm, wn, wk } = *self;
-        for (name, v) in [("bm", bm), ("bn", bn), ("bk", bk), ("wm", wm), ("wn", wn), ("wk", wk)]
-        {
+        let TilingConfig {
+            bm,
+            bn,
+            bk,
+            wm,
+            wn,
+            wk,
+        } = *self;
+        for (name, v) in [
+            ("bm", bm),
+            ("bn", bn),
+            ("bk", bk),
+            ("wm", wm),
+            ("wn", wn),
+            ("wk", wk),
+        ] {
             if v == 0 {
                 return Err(format!("{name} must be positive"));
             }
         }
         if bm % wm != 0 || bn % wn != 0 {
-            return Err(format!("warp tile ({wm},{wn}) must divide block tile ({bm},{bn})"));
+            return Err(format!(
+                "warp tile ({wm},{wn}) must divide block tile ({bm},{bn})"
+            ));
         }
         if bk % wk != 0 {
             return Err(format!("warp depth {wk} must divide block depth {bk}"));
@@ -99,8 +120,7 @@ impl TilingConfig {
         let c_frag = 4 * self.wm * self.wn;
         let operand_frags = 2 * 2 * (self.wm + self.wn) * Self::TC.k;
         let bytes_per_thread = (c_frag + operand_frags) / 32;
-        let staging =
-            (2 * 4 * (self.bm + self.bn) * self.bk).div_ceil(self.threads_per_block());
+        let staging = (2 * 4 * (self.bm + self.bn) * self.bk).div_ceil(self.threads_per_block());
         (bytes_per_thread + staging) / 4 + 40
     }
 
@@ -179,7 +199,10 @@ mod tests {
     fn invalid_configs_rejected() {
         let mut c = TilingConfig::T4_PAPER;
         c.wm = 48;
-        assert!(c.validate().is_err(), "48 not TC-divisible... 48 % 16 == 0, but 128 % 48 != 0");
+        assert!(
+            c.validate().is_err(),
+            "48 not TC-divisible... 48 % 16 == 0, but 128 % 48 != 0"
+        );
         let mut c = TilingConfig::T4_PAPER;
         c.bk = 0;
         assert!(c.validate().is_err());
@@ -195,7 +218,11 @@ mod tests {
     fn grid_covers_edges() {
         let c = TilingConfig::T4_PAPER;
         assert_eq!(c.grid_blocks(1024, 1024), 64);
-        assert_eq!(c.grid_blocks(1025, 1024), 72, "partial tile row adds a block row");
+        assert_eq!(
+            c.grid_blocks(1025, 1024),
+            72,
+            "partial tile row adds a block row"
+        );
         assert_eq!(c.grid_blocks(1, 1), 1);
     }
 }

@@ -28,10 +28,10 @@
 //! large-size precision experiments (Figure 7).
 
 use crate::config::TilingConfig;
+use crate::engine::{self, EngineConfig};
 use crate::split_matrix::SplitMatrix;
 use egemm_fp::{PrecisionFormat, SplitScheme};
 use egemm_matrix::Matrix;
-use rayon::prelude::*;
 
 /// An emulation scheme: a data-split technique plus the list of Tensor
 /// Core product terms, in issue order. `(a_lo, b_lo)` selects which plane
@@ -59,9 +59,7 @@ impl EmulationScheme {
     pub fn split_scheme(&self) -> SplitScheme {
         match self {
             EmulationScheme::EgemmTc => SplitScheme::Round,
-            EmulationScheme::Markidis | EmulationScheme::MarkidisFourTerm => {
-                SplitScheme::Truncate
-            }
+            EmulationScheme::Markidis | EmulationScheme::MarkidisFourTerm => SplitScheme::Truncate,
             // TcHalf only uses the hi plane; round-split's hi is exactly
             // `Half::from_f32(x)`, the conversion cublasGemmEx performs.
             EmulationScheme::TcHalf => SplitScheme::Round,
@@ -76,9 +74,7 @@ impl EmulationScheme {
                 &[(true, true), (true, false), (false, true), (false, false)]
             }
             // Markidis' precision refinement, most-significant term first.
-            EmulationScheme::Markidis => {
-                &[(false, false), (true, false), (false, true)]
-            }
+            EmulationScheme::Markidis => &[(false, false), (true, false), (false, true)],
             EmulationScheme::MarkidisFourTerm => {
                 &[(true, true), (true, false), (false, true), (false, false)]
             }
@@ -119,8 +115,9 @@ impl EmulationScheme {
 /// Accumulation semantics (the profiled Tensor-Core arithmetic): per
 /// output element, k advances in `t_k`-sized chunks; within a chunk the
 /// scheme's terms are issued in order; within a term the `t_k` products
-/// are accumulated sequentially in binary32. Everything is parallel across
-/// output rows.
+/// are accumulated sequentially in binary32. Execution runs on the
+/// blocked pack-and-tile engine ([`crate::engine`]), parallel across 2D
+/// output tiles.
 ///
 /// ```
 /// use egemm::{emulated_gemm, EmulationScheme, SplitMatrix};
@@ -158,75 +155,32 @@ pub fn emulated_gemm_tk(
     scheme: EmulationScheme,
     tk: usize,
 ) -> Matrix<f32> {
-    check(a, b, c, scheme);
-    assert!(tk > 0, "tk must be positive");
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let terms = scheme.terms();
-    let mut out = match c {
-        Some(c0) => c0.clone(),
-        None => Matrix::zeros(m, n),
-    };
-    out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-        gemm_row(a, b, i, crow, k, n, tk, terms);
-    });
-    out
+    engine::gemm_blocked(a, b, c, scheme, tk, EngineConfig::default())
 }
 
 /// Row-sampled emulated GEMM: compute only the output rows in `rows`
-/// (ascending, deduplicated by the caller). Returns a `rows.len() x n`
+/// (strictly ascending A row indices). Returns a `rows.len() x n`
 /// matrix. This keeps the Figure 7 precision sweep tractable at
 /// N = 4096/8192 while remaining bit-identical to the full computation on
 /// those rows.
+///
+/// # Panics
+/// If any index is out of range or `rows` is not strictly ascending —
+/// both validated up front, before any compute.
 pub fn emulated_gemm_rows(
     a: &SplitMatrix,
     b: &SplitMatrix,
     rows: &[usize],
     scheme: EmulationScheme,
 ) -> Matrix<f32> {
-    check(a, b, None, scheme);
-    let (k, n) = (a.cols(), b.cols());
-    let tk = TilingConfig::TC.k;
-    let terms = scheme.terms();
-    let mut out = Matrix::<f32>::zeros(rows.len(), n);
-    out.as_mut_slice()
-        .par_chunks_mut(n)
-        .zip(rows.par_iter())
-        .for_each(|(crow, &i)| {
-            assert!(i < a.rows(), "sampled row out of range");
-            gemm_row(a, b, i, crow, k, n, tk, terms);
-        });
-    out
-}
-
-#[inline]
-fn gemm_row(
-    a: &SplitMatrix,
-    b: &SplitMatrix,
-    i: usize,
-    crow: &mut [f32],
-    k: usize,
-    n: usize,
-    tk: usize,
-    terms: &[(bool, bool)],
-) {
-    let mut kt = 0;
-    while kt < k {
-        let chunk = tk.min(k - kt);
-        for &(a_lo, b_lo) in terms {
-            let ap = a.plane(a_lo);
-            let bp = b.plane(b_lo);
-            for kk in kt..kt + chunk {
-                let av = ap[i * k + kk];
-                let brow = &bp[kk * n..kk * n + n];
-                // One simulated HMMA lane-step: every output column
-                // advances its accumulator by one product, in binary32.
-                for (cj, &bj) in crow.iter_mut().zip(brow) {
-                    *cj += av * bj;
-                }
-            }
-        }
-        kt += chunk;
-    }
+    engine::gemm_blocked_rows(
+        a,
+        b,
+        rows,
+        scheme,
+        TilingConfig::TC.k,
+        EngineConfig::default(),
+    )
 }
 
 /// Independent per-element oracle with identical numerics to
@@ -258,7 +212,12 @@ pub fn emulated_gemm_entrywise(
     acc
 }
 
-fn check(a: &SplitMatrix, b: &SplitMatrix, c: Option<&Matrix<f32>>, scheme: EmulationScheme) {
+pub(crate) fn check(
+    a: &SplitMatrix,
+    b: &SplitMatrix,
+    c: Option<&Matrix<f32>>,
+    scheme: EmulationScheme,
+) {
     assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
     assert_eq!(a.scheme, scheme.split_scheme(), "A split scheme mismatch");
     assert_eq!(b.scheme, scheme.split_scheme(), "B split scheme mismatch");
@@ -273,7 +232,13 @@ mod tests {
     use egemm_fp::max_abs_error;
     use egemm_matrix::{gemm_f64_of_f32, Matrix};
 
-    fn split_pair(m: usize, k: usize, n: usize, scheme: EmulationScheme, seed: u64) -> (Matrix<f32>, Matrix<f32>, SplitMatrix, SplitMatrix) {
+    fn split_pair(
+        m: usize,
+        k: usize,
+        n: usize,
+        scheme: EmulationScheme,
+        seed: u64,
+    ) -> (Matrix<f32>, Matrix<f32>, SplitMatrix, SplitMatrix) {
         let a = Matrix::<f32>::random_uniform(m, k, seed);
         let b = Matrix::<f32>::random_uniform(k, n, seed + 1);
         let sa = SplitMatrix::split(&a, scheme.split_scheme());

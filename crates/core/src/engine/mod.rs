@@ -1,0 +1,583 @@
+//! Blocked pack-and-tile execution engine for the emulated GEMM.
+//!
+//! The functional executor used to stream the whole B operand past every
+//! output row — O(m·k·n) DRAM traffic over B and a store/reload of the C
+//! row on every k step. This module is a BLIS-style replacement: the
+//! output is cut into `mc x nc` macro-tiles, each tile walks the
+//! reduction in `kc`-deep panels whose hi/lo operand planes are packed
+//! into contiguous, cache-resident slivers, and an `MR x NR`
+//! register-tiled microkernel keeps 32 accumulators in registers for a
+//! whole panel. Workers claim macro-tiles from a shared 2D grid, so
+//! skewed shapes (m = 64, n = k = 4096) parallelize across column tiles
+//! where whole-row partitioning would idle every core but four.
+//!
+//! The engine is numerically *invisible*: per output element it replays
+//! exactly the profiled Tensor-Core accumulation order — ascending k in
+//! `tk`-sized chunks, the scheme's terms in issue order within a chunk,
+//! one separate binary32 multiply and add per product. Blocking over i/j
+//! only reorders *which elements* are computed when, never the value
+//! stream within one element. Blocking over k is only legal because `kc`
+//! is forced to a multiple of `tk` (panel seams land on chunk
+//! boundaries) and the partial accumulator is carried through the output
+//! buffer in binary32 — a lossless round-trip. Every entry point is
+//! therefore bit-identical to [`crate::emulated_gemm_entrywise`]; the
+//! proptest suite in `tests/prop_engine.rs` enforces that with
+//! `to_bits` equality.
+
+mod micro;
+mod pack;
+
+use crate::emulation::{check, EmulationScheme};
+use crate::split_matrix::SplitMatrix;
+use egemm_matrix::Matrix;
+use micro::{load_acc, microkernel, store_acc, PlanePair};
+use pack::{pack_a, pack_b, MR, NR};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cache-blocking and threading parameters of the execution engine.
+///
+/// Defaults target a generic x86 cache hierarchy: a `kc x NR` B sliver
+/// (2 planes x 8 KiB) lives in L1 across a row block, the packed A block
+/// (2 planes x `mc x kc` = 128 KiB) in L2, and the B panel in outer
+/// cache. All sizes are clamped to legal values at run time (`kc` to a
+/// multiple of the chunk depth `tk`, `mc`/`nc` to at least one register
+/// tile), so any configuration computes correct — and bit-identical —
+/// results; only throughput varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Output rows per macro-tile.
+    pub mc: usize,
+    /// Output columns per macro-tile.
+    pub nc: usize,
+    /// Reduction depth per packed panel (rounded down to a `tk`
+    /// multiple, up to at least one chunk).
+    pub kc: usize,
+    /// Worker threads; `0` resolves `EGEMM_THREADS`, then
+    /// `RAYON_NUM_THREADS`, then the machine's available parallelism.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mc: 64,
+            nc: 256,
+            kc: 256,
+            threads: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The worker count this configuration resolves to.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        for var in ["EGEMM_THREADS", "RAYON_NUM_THREADS"] {
+            if let Some(t) = std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                if t > 0 {
+                    return t;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Blocked emulated GEMM: `D = A·B (+ C)` with the accumulation
+/// semantics of [`crate::emulated_gemm_tk`].
+pub fn gemm_blocked(
+    a: &SplitMatrix,
+    b: &SplitMatrix,
+    c: Option<&Matrix<f32>>,
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
+    check(a, b, c, scheme);
+    assert!(tk > 0, "tk must be positive");
+    let mut out = match c {
+        Some(c0) => c0.clone(),
+        None => Matrix::zeros(a.rows(), b.cols()),
+    };
+    execute(
+        &Plan {
+            a,
+            b,
+            rows: None,
+            k_lo: 0,
+            k_hi: a.cols(),
+            tk,
+            scheme,
+            cfg,
+        },
+        &mut out,
+    );
+    out
+}
+
+/// Row-sampled blocked GEMM: compute only the output rows in `rows`
+/// (strictly ascending A row indices). Returns a `rows.len() x n`
+/// matrix bit-identical to the corresponding rows of the full product.
+///
+/// # Panics
+/// If any index is out of range or the list is not strictly ascending.
+pub fn gemm_blocked_rows(
+    a: &SplitMatrix,
+    b: &SplitMatrix,
+    rows: &[usize],
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
+    check(a, b, None, scheme);
+    assert!(tk > 0, "tk must be positive");
+    for (pos, &r) in rows.iter().enumerate() {
+        assert!(
+            r < a.rows(),
+            "sampled row {r} (position {pos}) out of range: A has {} rows",
+            a.rows()
+        );
+        if pos > 0 {
+            assert!(
+                rows[pos - 1] < r,
+                "sampled rows must be strictly ascending: rows[{}] = {} precedes {r}",
+                pos - 1,
+                rows[pos - 1]
+            );
+        }
+    }
+    let mut out = Matrix::<f32>::zeros(rows.len(), b.cols());
+    execute(
+        &Plan {
+            a,
+            b,
+            rows: Some(rows),
+            k_lo: 0,
+            k_hi: a.cols(),
+            tk,
+            scheme,
+            cfg,
+        },
+        &mut out,
+    );
+    out
+}
+
+/// Blocked GEMM over the reduction slice `[k_lo, k_hi)`: the split-K
+/// partial product. Chunking restarts at `k_lo`, matching a fused kernel
+/// run over the slice alone.
+pub fn gemm_blocked_range(
+    a: &SplitMatrix,
+    b: &SplitMatrix,
+    k_lo: usize,
+    k_hi: usize,
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
+    check(a, b, None, scheme);
+    assert!(tk > 0, "tk must be positive");
+    assert!(
+        k_lo <= k_hi && k_hi <= a.cols(),
+        "k range [{k_lo}, {k_hi}) out of bounds"
+    );
+    let mut out = Matrix::<f32>::zeros(a.rows(), b.cols());
+    execute(
+        &Plan {
+            a,
+            b,
+            rows: None,
+            k_lo,
+            k_hi,
+            tk,
+            scheme,
+            cfg,
+        },
+        &mut out,
+    );
+    out
+}
+
+/// One resolved execution: operands, row gather, k slice, chunk depth.
+struct Plan<'a> {
+    a: &'a SplitMatrix,
+    b: &'a SplitMatrix,
+    rows: Option<&'a [usize]>,
+    k_lo: usize,
+    k_hi: usize,
+    tk: usize,
+    scheme: EmulationScheme,
+    cfg: EngineConfig,
+}
+
+/// Shared output buffer handed to workers; tiles are disjoint by
+/// construction, so concurrent raw-pointer writes never overlap.
+struct SharedOut(*mut f32);
+unsafe impl Send for SharedOut {}
+unsafe impl Sync for SharedOut {}
+
+fn execute(plan: &Plan<'_>, out: &mut Matrix<f32>) {
+    let m_out = plan.rows.map_or(plan.a.rows(), <[usize]>::len);
+    let n = plan.b.cols();
+    debug_assert_eq!((out.rows(), out.cols()), (m_out, n));
+    if m_out == 0 || n == 0 || plan.k_lo >= plan.k_hi {
+        return; // nothing to accumulate; out already holds C (or zeros)
+    }
+    // Clamp the blocking to legal values: kc on the chunk grid, mc/nc to
+    // at least one register tile.
+    let tk = plan.tk;
+    let kc = (plan.cfg.kc.max(tk) / tk) * tk;
+    let mc = plan.cfg.mc.max(MR);
+    let nc = plan.cfg.nc.max(NR);
+    let tiles_m = m_out.div_ceil(mc);
+    let tiles_n = n.div_ceil(nc);
+    let n_tiles = tiles_m * tiles_n;
+    let threads = plan.cfg.resolved_threads().min(n_tiles).max(1);
+
+    let next = AtomicUsize::new(0);
+    let shared = SharedOut(out.as_mut_slice().as_mut_ptr());
+    let run = |ctx: &WorkerCtx| worker(ctx, plan, &next, &shared);
+    let ctx = WorkerCtx {
+        m_out,
+        n,
+        mc,
+        nc,
+        kc,
+        tiles_n,
+        n_tiles,
+    };
+    if threads == 1 {
+        run(&ctx);
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| run(&ctx));
+            }
+        });
+    }
+}
+
+/// Geometry shared by all workers of one execution.
+struct WorkerCtx {
+    m_out: usize,
+    n: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    tiles_n: usize,
+    n_tiles: usize,
+}
+
+fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedOut) {
+    let terms = plan.scheme.terms();
+    let k = plan.a.cols();
+    let (a_hi_used, a_lo_used) = (terms.iter().any(|t| !t.0), terms.iter().any(|t| t.0));
+    let (b_hi_used, b_lo_used) = (terms.iter().any(|t| !t.1), terms.iter().any(|t| t.1));
+    // Per-worker pack scratch, reused across tiles and panels. Planes a
+    // scheme never touches stay empty and are never indexed.
+    let a_cap = ctx.mc.div_ceil(MR) * MR * ctx.kc;
+    let b_cap = ctx.nc.div_ceil(NR) * NR * ctx.kc;
+    let mut a_hi = vec![0f32; if a_hi_used { a_cap } else { 0 }];
+    let mut a_lo = vec![0f32; if a_lo_used { a_cap } else { 0 }];
+    let mut b_hi = vec![0f32; if b_hi_used { b_cap } else { 0 }];
+    let mut b_lo = vec![0f32; if b_lo_used { b_cap } else { 0 }];
+    let mut rowbuf: Vec<usize> = Vec::with_capacity(ctx.mc);
+
+    loop {
+        let t = next.fetch_add(1, Ordering::Relaxed);
+        if t >= ctx.n_tiles {
+            break;
+        }
+        let ic = (t / ctx.tiles_n) * ctx.mc;
+        let jc = (t % ctx.tiles_n) * ctx.nc;
+        let mcb = ctx.mc.min(ctx.m_out - ic);
+        let ncb = ctx.nc.min(ctx.n - jc);
+        rowbuf.clear();
+        match plan.rows {
+            Some(rs) => rowbuf.extend_from_slice(&rs[ic..ic + mcb]),
+            None => rowbuf.extend(ic..ic + mcb),
+        }
+        let row_blocks = mcb.div_ceil(MR);
+        let strips = ncb.div_ceil(NR);
+
+        // Panels start at k_lo and advance by kc (a tk multiple), so
+        // every seam lands on the per-slice chunk grid; the accumulator
+        // carries between panels through the output in exact binary32.
+        let mut pc = plan.k_lo;
+        while pc < plan.k_hi {
+            let kcb = ctx.kc.min(plan.k_hi - pc);
+            let a_len = row_blocks * kcb * MR;
+            let b_len = strips * kcb * NR;
+            if a_hi_used {
+                pack_a(plan.a.plane(false), k, &rowbuf, pc, kcb, &mut a_hi[..a_len]);
+            }
+            if a_lo_used {
+                pack_a(plan.a.plane(true), k, &rowbuf, pc, kcb, &mut a_lo[..a_len]);
+            }
+            if b_hi_used {
+                pack_b(
+                    plan.b.plane(false),
+                    ctx.n,
+                    jc,
+                    ncb,
+                    pc,
+                    kcb,
+                    &mut b_hi[..b_len],
+                );
+            }
+            if b_lo_used {
+                pack_b(
+                    plan.b.plane(true),
+                    ctx.n,
+                    jc,
+                    ncb,
+                    pc,
+                    kcb,
+                    &mut b_lo[..b_len],
+                );
+            }
+            for sb in 0..strips {
+                let b_pair = PlanePair {
+                    hi: sliver(&b_hi, sb, kcb * NR),
+                    lo: sliver(&b_lo, sb, kcb * NR),
+                };
+                let j0 = jc + sb * NR;
+                let cols = NR.min(ncb - sb * NR);
+                for rb in 0..row_blocks {
+                    let a_pair = PlanePair {
+                        hi: sliver(&a_hi, rb, kcb * MR),
+                        lo: sliver(&a_lo, rb, kcb * MR),
+                    };
+                    let i0 = ic + rb * MR;
+                    let rows = MR.min(mcb - rb * MR);
+                    // SAFETY: tile (i0, j0, rows, cols) regions are
+                    // disjoint across workers and in-bounds of the
+                    // m_out x n output.
+                    unsafe {
+                        let mut acc = load_acc(shared.0, ctx.n, i0, j0, rows, cols);
+                        microkernel(&mut acc, a_pair, b_pair, kcb, plan.tk, terms);
+                        store_acc(&acc, shared.0, ctx.n, i0, j0, rows, cols);
+                    }
+                }
+            }
+            pc += kcb;
+        }
+    }
+}
+
+/// The `idx`-th packed sliver of `len` elements, or an empty slice for an
+/// unused (empty) plane.
+#[inline]
+fn sliver(buf: &[f32], idx: usize, len: usize) -> &[f32] {
+    if buf.is_empty() {
+        &[]
+    } else {
+        &buf[idx * len..(idx + 1) * len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulation::emulated_gemm_entrywise;
+
+    const SCHEMES: [EmulationScheme; 4] = [
+        EmulationScheme::EgemmTc,
+        EmulationScheme::Markidis,
+        EmulationScheme::MarkidisFourTerm,
+        EmulationScheme::TcHalf,
+    ];
+
+    fn split_pair(
+        m: usize,
+        k: usize,
+        n: usize,
+        scheme: EmulationScheme,
+        seed: u64,
+    ) -> (SplitMatrix, SplitMatrix) {
+        let a = Matrix::<f32>::random_uniform(m, k, seed);
+        let b = Matrix::<f32>::random_uniform(k, n, seed + 1);
+        (
+            SplitMatrix::split(&a, scheme.split_scheme()),
+            SplitMatrix::split(&b, scheme.split_scheme()),
+        )
+    }
+
+    /// Tiny tiles force interior and edge paths on small shapes.
+    fn tight() -> EngineConfig {
+        EngineConfig {
+            mc: 5,
+            nc: 9,
+            kc: 7,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_oracle_all_schemes() {
+        for scheme in SCHEMES {
+            let (sa, sb) = split_pair(11, 29, 13, scheme, 7);
+            let c = Matrix::<f32>::random_uniform(11, 13, 77);
+            for tk in [4usize, 8, 16] {
+                let d = gemm_blocked(&sa, &sb, Some(&c), scheme, tk, tight());
+                for i in 0..11 {
+                    for j in 0..13 {
+                        let mut want = c.get(i, j);
+                        let mut kt = 0;
+                        while kt < 29 {
+                            let chunk = tk.min(29 - kt);
+                            for &(al, bl) in scheme.terms() {
+                                let ap = sa.plane(al);
+                                let bp = sb.plane(bl);
+                                for kk in kt..kt + chunk {
+                                    want += ap[i * 29 + kk] * bp[kk * 13 + j];
+                                }
+                            }
+                            kt += chunk;
+                        }
+                        assert_eq!(
+                            d.get(i, j).to_bits(),
+                            want.to_bits(),
+                            "{scheme:?} tk={tk} ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_matches_oracle() {
+        let scheme = EmulationScheme::EgemmTc;
+        let (sa, sb) = split_pair(10, 40, 12, scheme, 3);
+        let d = gemm_blocked(&sa, &sb, None, scheme, 8, EngineConfig::default());
+        for &(i, j) in &[(0usize, 0usize), (9, 11), (4, 7)] {
+            let e = emulated_gemm_entrywise(&sa, &sb, None, scheme, i, j);
+            assert_eq!(d.get(i, j).to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let scheme = EmulationScheme::EgemmTc;
+        // 1 x k x 1.
+        let (sa, sb) = split_pair(1, 17, 1, scheme, 9);
+        let d = gemm_blocked(&sa, &sb, None, scheme, 8, tight());
+        let e = emulated_gemm_entrywise(&sa, &sb, None, scheme, 0, 0);
+        assert_eq!(d.get(0, 0).to_bits(), e.to_bits());
+        // k = 0: output is C unchanged.
+        let (sa0, sb0) = split_pair(3, 0, 4, scheme, 11);
+        let c = Matrix::<f32>::random_uniform(3, 4, 13);
+        let d0 = gemm_blocked(&sa0, &sb0, Some(&c), scheme, 8, tight());
+        assert_eq!(d0.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn rows_gather_matches_full() {
+        let scheme = EmulationScheme::Markidis;
+        let (sa, sb) = split_pair(23, 31, 10, scheme, 15);
+        let full = gemm_blocked(&sa, &sb, None, scheme, 8, tight());
+        let rows = [0usize, 2, 3, 9, 17, 22];
+        let sampled = gemm_blocked_rows(&sa, &sb, &rows, scheme, 8, tight());
+        for (ri, &r) in rows.iter().enumerate() {
+            for j in 0..10 {
+                assert_eq!(sampled.get(ri, j).to_bits(), full.get(r, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rows_out_of_range_rejected() {
+        let scheme = EmulationScheme::EgemmTc;
+        let (sa, sb) = split_pair(4, 8, 4, scheme, 17);
+        gemm_blocked_rows(&sa, &sb, &[0, 4], scheme, 8, tight());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rows_descending_rejected() {
+        let scheme = EmulationScheme::EgemmTc;
+        let (sa, sb) = split_pair(4, 8, 4, scheme, 17);
+        gemm_blocked_rows(&sa, &sb, &[2, 1], scheme, 8, tight());
+    }
+
+    #[test]
+    fn range_restarts_chunking_at_slice_start() {
+        // A [k_lo, k_hi) slice must chunk from k_lo, like a fused kernel
+        // run over the slice alone.
+        let scheme = EmulationScheme::EgemmTc;
+        let (sa, sb) = split_pair(6, 37, 5, scheme, 19);
+        let (k_lo, k_hi, tk) = (13usize, 30usize, 8usize);
+        let d = gemm_blocked_range(&sa, &sb, k_lo, k_hi, scheme, tk, tight());
+        for i in 0..6 {
+            for j in 0..5 {
+                let mut want = 0f32;
+                let mut kt = k_lo;
+                while kt < k_hi {
+                    let chunk = tk.min(k_hi - kt);
+                    for &(al, bl) in scheme.terms() {
+                        let ap = sa.plane(al);
+                        let bp = sb.plane(bl);
+                        for kk in kt..kt + chunk {
+                            want += ap[i * 37 + kk] * bp[kk * 5 + j];
+                        }
+                    }
+                    kt += chunk;
+                }
+                assert_eq!(d.get(i, j).to_bits(), want.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let scheme = EmulationScheme::EgemmTc;
+        let (sa, sb) = split_pair(33, 48, 21, scheme, 23);
+        let one = gemm_blocked(
+            &sa,
+            &sb,
+            None,
+            scheme,
+            8,
+            EngineConfig {
+                threads: 1,
+                ..tight()
+            },
+        );
+        let four = gemm_blocked(
+            &sa,
+            &sb,
+            None,
+            scheme,
+            8,
+            EngineConfig {
+                threads: 4,
+                ..tight()
+            },
+        );
+        for (x, y) in one.as_slice().iter().zip(four.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn explicit_threads_override_env() {
+        assert_eq!(
+            EngineConfig {
+                threads: 3,
+                ..Default::default()
+            }
+            .resolved_threads(),
+            3
+        );
+        assert!(EngineConfig::default().resolved_threads() >= 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Operand packing for the blocked execution engine.
+//!
+//! The microkernel consumes contiguous, zero-padded panels:
+//!
+//! * **A block** — for a row range of `mcb` output rows and a k panel of
+//!   depth `kcb`, the plane is laid out as `ceil(mcb/MR)` row blocks of
+//!   `kcb x MR` column-major slivers: element `(rb, kk, r)` holds
+//!   `A[row(i0 + rb*MR + r), p0 + kk]`. Rows past `mcb` are zero.
+//! * **B panel** — for a column range of `ncb` output columns, the plane
+//!   is `ceil(ncb/NR)` strips of `kcb x NR` row-major slivers: element
+//!   `(sb, kk, c)` holds `B[p0 + kk, j0 + sb*NR + c]`. Columns past
+//!   `ncb` are zero.
+//!
+//! Zero padding is numerically inert: each output element's accumulator
+//! only ever combines its own row/column lane, and padded lanes are never
+//! stored back (see `store_acc`). The `row` indirection supports the
+//! row-sampled entry point (`emulated_gemm_rows`) without a gather copy
+//! of A.
+
+/// Microkernel output rows (register tile height).
+pub(crate) const MR: usize = 4;
+/// Microkernel output columns (register tile width). 4 x 16 keeps eight
+/// independent 8-lane accumulator vectors live — enough parallel chains
+/// to cover FP add latency on two issue ports — while leaving headroom
+/// for the operand loads and broadcasts.
+pub(crate) const NR: usize = 16;
+
+/// Pack one plane of A for the row range `rows_idx` (global A row indices
+/// of the `mcb` output rows) and k panel `[p0, p0 + kcb)`. `k` is A's row
+/// stride. `out` must hold `ceil(mcb/MR) * kcb * MR` elements.
+pub(crate) fn pack_a(
+    plane: &[f32],
+    k: usize,
+    rows_idx: &[usize],
+    p0: usize,
+    kcb: usize,
+    out: &mut [f32],
+) {
+    let mcb = rows_idx.len();
+    let row_blocks = mcb.div_ceil(MR);
+    for rb in 0..row_blocks {
+        let block = &mut out[rb * kcb * MR..(rb + 1) * kcb * MR];
+        for r in 0..MR {
+            let i = rb * MR + r;
+            if i < mcb {
+                let arow = &plane[rows_idx[i] * k + p0..rows_idx[i] * k + p0 + kcb];
+                for kk in 0..kcb {
+                    block[kk * MR + r] = arow[kk];
+                }
+            } else {
+                for kk in 0..kcb {
+                    block[kk * MR + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Pack one plane of B for the column range `[j0, j0 + ncb)` and k panel
+/// `[p0, p0 + kcb)`. `n` is B's row stride. `out` must hold
+/// `ceil(ncb/NR) * kcb * NR` elements.
+pub(crate) fn pack_b(
+    plane: &[f32],
+    n: usize,
+    j0: usize,
+    ncb: usize,
+    p0: usize,
+    kcb: usize,
+    out: &mut [f32],
+) {
+    let strips = ncb.div_ceil(NR);
+    for sb in 0..strips {
+        let strip = &mut out[sb * kcb * NR..(sb + 1) * kcb * NR];
+        let jbase = j0 + sb * NR;
+        let cols = NR.min(ncb - sb * NR);
+        for kk in 0..kcb {
+            let brow = &plane[(p0 + kk) * n + jbase..(p0 + kk) * n + jbase + cols];
+            let dst = &mut strip[kk * NR..kk * NR + NR];
+            dst[..cols].copy_from_slice(brow);
+            for d in dst[cols..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        // 3 rows (one short of MR), k = 5, panel [1, 4).
+        let k = 5;
+        let plane: Vec<f32> = (0..3 * k).map(|x| x as f32).collect();
+        let rows_idx = [0usize, 1, 2];
+        let kcb = 3;
+        let mut out = vec![-1.0f32; kcb * MR];
+        pack_a(&plane, k, &rows_idx, 1, kcb, &mut out);
+        for kk in 0..kcb {
+            for r in 0..MR {
+                let want = if r < 3 { plane[r * k + 1 + kk] } else { 0.0 };
+                assert_eq!(out[kk * MR + r], want, "kk={kk} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_row_gather() {
+        let k = 4;
+        let plane: Vec<f32> = (0..6 * k).map(|x| x as f32).collect();
+        let rows_idx = [5usize, 2];
+        let mut out = vec![0.0f32; 2 * MR];
+        pack_a(&plane, k, &rows_idx, 2, 2, &mut out);
+        assert_eq!(out[0], plane[5 * k + 2]);
+        assert_eq!(out[1], plane[2 * k + 2]);
+        assert_eq!(out[MR], plane[5 * k + 3]);
+    }
+
+    #[test]
+    fn pack_b_layout_and_padding() {
+        // n = 10, columns [3, 3+9) span two strips, second one ragged.
+        let n = 10;
+        let kcb = 2;
+        let plane: Vec<f32> = (0..4 * n).map(|x| x as f32).collect();
+        let ncb = 9usize;
+        let strips = ncb.div_ceil(NR);
+        let mut out = vec![-1.0f32; strips * kcb * NR];
+        pack_b(&plane, n, 3, ncb, 1, kcb, &mut out);
+        for sb in 0..strips {
+            for kk in 0..kcb {
+                for c in 0..NR {
+                    let j = sb * NR + c;
+                    let want = if j < ncb {
+                        plane[(1 + kk) * n + 3 + j]
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(
+                        out[sb * kcb * NR + kk * NR + c],
+                        want,
+                        "sb={sb} kk={kk} c={c}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -71,7 +71,10 @@ pub fn dot_error_components(scheme: EmulationScheme, k: usize, r: f64) -> ErrorB
     // absorbed into r^2).
     let adds = k * scheme.tc_instructions();
     let accumulation = gamma(adds, U32) * k as f64 * r * r;
-    ErrorBound { representation, accumulation }
+    ErrorBound {
+        representation,
+        accumulation,
+    }
 }
 
 /// Total worst-case absolute error bound (see [`dot_error_components`]).

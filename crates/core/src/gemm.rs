@@ -8,9 +8,10 @@
 
 use crate::analytic::{solve_tiling, AnalyticModel};
 use crate::config::TilingConfig;
-use crate::emulation::{emulated_gemm, EmulationScheme};
-pub use crate::kernel::KernelOpts;
+use crate::emulation::EmulationScheme;
+use crate::engine;
 use crate::kernel::build_kernel;
+pub use crate::kernel::KernelOpts;
 use crate::split_matrix::SplitMatrix;
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_tcsim::{kernel_time, DeviceSpec, KernelTiming};
@@ -44,15 +45,20 @@ impl Egemm {
     /// Engine with an explicit tiling.
     pub fn new(spec: DeviceSpec, config: TilingConfig) -> Egemm {
         config.validate().expect("invalid tiling");
-        Egemm { spec, config, scheme: EmulationScheme::EgemmTc, opts: KernelOpts::default() }
+        Egemm {
+            spec,
+            config,
+            scheme: EmulationScheme::EgemmTc,
+            opts: KernelOpts::default(),
+        }
     }
 
     /// Engine with the tiling chosen by the hardware-aware analytic model
     /// (§6) from the device's resource budget.
     pub fn auto(spec: DeviceSpec) -> Egemm {
         let model = AnalyticModel::for_device(&spec);
-        let best = solve_tiling(&model)
-            .expect("analytic model found no feasible tiling for this device");
+        let best =
+            solve_tiling(&model).expect("analytic model found no feasible tiling for this device");
         Egemm::new(spec, best.config)
     }
 
@@ -85,8 +91,16 @@ impl Egemm {
         // CUDA-core phase: O(N^2) data split (§3.2).
         let sa = SplitMatrix::split(a, self.scheme.split_scheme());
         let sb = SplitMatrix::split(b, self.scheme.split_scheme());
-        // Tensor-core phase: O(N^3) tiled emulated GEMM.
-        let d = emulated_gemm(&sa, &sb, c, self.scheme);
+        // Tensor-core phase: O(N^3) tiled emulated GEMM on the blocked
+        // engine, with this instance's blocking/threading config.
+        let d = engine::gemm_blocked(
+            &sa,
+            &sb,
+            c,
+            self.scheme,
+            TilingConfig::TC.k,
+            self.opts.engine,
+        );
         let timing = self.time(shape);
         GemmOutput { d, timing, shape }
     }
@@ -101,8 +115,12 @@ impl Egemm {
         c: Option<&Matrix<f32>>,
     ) -> GemmOutput {
         let shape = GemmShape::new(sa.rows(), sb.cols(), sa.cols());
-        let d = emulated_gemm(sa, sb, c, self.scheme);
-        GemmOutput { d, timing: self.time(shape), shape }
+        let d = engine::gemm_blocked(sa, sb, c, self.scheme, TilingConfig::TC.k, self.opts.engine);
+        GemmOutput {
+            d,
+            timing: self.time(shape),
+            shape,
+        }
     }
 
     /// Timing-only path: cost a problem shape on the device without
@@ -117,7 +135,7 @@ impl Egemm {
 mod tests {
     use super::*;
     use egemm_fp::max_abs_error;
-    use egemm_matrix::{gemm_f64_of_f32, gemm_f32_reference};
+    use egemm_matrix::{gemm_f32_reference, gemm_f64_of_f32};
 
     #[test]
     fn auto_picks_table4_on_t4() {

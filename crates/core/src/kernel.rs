@@ -22,9 +22,7 @@
 use crate::config::TilingConfig;
 use crate::emulation::EmulationScheme;
 use egemm_matrix::GemmShape;
-use egemm_tcsim::{
-    BlockResources, DepRef, DeviceSpec, KernelDesc, LoopBody, Op, ScheduleMode,
-};
+use egemm_tcsim::{BlockResources, DepRef, DeviceSpec, KernelDesc, LoopBody, Op, ScheduleMode};
 
 /// Optimization switches of the EGEMM-TC kernel (all on by default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,11 +33,19 @@ pub struct KernelOpts {
     pub latency_hiding: bool,
     /// Kernel launches this GEMM needs (1 for the fused EGEMM-TC kernel).
     pub launches: u32,
+    /// Blocking/threading of the host-side execution engine that computes
+    /// the functional result (no effect on the simulated timing).
+    pub engine: crate::engine::EngineConfig,
 }
 
 impl Default for KernelOpts {
     fn default() -> Self {
-        KernelOpts { frag_caching: true, latency_hiding: true, launches: 1 }
+        KernelOpts {
+            frag_caching: true,
+            latency_hiding: true,
+            launches: 1,
+            engine: crate::engine::EngineConfig::default(),
+        }
     }
 }
 
@@ -114,11 +120,14 @@ pub fn build_kernel(
     // ---- instruction counts per warp per w_k step ----
     let n_hmma = config.hmmas_per_warp_step_per_term() * terms;
     // Operand shared->FRAG bytes, each resident tile read once...
-    let operand_bytes =
-        (a_planes * config.wm * config.wk + b_planes * config.wk * config.wn) * 2;
+    let operand_bytes = (a_planes * config.wm * config.wk + b_planes * config.wk * config.wn) * 2;
     // ...or once per use without caching (each plane feeds terms/planes
     // products).
-    let reuse = if opts.frag_caching { 1 } else { (terms / a_planes).max(1) };
+    let reuse = if opts.frag_caching {
+        1
+    } else {
+        (terms / a_planes).max(1)
+    };
     let n_lds_operand = (operand_bytes * reuse).div_ceil(BYTES_PER_128B_INSTR);
     // C shuttling without FRAG caching: a round trip per TC k-slice.
     let c_bytes_per_step = 4 * config.wm * config.wn * (config.wk / tc.k);
@@ -156,8 +165,10 @@ pub fn build_kernel(
         for _ in 0..n_ldg {
             ldg_ids.push(body.push(Op::Ldg128, vec![]));
         }
-        let hmma_deps: Vec<DepRef> =
-            lds_ids.last().map(|&l| vec![DepRef::Same(l)]).unwrap_or_default();
+        let hmma_deps: Vec<DepRef> = lds_ids
+            .last()
+            .map(|&l| vec![DepRef::Same(l)])
+            .unwrap_or_default();
         for _ in 0..n_hmma {
             body.push(Op::Hmma1688, hmma_deps.clone());
         }
@@ -166,7 +177,9 @@ pub fn build_kernel(
             last_c_lds = Some(body.push(Op::Lds128, vec![]));
         }
         for _ in 0..n_sts_c {
-            let deps = last_c_lds.map(|l| vec![DepRef::Same(l)]).unwrap_or_default();
+            let deps = last_c_lds
+                .map(|l| vec![DepRef::Same(l)])
+                .unwrap_or_default();
             body.push(Op::Sts128, deps);
         }
         for &g in &ldg_ids {
@@ -195,8 +208,7 @@ pub fn build_kernel(
             let deps = last_sts.map(|s| vec![DepRef::Same(s)]).unwrap_or_default();
             last_lds = Some(body.push(Op::Lds128, deps));
         }
-        let hmma_deps: Vec<DepRef> =
-            last_lds.map(|l| vec![DepRef::Same(l)]).unwrap_or_default();
+        let hmma_deps: Vec<DepRef> = last_lds.map(|l| vec![DepRef::Same(l)]).unwrap_or_default();
         for _ in 0..n_hmma {
             body.push(Op::Hmma1688, hmma_deps.clone());
         }
@@ -205,7 +217,9 @@ pub fn build_kernel(
             last_c_lds = Some(body.push(Op::Lds128, vec![]));
         }
         for _ in 0..n_sts_c {
-            let deps = last_c_lds.map(|l| vec![DepRef::Same(l)]).unwrap_or_default();
+            let deps = last_c_lds
+                .map(|l| vec![DepRef::Same(l)])
+                .unwrap_or_default();
             body.push(Op::Sts128, deps);
         }
     }
@@ -308,8 +322,10 @@ mod tests {
 
     #[test]
     fn no_frag_caching_adds_c_shuttling() {
-        let mut opts = KernelOpts::default();
-        opts.frag_caching = false;
+        let opts = KernelOpts {
+            frag_caching: false,
+            ..KernelOpts::default()
+        };
         let d = paper_kernel(8192, opts);
         let with = paper_kernel(8192, KernelOpts::default());
         assert!(d.body.count(Op::Lds128) > with.body.count(Op::Lds128));
@@ -335,7 +351,11 @@ mod tests {
         let strip = (2 * 128 * 2) as u64 * 1024; // one split A or B strip
         let compulsory = 16 * strip + (1024 * 1024 * 4) as u64;
         let naive = 64 * 2 * strip + (1024 * 1024 * 4) as u64;
-        assert!(d.dram_bytes >= compulsory, "{} < compulsory {compulsory}", d.dram_bytes);
+        assert!(
+            d.dram_bytes >= compulsory,
+            "{} < compulsory {compulsory}",
+            d.dram_bytes
+        );
         assert!(d.dram_bytes <= naive, "{} > naive {naive}", d.dram_bytes);
     }
 
@@ -345,7 +365,11 @@ mod tests {
         let spec = t4();
         let cfg = TilingConfig::T4_PAPER;
         let shape = GemmShape::square(8192);
-        let res = BlockResources { smem_bytes: 36 * 1024, regs_per_thread: 192, threads: 256 };
+        let res = BlockResources {
+            smem_bytes: 36 * 1024,
+            regs_per_thread: 192,
+            threads: 256,
+        };
         let sw = wave_reuse_ab_bytes(&spec, &cfg, shape, (2, 2), &res, true);
         let naive = wave_reuse_ab_bytes(&spec, &cfg, shape, (2, 2), &res, false);
         assert!(sw * 2 < naive, "swizzled {sw} vs naive {naive}");
@@ -369,8 +393,10 @@ mod tests {
     fn latency_hiding_gains_in_line_with_fig11() {
         // Figure 11: ~1.14x average speedup from instruction scheduling.
         let base = paper_kernel(8192, KernelOpts::default());
-        let mut no_lh = KernelOpts::default();
-        no_lh.latency_hiding = false;
+        let no_lh = KernelOpts {
+            latency_hiding: false,
+            ..KernelOpts::default()
+        };
         let seq = paper_kernel(8192, no_lh);
         let t_on = kernel_time(&t4(), &base);
         let t_off = kernel_time(&t4(), &seq);

@@ -42,24 +42,25 @@ pub mod batched;
 pub mod blas;
 pub mod config;
 pub mod emulation;
+pub mod engine;
 pub mod errbound;
 pub mod gemm;
 pub mod kernel;
-pub mod sass;
-pub mod splitk;
 pub mod memaccess;
+pub mod sass;
 pub mod split_matrix;
+pub mod splitk;
 pub mod tensorize;
 
 pub use analytic::{continuous_optimum, solve_tiling, AnalyticModel, Candidate};
 pub use batched::BatchedOutput;
 pub use blas::{sgemm_ex, BlasOutput, GemmCall, Op as BlasOp};
 pub use config::TilingConfig;
-pub use errbound::{crossover_k, dot_error_bound};
 pub use emulation::{
-    emulated_gemm, emulated_gemm_entrywise, emulated_gemm_rows, emulated_gemm_tk,
-    EmulationScheme,
+    emulated_gemm, emulated_gemm_entrywise, emulated_gemm_rows, emulated_gemm_tk, EmulationScheme,
 };
+pub use engine::{gemm_blocked, gemm_blocked_range, gemm_blocked_rows, EngineConfig};
+pub use errbound::{crossover_k, dot_error_bound};
 pub use gemm::{Egemm, GemmOutput, KernelOpts};
 pub use kernel::{build_kernel, plane_counts, wave_reuse_ab_bytes, BYTES_PER_128B_INSTR};
 pub use sass::{generate_sass, AllocationReport, SassKernel};

@@ -133,15 +133,32 @@ mod tests {
         // (w_m, w_n) = (64, 32): 4*64*32 = 8192 B.
         assert_eq!(c.size_bytes, 8192);
         assert_eq!(c.with_caching, 8192);
-        assert_eq!(c.without_caching, 8192, "per step; the k-loop multiplies it out");
+        assert_eq!(
+            c.without_caching, 8192,
+            "per step; the k-loop multiplies it out"
+        );
     }
 
     #[test]
     fn caching_always_at_most_uncached() {
         for cfg in [
             TilingConfig::T4_PAPER,
-            TilingConfig { bm: 64, bn: 64, bk: 32, wm: 32, wn: 32, wk: 16 },
-            TilingConfig { bm: 128, bn: 64, bk: 16, wm: 64, wn: 16, wk: 8 },
+            TilingConfig {
+                bm: 64,
+                bn: 64,
+                bk: 32,
+                wm: 32,
+                wn: 32,
+                wk: 16,
+            },
+            TilingConfig {
+                bm: 128,
+                bn: 64,
+                bk: 16,
+                wm: 64,
+                wn: 16,
+                wk: 8,
+            },
         ] {
             let m = MemAccessModel::new(cfg);
             for row in m.table2() {

@@ -339,7 +339,12 @@ pub fn generate_sass(
     let mut value_of_proto: Vec<Option<usize>> = Vec::new();
     for (pos, p) in protos.iter().enumerate() {
         if p.width > 0 {
-            values.push(Value { width: p.width, def: pos, last_use: pos, pinned: p.pinned });
+            values.push(Value {
+                width: p.width,
+                def: pos,
+                last_use: pos,
+                pinned: p.pinned,
+            });
             value_of_proto.push(Some(values.len() - 1));
         } else {
             value_of_proto.push(None);
@@ -383,7 +388,10 @@ pub fn generate_sass(
                 .uses
                 .iter()
                 .filter_map(|&u| value_of_proto[u])
-                .map(|v| RegRange { base: assignment[v], width: values[v].width })
+                .map(|v| RegRange {
+                    base: assignment[v],
+                    width: values[v].width,
+                })
                 .collect();
             SassInstr {
                 stage: p.stage,
@@ -395,7 +403,11 @@ pub fn generate_sass(
         })
         .collect();
     let _ = opts;
-    SassKernel { instrs, alloc, config: *config }
+    SassKernel {
+        instrs,
+        alloc,
+        config: *config,
+    }
 }
 
 impl SassKernel {
@@ -410,7 +422,11 @@ impl SassKernel {
             self.alloc.peak_with_reuse,
             self.alloc.limit,
             self.alloc.total_without_reuse,
-            if self.alloc.fits { "" } else { "  ** SPILLS **" }
+            if self.alloc.fits {
+                ""
+            } else {
+                "  ** SPILLS **"
+            }
         ));
         let mut stage = None;
         for i in &self.instrs {
@@ -422,8 +438,12 @@ impl SassKernel {
                 }
             }
             let dst = i.dst.map(|d| format!("{d}, ")).unwrap_or_default();
-            let src =
-                i.src.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ");
+            let src = i
+                .src
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "    {:<14} {}{:<24} // {}\n",
                 i.mnemonic, dst, src, i.comment
@@ -435,7 +455,10 @@ impl SassKernel {
 
     /// Instructions in the compute loop body.
     pub fn loop_instruction_count(&self) -> usize {
-        self.instrs.iter().filter(|i| i.stage == Stage::Compute).count()
+        self.instrs
+            .iter()
+            .filter(|i| i.stage == Stage::Compute)
+            .count()
     }
 }
 
@@ -568,8 +591,18 @@ mod tests {
         // Two back-to-back values with disjoint lifetimes share registers
         // under reuse and don't without.
         let values = vec![
-            Value { width: 8, def: 0, last_use: 1, pinned: false },
-            Value { width: 8, def: 2, last_use: 3, pinned: false },
+            Value {
+                width: 8,
+                def: 0,
+                last_use: 1,
+                pinned: false,
+            },
+            Value {
+                width: 8,
+                def: 2,
+                last_use: 3,
+                pinned: false,
+            },
         ];
         let (asg_reuse, peak_reuse) = linear_scan(&values, true);
         assert_eq!(asg_reuse[0], asg_reuse[1], "disjoint lifetimes share");
@@ -582,8 +615,18 @@ mod tests {
     #[test]
     fn pinned_values_never_expire() {
         let values = vec![
-            Value { width: 4, def: 0, last_use: 0, pinned: true },
-            Value { width: 4, def: 5, last_use: 6, pinned: false },
+            Value {
+                width: 4,
+                def: 0,
+                last_use: 0,
+                pinned: true,
+            },
+            Value {
+                width: 4,
+                def: 5,
+                last_use: 6,
+                pinned: false,
+            },
         ];
         let (asg, _) = linear_scan(&values, true);
         assert_ne!(asg[0], asg[1], "pinned register must not be recycled");

@@ -39,23 +39,26 @@ impl SplitMatrix {
         let mut lo_bits = vec![Half::ZERO; n];
         let mut hi_f32 = vec![0f32; n];
         let mut lo_f32 = vec![0f32; n];
-        // Process in row-sized chunks, in parallel.
+        // Process in row-sized chunks, in parallel (chunking needs a
+        // positive row width; a zero-column matrix has nothing to split).
         let srcs = src.as_slice();
-        hi_bits
-            .par_chunks_mut(cols)
-            .zip(lo_bits.par_chunks_mut(cols))
-            .zip(hi_f32.par_chunks_mut(cols).zip(lo_f32.par_chunks_mut(cols)))
-            .enumerate()
-            .for_each(|(r, ((hb, lb), (hf, lf)))| {
-                let srow = &srcs[r * cols..(r + 1) * cols];
-                for c in 0..cols {
-                    let s = scheme.split(srow[c]);
-                    hb[c] = s.hi;
-                    lb[c] = s.lo;
-                    hf[c] = s.hi.to_f32();
-                    lf[c] = s.lo.to_f32();
-                }
-            });
+        if cols > 0 {
+            hi_bits
+                .par_chunks_mut(cols)
+                .zip(lo_bits.par_chunks_mut(cols))
+                .zip(hi_f32.par_chunks_mut(cols).zip(lo_f32.par_chunks_mut(cols)))
+                .enumerate()
+                .for_each(|(r, ((hb, lb), (hf, lf)))| {
+                    let srow = &srcs[r * cols..(r + 1) * cols];
+                    for c in 0..cols {
+                        let s = scheme.split(srow[c]);
+                        hb[c] = s.hi;
+                        lb[c] = s.lo;
+                        hf[c] = s.hi.to_f32();
+                        lf[c] = s.lo.to_f32();
+                    }
+                });
+        }
         SplitMatrix {
             rows,
             cols,

@@ -19,7 +19,7 @@
 //! kernel only in summation grouping, with the same error envelope.
 
 use crate::config::TilingConfig;
-use crate::emulation::EmulationScheme;
+use crate::engine;
 use crate::gemm::Egemm;
 use crate::kernel::build_kernel;
 use crate::split_matrix::SplitMatrix;
@@ -63,12 +63,7 @@ impl Egemm {
     /// independent ranges, compute partials, reduce.
     ///
     /// `slices = 0` auto-selects via [`choose_slices`].
-    pub fn gemm_split_k(
-        &self,
-        a: &Matrix<f32>,
-        b: &Matrix<f32>,
-        slices: usize,
-    ) -> SplitKOutput {
+    pub fn gemm_split_k(&self, a: &Matrix<f32>, b: &Matrix<f32>, slices: usize) -> SplitKOutput {
         assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
         let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
         let s = if slices == 0 {
@@ -88,11 +83,15 @@ impl Egemm {
                 (lo, hi)
             })
             .collect();
-        // Partials, computed in parallel over slices (each itself
-        // row-parallel; rayon nests fine).
+        // Partials, computed in parallel over slices; each slice runs the
+        // blocked engine over its k range (chunking restarts at the slice
+        // start, like a fused kernel over the slice alone).
+        let tk = TilingConfig::TC.k;
         let partials: Vec<Matrix<f32>> = bounds
             .par_iter()
-            .map(|&(lo, hi)| slice_gemm(&sa, &sb, lo, hi, self.scheme))
+            .map(|&(lo, hi)| {
+                engine::gemm_blocked_range(&sa, &sb, lo, hi, self.scheme, tk, self.opts.engine)
+            })
             .collect();
         // Ascending-slice reduction, in f32 like the device's epilogue.
         let mut d = Matrix::<f32>::zeros(shape.m, shape.n);
@@ -101,7 +100,11 @@ impl Egemm {
                 *acc += x;
             }
         }
-        SplitKOutput { d, slices: s, timing: self.time_split_k(shape, s) }
+        SplitKOutput {
+            d,
+            slices: s,
+            timing: self.time_split_k(shape, s),
+        }
     }
 
     /// Timing of the split-K execution: the main kernel with `s`x blocks
@@ -117,39 +120,6 @@ impl Egemm {
         desc.name = format!("{} split-k={slices}", desc.name);
         kernel_time(&self.spec, &desc)
     }
-}
-
-fn slice_gemm(
-    sa: &SplitMatrix,
-    sb: &SplitMatrix,
-    k_lo: usize,
-    k_hi: usize,
-    scheme: EmulationScheme,
-) -> Matrix<f32> {
-    let (m, k, n) = (sa.rows(), sa.cols(), sb.cols());
-    debug_assert!(k_lo < k_hi && k_hi <= k);
-    let tk = TilingConfig::TC.k;
-    let terms = scheme.terms();
-    let mut out = Matrix::<f32>::zeros(m, n);
-    out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-        let mut kt = k_lo;
-        while kt < k_hi {
-            let chunk = tk.min(k_hi - kt);
-            for &(a_lo, b_lo) in terms {
-                let ap = sa.plane(a_lo);
-                let bp = sb.plane(b_lo);
-                for kk in kt..kt + chunk {
-                    let av = ap[i * k + kk];
-                    let brow = &bp[kk * n..kk * n + n];
-                    for (cj, &bj) in crow.iter_mut().zip(brow) {
-                        *cj += av * bj;
-                    }
-                }
-            }
-            kt += chunk;
-        }
-    });
-    out
 }
 
 #[cfg(test)]

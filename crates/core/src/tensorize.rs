@@ -189,10 +189,16 @@ impl TensorizedGemm {
                 let c_tile = c_block.block(r0, c0, tc.m, tc.n);
                 let mut acc: Vec<f32> = c_tile.into_vec();
                 for &(a_is_lo, b_is_lo) in terms {
-                    let (a_plane, a_key) =
-                        if a_is_lo { (a_lo, PLANE_A_LO) } else { (a_hi, PLANE_A_HI) };
-                    let (b_plane, b_key) =
-                        if b_is_lo { (b_lo, PLANE_B_LO) } else { (b_hi, PLANE_B_HI) };
+                    let (a_plane, a_key) = if a_is_lo {
+                        (a_lo, PLANE_A_LO)
+                    } else {
+                        (a_hi, PLANE_A_HI)
+                    };
+                    let (b_plane, b_key) = if b_is_lo {
+                        (b_lo, PLANE_B_LO)
+                    } else {
+                        (b_hi, PLANE_B_HI)
+                    };
                     // Operand fragment loads, FRAG-cache mediated. Tile
                     // identity: (plane, row-tile | k-tile). A tiles are
                     // shared across the tj loop; B tiles across ti.
@@ -212,7 +218,11 @@ impl TensorizedGemm {
                         a_tile.as_slice(),
                         b_tile.as_slice(),
                         &acc,
-                        MmaShape { m: tc.m, n: tc.n, k: tc.k },
+                        MmaShape {
+                            m: tc.m,
+                            n: tc.n,
+                            k: tc.k,
+                        },
                     );
                     trace.hmma_count += 1;
                 }
@@ -244,7 +254,14 @@ mod tests {
     use egemm_fp::SplitScheme;
 
     fn small_config() -> TilingConfig {
-        TilingConfig { bm: 32, bn: 32, bk: 16, wm: 16, wn: 16, wk: 8 }
+        TilingConfig {
+            bm: 32,
+            bn: 32,
+            bk: 16,
+            wm: 16,
+            wn: 16,
+            wk: 8,
+        }
     }
 
     fn split_pair(m: usize, k: usize, n: usize, seed: u64) -> (SplitMatrix, SplitMatrix) {
@@ -259,7 +276,10 @@ mod tests {
     #[test]
     fn tiled_matches_flat_executor_bitwise() {
         let (sa, sb) = split_pair(64, 32, 64, 1);
-        let exec = TensorizedGemm { config: small_config(), frag_caching: true };
+        let exec = TensorizedGemm {
+            config: small_config(),
+            frag_caching: true,
+        };
         let (tiled, _) = exec.execute(&sa, &sb, None, EmulationScheme::EgemmTc);
         let flat = emulated_gemm(&sa, &sb, None, EmulationScheme::EgemmTc);
         for (x, y) in tiled.as_slice().iter().zip(flat.as_slice()) {
@@ -270,8 +290,14 @@ mod tests {
     #[test]
     fn frag_caching_does_not_change_numerics() {
         let (sa, sb) = split_pair(64, 48, 32, 2);
-        let on = TensorizedGemm { config: small_config(), frag_caching: true };
-        let off = TensorizedGemm { config: small_config(), frag_caching: false };
+        let on = TensorizedGemm {
+            config: small_config(),
+            frag_caching: true,
+        };
+        let off = TensorizedGemm {
+            config: small_config(),
+            frag_caching: false,
+        };
         let (d_on, _) = on.execute(&sa, &sb, None, EmulationScheme::EgemmTc);
         let (d_off, _) = off.execute(&sa, &sb, None, EmulationScheme::EgemmTc);
         assert_eq!(d_on, d_off);
@@ -280,8 +306,14 @@ mod tests {
     #[test]
     fn frag_caching_halves_operand_traffic() {
         let (sa, sb) = split_pair(64, 64, 64, 3);
-        let on = TensorizedGemm { config: small_config(), frag_caching: true };
-        let off = TensorizedGemm { config: small_config(), frag_caching: false };
+        let on = TensorizedGemm {
+            config: small_config(),
+            frag_caching: true,
+        };
+        let off = TensorizedGemm {
+            config: small_config(),
+            frag_caching: false,
+        };
         let (_, t_on) = on.execute(&sa, &sb, None, EmulationScheme::EgemmTc);
         let (_, t_off) = off.execute(&sa, &sb, None, EmulationScheme::EgemmTc);
         // Without caching, A tiles reload for every (term, tj) use and B
@@ -301,7 +333,10 @@ mod tests {
     fn hmma_count_matches_closed_form() {
         let (sa, sb) = split_pair(64, 32, 64, 4);
         let cfg = small_config();
-        let exec = TensorizedGemm { config: cfg, frag_caching: true };
+        let exec = TensorizedGemm {
+            config: cfg,
+            frag_caching: true,
+        };
         let (_, tr) = exec.execute(&sa, &sb, None, EmulationScheme::EgemmTc);
         // HMMAs = (m/tm)(n/tn)(k/tk) * 4 terms.
         let expect = (64 / 16) * (64 / 8) * (32 / 8) * 4;
@@ -312,7 +347,10 @@ mod tests {
     fn gmem_traffic_matches_eq2() {
         let (sa, sb) = split_pair(64, 64, 64, 5);
         let cfg = small_config();
-        let exec = TensorizedGemm { config: cfg, frag_caching: true };
+        let exec = TensorizedGemm {
+            config: cfg,
+            frag_caching: true,
+        };
         let (_, tr) = exec.execute(&sa, &sb, None, EmulationScheme::EgemmTc);
         // Per block per k-chunk: 4(bm+bn)bk; blocks = 4, chunks = 4;
         // plus D writeback 4 blocks * bm*bn*4 bytes.
@@ -325,7 +363,10 @@ mod tests {
         // Non-multiples exercise the zero-padded edge tiles; compare by
         // value (padding may flip a -0 to +0).
         let (sa, sb) = split_pair(50, 37, 29, 6);
-        let exec = TensorizedGemm { config: small_config(), frag_caching: true };
+        let exec = TensorizedGemm {
+            config: small_config(),
+            frag_caching: true,
+        };
         let (tiled, _) = exec.execute(&sa, &sb, None, EmulationScheme::EgemmTc);
         let flat = emulated_gemm(&sa, &sb, None, EmulationScheme::EgemmTc);
         assert_eq!(tiled.rows(), 50);
@@ -339,7 +380,10 @@ mod tests {
     fn with_c_accumulation() {
         let (sa, sb) = split_pair(32, 16, 32, 7);
         let c = Matrix::<f32>::random_uniform(32, 32, 99);
-        let exec = TensorizedGemm { config: small_config(), frag_caching: true };
+        let exec = TensorizedGemm {
+            config: small_config(),
+            frag_caching: true,
+        };
         let (tiled, _) = exec.execute(&sa, &sb, Some(&c), EmulationScheme::EgemmTc);
         let flat = emulated_gemm(&sa, &sb, Some(&c), EmulationScheme::EgemmTc);
         for (x, y) in tiled.as_slice().iter().zip(flat.as_slice()) {
@@ -353,7 +397,10 @@ mod tests {
         let b = Matrix::<f32>::random_uniform(32, 32, 9);
         let sa = SplitMatrix::split(&a, SplitScheme::Truncate);
         let sb = SplitMatrix::split(&b, SplitScheme::Truncate);
-        let exec = TensorizedGemm { config: small_config(), frag_caching: true };
+        let exec = TensorizedGemm {
+            config: small_config(),
+            frag_caching: true,
+        };
         let (tiled, _) = exec.execute(&sa, &sb, None, EmulationScheme::Markidis);
         let flat = emulated_gemm(&sa, &sb, None, EmulationScheme::Markidis);
         for (x, y) in tiled.as_slice().iter().zip(flat.as_slice()) {

@@ -287,7 +287,11 @@ mod tests {
             }
             let f = f16_bits_to_f64(bits);
             assert_eq!(bits, f64_to_f16_bits_rne(f), "f64 roundtrip {bits:#06x}");
-            assert_eq!(bits, f64_to_f16_bits_rtz(f), "rtz of exact value {bits:#06x}");
+            assert_eq!(
+                bits,
+                f64_to_f16_bits_rtz(f),
+                "rtz of exact value {bits:#06x}"
+            );
         }
     }
 
@@ -350,7 +354,10 @@ mod tests {
         // 1 + 3*2^-11 is halfway between 0x3c01 and 0x3c02 -> even 0x3c02.
         assert_eq!(f64_to_f16_bits_rne(1.0 + 3.0 * 2f64.powi(-11)), 0x3c02);
         // Slightly above the tie rounds up.
-        assert_eq!(f64_to_f16_bits_rne(1.0 + 2f64.powi(-11) + 2f64.powi(-30)), 0x3c01);
+        assert_eq!(
+            f64_to_f16_bits_rne(1.0 + 2f64.powi(-11) + 2f64.powi(-30)),
+            0x3c01
+        );
     }
 
     #[test]
@@ -358,7 +365,10 @@ mod tests {
         let tie = 1.0 + 2f64.powi(-11); // halfway between 0x3c00 and 0x3c01
         assert_eq!(f64_to_f16_bits_round(tie, Rounding::NearestEven, 0), 0x3c00);
         assert_eq!(f64_to_f16_bits_round(tie, Rounding::NearestEven, 1), 0x3c01);
-        assert_eq!(f64_to_f16_bits_round(tie, Rounding::NearestEven, -1), 0x3c00);
+        assert_eq!(
+            f64_to_f16_bits_round(tie, Rounding::NearestEven, -1),
+            0x3c00
+        );
         // Residuals must not flip a non-tie decision.
         assert_eq!(
             f64_to_f16_bits_round(1.0 + 2f64.powi(-12), Rounding::NearestEven, 1),

@@ -37,7 +37,10 @@ pub struct DoubleHalf {
 
 impl DoubleHalf {
     /// Zero.
-    pub const ZERO: DoubleHalf = DoubleHalf { hi: Half::ZERO, lo: Half::ZERO };
+    pub const ZERO: DoubleHalf = DoubleHalf {
+        hi: Half::ZERO,
+        lo: Half::ZERO,
+    };
 
     /// Construct from a binary32 value via round-split.
     pub fn from_f32(x: f32) -> Self {
@@ -75,7 +78,7 @@ impl DoubleHalf {
     #[allow(clippy::should_implement_trait)] // Dekker's historical op names
     pub fn mul(self, other: DoubleHalf) -> DoubleHalf {
         let (p, e) = two_prod_h(self.hi, other.hi); // 17 ops
-        // Cross terms folded into the error term at working precision.
+                                                    // Cross terms folded into the error term at working precision.
         let e = e + self.hi * other.lo + self.lo * other.hi; // 4 ops
         let (hi, lo) = fast_two_sum_h(p, e); // 3 ops
         DoubleHalf { hi, lo }
@@ -155,7 +158,9 @@ mod tests {
     use super::*;
 
     fn lcg(state: &mut u64) -> f32 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (((*state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0) as f32
     }
 
@@ -246,7 +251,10 @@ mod tests {
         };
         let err_dh = (dh - exact).abs();
         let err_h = (h - exact).abs();
-        assert!(err_dh < err_h / 10.0, "dekker dot {err_dh} vs half dot {err_h}");
+        assert!(
+            err_dh < err_h / 10.0,
+            "dekker dot {err_dh} vs half dot {err_h}"
+        );
         assert!(err_dh < 0.02, "dekker dot abs err {err_dh}");
     }
 

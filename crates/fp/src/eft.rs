@@ -157,7 +157,9 @@ mod tests {
     use super::*;
 
     fn lcg(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
     }
 
@@ -182,7 +184,12 @@ mod tests {
     /// (caller must keep the exponent span under ~120 bits).
     fn exact_pair_eq(p: (f64, f64), q: (f64, f64)) -> bool {
         let parts = [scaled(p.0), scaled(p.1), scaled(q.0), scaled(q.1)];
-        let emin = parts.iter().filter(|&&(m, _)| m != 0).map(|&(_, e)| e).min().unwrap_or(0);
+        let emin = parts
+            .iter()
+            .filter(|&&(m, _)| m != 0)
+            .map(|&(_, e)| e)
+            .min()
+            .unwrap_or(0);
         let val = |(m, e): (i128, i32)| {
             if m == 0 {
                 0
@@ -203,7 +210,10 @@ mod tests {
             // s must be the rounded sum, and s + e must equal a + b exactly
             // (verified in exact integer arithmetic).
             assert_eq!(s, a + b);
-            assert!(exact_pair_eq((s, e), (a, b)), "not exact: {a} + {b} -> ({s}, {e})");
+            assert!(
+                exact_pair_eq((s, e), (a, b)),
+                "not exact: {a} + {b} -> ({s}, {e})"
+            );
             // And the residual is below half an ULP of s.
             assert!(e.abs() <= (s * 2f64.powi(-53)).abs() + 1e-300);
         }

@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn ulp_distance_adjacent_values() {
         assert_eq!(ulp_distance_f32(1.0, 1.0), 0);
-        assert_eq!(ulp_distance_f32(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(
+            ulp_distance_f32(1.0, f32::from_bits(1.0f32.to_bits() + 1)),
+            1
+        );
         // Across zero: -min_subnormal to +min_subnormal is 2 ULPs apart
         // (through -0/+0 which share a key... the mapping puts -0 at key 0
         // and +0 at key 0, so distance is 2).

@@ -474,8 +474,8 @@ mod tests {
         // A structured sweep over exponent/mantissa combinations plus a
         // pseudo-random sweep; comparing against the exact integer oracle.
         let mut patterns: Vec<u16> = vec![
-            0x0000, 0x8000, 0x0001, 0x8001, 0x03ff, 0x0400, 0x0401, 0x3c00, 0x3c01, 0xbc00,
-            0x7bff, 0xfbff, 0x1400, 0x5640, 0x2e66,
+            0x0000, 0x8000, 0x0001, 0x8001, 0x03ff, 0x0400, 0x0401, 0x3c00, 0x3c01, 0xbc00, 0x7bff,
+            0xfbff, 0x1400, 0x5640, 0x2e66,
         ];
         let mut x: u32 = 0x12345678;
         for _ in 0..300 {
@@ -511,7 +511,11 @@ mod tests {
             let sign = if bits & 0x8000 != 0 { -1i64 } else { 1 };
             let exp = ((bits >> 10) & 0x1f) as i32;
             let man = (bits & 0x3ff) as i64;
-            Some(if exp == 0 { (sign * man, -24) } else { (sign * (man | 0x400), exp - 25) })
+            Some(if exp == 0 {
+                (sign * man, -24)
+            } else {
+                (sign * (man | 0x400), exp - 25)
+            })
         }
         let (Some((ma, ea)), Some((mb, eb))) = (parts(a), parts(b)) else {
             return a * b;
@@ -534,8 +538,8 @@ mod tests {
         // Structured + pseudo-random operand sweep against the exact
         // integer oracle, covering normals, subnormals and signed zeros.
         let mut patterns: Vec<u16> = vec![
-            0x0000, 0x8000, 0x0001, 0x8001, 0x03ff, 0x0400, 0x3c00, 0xbc00, 0x7bff, 0x1400,
-            0x2e66, 0x5640, 0x63d0, 0x0801,
+            0x0000, 0x8000, 0x0001, 0x8001, 0x03ff, 0x0400, 0x3c00, 0xbc00, 0x7bff, 0x1400, 0x2e66,
+            0x5640, 0x63d0, 0x0801,
         ];
         let mut x: u32 = 0x1234_5678;
         for _ in 0..300 {
@@ -552,7 +556,11 @@ mod tests {
                 let got = a * b;
                 let want = mul_oracle(a, b);
                 if want.is_zero() && got.is_zero() {
-                    assert_eq!(got.to_bits(), want.to_bits(), "{pa:#06x}*{pb:#06x} zero sign");
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{pa:#06x}*{pb:#06x} zero sign"
+                    );
                 } else {
                     assert_eq!(
                         got.to_bits(),
@@ -660,14 +668,20 @@ mod tests {
     fn ulp_values() {
         assert_eq!(Half::ONE.ulp().to_f64(), 2f64.powi(-10));
         assert_eq!(Half::from_f32(2.0).ulp().to_f64(), 2f64.powi(-9));
-        assert_eq!(Half::MIN_POSITIVE_SUBNORMAL.ulp(), Half::MIN_POSITIVE_SUBNORMAL);
+        assert_eq!(
+            Half::MIN_POSITIVE_SUBNORMAL.ulp(),
+            Half::MIN_POSITIVE_SUBNORMAL
+        );
         assert!(Half::INFINITY.ulp().is_nan());
     }
 
     #[test]
     fn sqrt_known() {
         assert_eq!(Half::from_f32(4.0).sqrt().to_f32(), 2.0);
-        assert_eq!(Half::from_f32(2.0).sqrt().to_bits(), Half::from_f64(2f64.sqrt()).to_bits());
+        assert_eq!(
+            Half::from_f32(2.0).sqrt().to_bits(),
+            Half::from_f64(2f64.sqrt()).to_bits()
+        );
         assert!(Half::NEG_ONE.sqrt().is_nan());
     }
 

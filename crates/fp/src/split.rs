@@ -179,7 +179,10 @@ mod tests {
                 (v as f64 - s.hi.to_f64()).abs() <= ulp_hi / 2.0 + 1e-30,
                 "hi not nearest for {v}"
             );
-            assert!(rel_err(v, s) <= 2f64.powi(-21) * 1.0001, "rel err too big for {v}");
+            assert!(
+                rel_err(v, s) <= 2f64.powi(-21) * 1.0001,
+                "rel err too big for {v}"
+            );
         }
     }
 
@@ -217,7 +220,10 @@ mod tests {
                 saw_pos = true;
             }
         }
-        assert!(saw_neg && saw_pos, "round-split should produce both lo signs");
+        assert!(
+            saw_neg && saw_pos,
+            "round-split should produce both lo signs"
+        );
     }
 
     #[test]

@@ -46,12 +46,12 @@ pub fn gemm_f32_reference(a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f32>)
             // k-major accumulation: for each output element the products
             // are added in increasing-k order, like a scalar CUDA thread.
             let arow = a.row(i);
-            for j in 0..n {
-                let mut acc = crow[j];
-                for p in 0..k {
-                    acc += arow[p] * b.get(p, j);
+            for (j, cj) in crow.iter_mut().enumerate().take(n) {
+                let mut acc = *cj;
+                for (p, &ap) in arow.iter().enumerate().take(k) {
+                    acc += ap * b.get(p, j);
                 }
-                crow[j] = acc;
+                *cj = acc;
             }
         });
 }
@@ -74,7 +74,10 @@ fn check_shapes(
     cm: usize,
     cn: usize,
 ) -> (usize, usize, usize) {
-    assert_eq!(ak, bk, "inner dimensions disagree: A is {am}x{ak}, B is {bk}x{bn}");
+    assert_eq!(
+        ak, bk,
+        "inner dimensions disagree: A is {am}x{ak}, B is {bk}x{bn}"
+    );
     assert_eq!(am, cm, "C rows disagree with A");
     assert_eq!(bn, cn, "C cols disagree with B");
     (am, ak, bn)

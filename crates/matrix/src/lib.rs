@@ -15,7 +15,7 @@
 pub mod gemm_ref;
 pub mod shape;
 
-pub use gemm_ref::{gemm_f32_reference, gemm_f64_reference, gemm_f64_of_f32};
+pub use gemm_ref::{gemm_f32_reference, gemm_f64_of_f32, gemm_f64_reference};
 pub use shape::GemmShape;
 
 use egemm_fp::Half;
@@ -74,7 +74,11 @@ pub struct Matrix<T> {
 impl<T: Scalar> Matrix<T> {
     /// An all-default (zero) matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 
     /// Build from a generator function over (row, col).
@@ -211,7 +215,11 @@ impl<T: Scalar> Matrix<T> {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&x| x.to_f64() * x.to_f64())
+            .sum::<f64>()
+            .sqrt()
     }
 }
 

@@ -61,8 +61,7 @@ mod tests {
     #[test]
     fn blobs_cluster_around_their_centers() {
         let (p, labels, centers) = gaussian_blobs(400, 16, 4, 0.02, 3);
-        for i in 0..400 {
-            let c = labels[i];
+        for (i, &c) in labels.iter().enumerate() {
             let d_own: f64 = (0..16)
                 .map(|j| ((p.get(i, j) - centers.get(c, j)) as f64).powi(2))
                 .sum();

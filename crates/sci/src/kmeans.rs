@@ -48,7 +48,11 @@ pub struct KMeansResult {
 impl<'a> KMeans<'a> {
     /// Build with default iteration budget.
     pub fn new(backend: &'a dyn GemmBaseline) -> KMeans<'a> {
-        KMeans { backend, max_iters: 50, tol: 1e-6 }
+        KMeans {
+            backend,
+            max_iters: 50,
+            tol: 1e-6,
+        }
     }
 
     /// Run Lloyd's algorithm on `data` (`n x d`) with `k` clusters,
@@ -65,15 +69,15 @@ impl<'a> KMeans<'a> {
         let mut d2 = vec![f64::MAX; n];
         while chosen.len() < k {
             let last = *chosen.last().expect("nonempty");
-            for i in 0..n {
+            for (i, d2i) in d2.iter_mut().enumerate() {
                 let dist: f64 = (0..d)
                     .map(|j| {
                         let t = (data.get(i, j) - data.get(last, j)) as f64;
                         t * t
                     })
                     .sum();
-                if dist < d2[i] {
-                    d2[i] = dist;
+                if dist < *d2i {
+                    *d2i = dist;
                 }
             }
             let total: f64 = d2.iter().sum();
@@ -105,7 +109,11 @@ impl<'a> KMeans<'a> {
             let cross = self.backend.compute(data, &ct);
             // Epilogue: centroid norms + argmin.
             let c_norm: Vec<f32> = (0..k)
-                .map(|c| (0..d).map(|j| centroids.get(c, j) * centroids.get(c, j)).sum())
+                .map(|c| {
+                    (0..d)
+                        .map(|j| centroids.get(c, j) * centroids.get(c, j))
+                        .sum()
+                })
                 .collect();
             let inertia: f64 = assignments
                 .par_iter_mut()
@@ -130,8 +138,7 @@ impl<'a> KMeans<'a> {
             // Update phase: new centroids as assigned means.
             let mut sums = vec![vec![0f64; d]; k];
             let mut counts = vec![0usize; k];
-            for i in 0..n {
-                let c = assignments[i];
+            for (i, &c) in assignments.iter().enumerate() {
                 counts[c] += 1;
                 for (j, s) in sums[c].iter_mut().enumerate() {
                     *s += data.get(i, j) as f64;
@@ -145,8 +152,8 @@ impl<'a> KMeans<'a> {
                         centroids.set(c, j, data.get(i, j));
                     }
                 } else {
-                    for j in 0..d {
-                        centroids.set(c, j, (sums[c][j] / counts[c] as f64) as f32);
+                    for (j, &s) in sums[c].iter().enumerate() {
+                        centroids.set(c, j, (s / counts[c] as f64) as f32);
                     }
                 }
             }
@@ -156,7 +163,12 @@ impl<'a> KMeans<'a> {
             }
             last_inertia = inertia;
         }
-        KMeansResult { centroids, assignments, inertia: last_inertia, iterations }
+        KMeansResult {
+            centroids,
+            assignments,
+            inertia: last_inertia,
+            iterations,
+        }
     }
 }
 
@@ -242,17 +254,17 @@ mod tests {
         let cn: Vec<f32> = (0..3)
             .map(|c| (0..8).map(|j| centers.get(c, j) * centers.get(c, j)).sum())
             .collect();
-        for i in 0..100 {
+        for (i, g) in got.iter_mut().enumerate() {
             let mut best = 0;
             let mut score = f32::INFINITY;
-            for c in 0..3 {
-                let s = cn[c] - 2.0 * cross.get(i, c);
+            for (c, &cnc) in cn.iter().enumerate() {
+                let s = cnc - 2.0 * cross.get(i, c);
                 if s < score {
                     score = s;
                     best = c;
                 }
             }
-            got[i] = best;
+            *g = best;
         }
         assert_eq!(got, assign_naive(&data, &centers));
     }
@@ -261,9 +273,24 @@ mod tests {
     fn inertia_decreases_monotonically_enough() {
         let (data, _, _) = gaussian_blobs(150, 8, 3, 0.2, 21);
         let backend = EgemmTc::auto(DeviceSpec::t4());
-        let one = KMeans { backend: &backend, max_iters: 1, tol: 0.0 }.fit(&data, 3, 3);
-        let many = KMeans { backend: &backend, max_iters: 20, tol: 0.0 }.fit(&data, 3, 3);
-        assert!(many.inertia <= one.inertia * 1.0001, "{} vs {}", many.inertia, one.inertia);
+        let one = KMeans {
+            backend: &backend,
+            max_iters: 1,
+            tol: 0.0,
+        }
+        .fit(&data, 3, 3);
+        let many = KMeans {
+            backend: &backend,
+            max_iters: 20,
+            tol: 0.0,
+        }
+        .fit(&data, 3, 3);
+        assert!(
+            many.inertia <= one.inertia * 1.0001,
+            "{} vs {}",
+            many.inertia,
+            one.inertia
+        );
     }
 
     #[test]

@@ -150,13 +150,18 @@ mod tests {
 
     #[test]
     fn egemm_recall_matches_fp32_and_beats_half() {
-        // The paper's precision motivation, measured. Dense reference sets
-        // in higher dimension create near-ties at the k-th neighbour: the
-        // half-precision cross-term error (~2^-11 per product, accumulated
-        // over d terms) exceeds the neighbour-distance gaps and flips
-        // rankings, while the 21-bit emulation preserves them.
-        let q = uniform_cloud(48, 256, 3);
-        let r = uniform_cloud(3000, 256, 4);
+        // The paper's precision motivation, measured. Uniform clouds do
+        // not discriminate: rank 10 of thousands sits in the sparse left
+        // tail of the distance distribution, where neighbour gaps
+        // (1e-2..5e-1 here) structurally exceed the half cross-term error
+        // (~1e-2), so half recall is 1.0 up to RNG luck. Clustered points
+        // with near-duplicate references create genuine near-ties
+        // (within-blob gaps ~7e-3 at sigma = 0.02): the half-precision
+        // error flips those rankings while the 21-bit emulation, ~350x
+        // more accurate, preserves them.
+        let (all, _, _) = crate::datasets::gaussian_blobs(3048, 256, 100, 0.02, 3);
+        let q = egemm_matrix::Matrix::from_fn(48, 256, |i, j| all.get(i, j));
+        let r = egemm_matrix::Matrix::from_fn(3000, 256, |i, j| all.get(48 + i, j));
         let truth = knn_exact(&q, &r, 10);
         let spec = DeviceSpec::t4();
         let eg = EgemmTc::auto(spec);
@@ -164,8 +169,14 @@ mod tests {
         let rec_eg = recall_at_k(&Knn::new(&eg).search(&q, &r, 10).indices, &truth);
         let rec_half = recall_at_k(&Knn::new(&half).search(&q, &r, 10).indices, &truth);
         assert!(rec_eg >= 0.99, "EGEMM recall {rec_eg}");
-        assert!(rec_half < 0.999, "half recall {rec_half} should show misrankings");
-        assert!(rec_half < rec_eg, "half recall {rec_half} vs EGEMM {rec_eg}");
+        assert!(
+            rec_half < 0.97,
+            "half recall {rec_half} should show misrankings"
+        );
+        assert!(
+            rec_half < rec_eg,
+            "half recall {rec_half} vs EGEMM {rec_eg}"
+        );
     }
 
     #[test]
@@ -195,10 +206,7 @@ mod tests {
     #[should_panic(expected = "dimensionality mismatch")]
     fn dim_mismatch_panics() {
         let backend = CublasCudaFp32::new();
-        let _ = Knn::new(&backend).search(
-            &Matrix::<f32>::zeros(2, 3),
-            &Matrix::<f32>::zeros(2, 4),
-            1,
-        );
+        let _ =
+            Knn::new(&backend).search(&Matrix::<f32>::zeros(2, 3), &Matrix::<f32>::zeros(2, 4), 1);
     }
 }

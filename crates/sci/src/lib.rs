@@ -31,6 +31,6 @@ pub use egemm_baselines::GemmBaseline;
 pub use kmeans::{KMeans, KMeansResult};
 pub use knn::{knn_exact, knn_exact_recall, recall_at_k, Knn, KnnResult};
 pub use timing::{
-    app_speedup, epilogue_time, kmeans_iteration, knn_iteration, AppPhase, AppTiming,
-    KMEANS_D, KMEANS_K, KNN_D, KNN_K,
+    app_speedup, epilogue_time, kmeans_iteration, knn_iteration, AppPhase, AppTiming, KMEANS_D,
+    KMEANS_K, KNN_D, KNN_K,
 };

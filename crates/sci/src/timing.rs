@@ -91,7 +91,10 @@ pub fn kmeans_iteration(
     // matches the paper's 67% (§1).
     let bytes = (n * k * 4 + n * d * 2 + k * d * 4) as u64;
     let flops = (n * k * 3 + n * d) as u64;
-    AppTiming { gemm_s: gemm, epilogue_s: epilogue_time(spec, bytes, flops) }
+    AppTiming {
+        gemm_s: gemm,
+        epilogue_s: epilogue_time(spec, bytes, flops),
+    }
 }
 
 /// One kNN search over `n` queries and `n` references in `d` dims with
@@ -110,7 +113,10 @@ pub fn knn_iteration(
     // its comparison swaps) — calibrated to the paper's 85% GEMM share.
     let bytes = (n * n * 8) as u64;
     let flops = (n * n + n * k * 32) as u64;
-    AppTiming { gemm_s: gemm, epilogue_s: epilogue_time(spec, bytes, flops) }
+    AppTiming {
+        gemm_s: gemm,
+        epilogue_s: epilogue_time(spec, bytes, flops),
+    }
 }
 
 /// Figure 12's quantity: total-time speedup of swapping the baseline GEMM
@@ -141,12 +147,18 @@ mod tests {
             let t_eg = kmeans_iteration(&spec, &eg, n, KMEANS_D, KMEANS_K);
             let t_fp = kmeans_iteration(&spec, &fp, n, KMEANS_D, KMEANS_K);
             let s = app_speedup(t_fp, t_eg);
-            assert!(s >= last * 0.9, "speedup should grow with n: {speedups:?} then {s}");
+            assert!(
+                s >= last * 0.9,
+                "speedup should grow with n: {speedups:?} then {s}"
+            );
             last = s;
             speedups.push(s);
         }
         let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        assert!((1.2..=2.4).contains(&avg), "kMeans avg speedup {avg} ({speedups:?})");
+        assert!(
+            (1.2..=2.4).contains(&avg),
+            "kMeans avg speedup {avg} ({speedups:?})"
+        );
         assert!(speedups[0] < *speedups.last().unwrap(), "growth required");
     }
 
@@ -163,7 +175,10 @@ mod tests {
             speedups.push(app_speedup(t_fp, t_eg));
         }
         let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        assert!((1.3..=2.6).contains(&avg), "kNN avg speedup {avg} ({speedups:?})");
+        assert!(
+            (1.3..=2.6).contains(&avg),
+            "kNN avg speedup {avg} ({speedups:?})"
+        );
     }
 
     #[test]
@@ -174,7 +189,10 @@ mod tests {
         let fp = CublasCudaFp32::new();
         let f_kmeans = kmeans_iteration(&spec, &fp, 16384, KMEANS_D, KMEANS_K).gemm_fraction();
         let f_knn = knn_iteration(&spec, &fp, 16384, KNN_D, KNN_K).gemm_fraction();
-        assert!((0.5..=0.85).contains(&f_kmeans), "kMeans GEMM fraction {f_kmeans}");
+        assert!(
+            (0.5..=0.85).contains(&f_kmeans),
+            "kMeans GEMM fraction {f_kmeans}"
+        );
         assert!((0.7..=0.95).contains(&f_knn), "kNN GEMM fraction {f_knn}");
         assert!(f_knn > f_kmeans, "kNN is more GEMM-heavy than kMeans");
     }
@@ -194,8 +212,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "epilogues must be identical")]
     fn mismatched_epilogues_rejected() {
-        let a = AppTiming { gemm_s: 1.0, epilogue_s: 0.5 };
-        let b = AppTiming { gemm_s: 0.5, epilogue_s: 0.4 };
+        let a = AppTiming {
+            gemm_s: 1.0,
+            epilogue_s: 0.5,
+        };
+        let b = AppTiming {
+            gemm_s: 0.5,
+            epilogue_s: 0.4,
+        };
         let _ = app_speedup(a, b);
     }
 }

@@ -44,8 +44,17 @@ pub struct Fragment {
 impl Fragment {
     /// Allocate an operand fragment (binary16 payload).
     pub fn new_operand(kind: FragmentKind, rows: usize, cols: usize) -> Fragment {
-        assert!(matches!(kind, FragmentKind::MatrixA | FragmentKind::MatrixB));
-        Fragment { kind, rows, cols, half_data: vec![Half::ZERO; rows * cols], float_data: Vec::new() }
+        assert!(matches!(
+            kind,
+            FragmentKind::MatrixA | FragmentKind::MatrixB
+        ));
+        Fragment {
+            kind,
+            rows,
+            cols,
+            half_data: vec![Half::ZERO; rows * cols],
+            float_data: Vec::new(),
+        }
     }
 
     /// Allocate an accumulator fragment (binary32 payload), zero-filled —
@@ -79,14 +88,20 @@ impl Fragment {
     /// binary16 tile.
     pub fn load_half(&mut self, tile: &[Half]) {
         assert_eq!(tile.len(), self.rows * self.cols, "tile size");
-        assert!(!matches!(self.kind, FragmentKind::Accumulator), "operand fragment expected");
+        assert!(
+            !matches!(self.kind, FragmentKind::Accumulator),
+            "operand fragment expected"
+        );
         self.half_data.copy_from_slice(tile);
     }
 
     /// `load_matrix_sync` for the accumulator: fill from binary32.
     pub fn load_float(&mut self, tile: &[f32]) {
         assert_eq!(tile.len(), self.rows * self.cols, "tile size");
-        assert!(matches!(self.kind, FragmentKind::Accumulator), "accumulator expected");
+        assert!(
+            matches!(self.kind, FragmentKind::Accumulator),
+            "accumulator expected"
+        );
         self.float_data.copy_from_slice(tile);
     }
 
@@ -161,7 +176,10 @@ pub struct FragCache {
 impl FragCache {
     /// A cache bounded by the warp's register budget in bytes.
     pub fn new(capacity_bytes: usize) -> FragCache {
-        FragCache { capacity_bytes, ..Default::default() }
+        FragCache {
+            capacity_bytes,
+            ..Default::default()
+        }
     }
 
     /// Register the access of `bytes` for tile `key`.

@@ -211,8 +211,14 @@ mod tests {
         body.push(Op::Hmma1688, vec![DepRef::Same(l)]);
         assert_eq!(body.count(Op::Hmma1688), 2);
         assert_eq!(body.flops_per_iteration(), 2 * 2048);
-        assert_eq!(body.pipe_issue_cycles(Pipe::Mem, &lat), lat.lds128_issue as u64);
-        assert_eq!(body.pipe_issue_cycles(Pipe::Tc, &lat), 2 * lat.hmma_issue as u64);
+        assert_eq!(
+            body.pipe_issue_cycles(Pipe::Mem, &lat),
+            lat.lds128_issue as u64
+        );
+        assert_eq!(
+            body.pipe_issue_cycles(Pipe::Tc, &lat),
+            2 * lat.hmma_issue as u64
+        );
     }
 
     #[test]

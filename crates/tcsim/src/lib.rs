@@ -44,7 +44,11 @@ pub use frag::{Fragment, FragmentKind};
 pub use isa::{DepRef, Instr, LoopBody, Op};
 pub use mma::{mma, tensor_core_mma, MmaShape, OpPrecision};
 pub use occupancy::{blocks_per_sm, BlockResources};
-pub use probe::{agreement_mantissa_bits, identify_precision, ComputePrimitive, ProbeReport, TensorCoreDevice};
-pub use sched::{render_timeline, simulate_loop, simulate_loop_traced, ScheduleMode, SimResult, TraceEvent};
+pub use probe::{
+    agreement_mantissa_bits, identify_precision, ComputePrimitive, ProbeReport, TensorCoreDevice,
+};
+pub use sched::{
+    render_timeline, simulate_loop, simulate_loop_traced, ScheduleMode, SimResult, TraceEvent,
+};
 pub use spec::{Arch, DeviceSpec, InstrLatencies, ResourceBudget};
 pub use timing::{kernel_time, Bound, KernelDesc, KernelTiming};

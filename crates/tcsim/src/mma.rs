@@ -26,7 +26,11 @@ pub struct MmaShape {
 impl MmaShape {
     /// The CUDA WMMA API tile (`wmma::mma_sync` with 16x16x16 fragments) —
     /// what the paper's profiling code (Figure 3) calls.
-    pub const WMMA_16X16X16: MmaShape = MmaShape { m: 16, n: 16, k: 16 };
+    pub const WMMA_16X16X16: MmaShape = MmaShape {
+        m: 16,
+        n: 16,
+        k: 16,
+    };
     /// The native Turing SASS instruction HMMA.1688.F32 (m16 n8 k8): one
     /// WMMA tile is 2x2x2 = 8 of these (§6, Eq. 5 uses its 2·16·8·8 FLOPs).
     pub const HMMA_1688: MmaShape = MmaShape { m: 16, n: 8, k: 8 };
@@ -193,9 +197,17 @@ mod tests {
         let single = mma(&a, &b, &c, shape, OpPrecision::Single);
         let half = mma(&a, &b, &c, shape, OpPrecision::Half);
         let err = |v: &[f32]| -> f64 {
-            v.iter().zip(&exact).map(|(&x, &y)| (x as f64 - y as f64).abs()).fold(0.0, f64::max)
+            v.iter()
+                .zip(&exact)
+                .map(|(&x, &y)| (x as f64 - y as f64).abs())
+                .fold(0.0, f64::max)
         };
-        assert!(err(&half) > err(&single) * 10.0, "half {}, single {}", err(&half), err(&single));
+        assert!(
+            err(&half) > err(&single) * 10.0,
+            "half {}, single {}",
+            err(&half),
+            err(&single)
+        );
     }
 
     #[test]
@@ -220,6 +232,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "A tile size")]
     fn tile_size_checked() {
-        let _ = mma(&[Half::ZERO; 4], &[Half::ZERO; 256], &[0.0; 256], MmaShape::WMMA_16X16X16, OpPrecision::Single);
+        let _ = mma(
+            &[Half::ZERO; 4],
+            &[Half::ZERO; 256],
+            &[0.0; 256],
+            MmaShape::WMMA_16X16X16,
+            OpPrecision::Single,
+        );
     }
 }

@@ -46,11 +46,10 @@ pub fn blocks_per_sm(spec: &DeviceSpec, res: &BlockResources) -> usize {
         // choosing a degraded kernel).
         return 0;
     }
-    let by_smem = if res.smem_bytes == 0 {
-        usize::MAX
-    } else {
-        spec.shared_mem_per_sm / res.smem_bytes
-    };
+    let by_smem = spec
+        .shared_mem_per_sm
+        .checked_div(res.smem_bytes)
+        .unwrap_or(usize::MAX);
     let by_regs = if res.register_bytes() == 0 {
         usize::MAX
     } else {
@@ -87,10 +86,22 @@ pub fn registers_without_reuse(stages: &[StageRegs]) -> usize {
 /// store. With reuse the footprint is the compute stage's 232 registers —
 /// "we utilize 232 out of 256 registers on each thread".
 pub const EGEMM_STAGES: [StageRegs; 4] = [
-    StageRegs { name: "context/addressing", regs: 40 },
-    StageRegs { name: "load C", regs: 148 },
-    StageRegs { name: "compute", regs: 232 },
-    StageRegs { name: "store C", regs: 140 },
+    StageRegs {
+        name: "context/addressing",
+        regs: 40,
+    },
+    StageRegs {
+        name: "load C",
+        regs: 148,
+    },
+    StageRegs {
+        name: "compute",
+        regs: 232,
+    },
+    StageRegs {
+        name: "store C",
+        regs: 140,
+    },
 ];
 
 #[cfg(test)]
@@ -106,37 +117,65 @@ mod tests {
     fn table4_design_point_is_one_block_per_sm() {
         // Table 4: (128,128,32) tiling -> 36 KB smem/block, 8 warps/block,
         // 1 active block/SM.
-        let res = BlockResources { smem_bytes: 36 * 1024, regs_per_thread: 232, threads: 256 };
+        let res = BlockResources {
+            smem_bytes: 36 * 1024,
+            regs_per_thread: 232,
+            threads: 256,
+        };
         assert_eq!(blocks_per_sm(&t4(), &res), 1);
     }
 
     #[test]
     fn smem_limit() {
-        let res = BlockResources { smem_bytes: 20 * 1024, regs_per_thread: 32, threads: 128 };
+        let res = BlockResources {
+            smem_bytes: 20 * 1024,
+            regs_per_thread: 32,
+            threads: 128,
+        };
         // smem: 64/20 = 3; regs: 256KB/(32*128*4)=16; warps: 32/4 = 8.
         assert_eq!(blocks_per_sm(&t4(), &res), 3);
     }
 
     #[test]
     fn register_limit() {
-        let res = BlockResources { smem_bytes: 1024, regs_per_thread: 128, threads: 256 };
+        let res = BlockResources {
+            smem_bytes: 1024,
+            regs_per_thread: 128,
+            threads: 256,
+        };
         // regs: 262144 / (128*256*4) = 2.
         assert_eq!(blocks_per_sm(&t4(), &res), 2);
     }
 
     #[test]
     fn warp_slot_limit() {
-        let res = BlockResources { smem_bytes: 0, regs_per_thread: 16, threads: 512 };
+        let res = BlockResources {
+            smem_bytes: 0,
+            regs_per_thread: 16,
+            threads: 512,
+        };
         // warps/block = 16, max 32 -> 2 blocks.
         assert_eq!(blocks_per_sm(&t4(), &res), 2);
     }
 
     #[test]
     fn over_limit_blocks_do_not_fit() {
-        let res = BlockResources { smem_bytes: 100 * 1024, regs_per_thread: 32, threads: 256 };
+        let res = BlockResources {
+            smem_bytes: 100 * 1024,
+            regs_per_thread: 32,
+            threads: 256,
+        };
         assert_eq!(blocks_per_sm(&t4(), &res), 0);
-        let res = BlockResources { smem_bytes: 1024, regs_per_thread: 300, threads: 32 };
-        assert_eq!(blocks_per_sm(&t4(), &res), 0, "exceeds architectural register bound");
+        let res = BlockResources {
+            smem_bytes: 1024,
+            regs_per_thread: 300,
+            threads: 32,
+        };
+        assert_eq!(
+            blocks_per_sm(&t4(), &res),
+            0,
+            "exceeds architectural register bound"
+        );
     }
 
     #[test]
@@ -147,7 +186,10 @@ mod tests {
         let without = registers_without_reuse(&EGEMM_STAGES);
         assert_eq!(with, 232);
         assert!(with <= t4().max_registers_per_thread);
-        assert!(without > t4().max_registers_per_thread, "naive allocation spills: {without}");
+        assert!(
+            without > t4().max_registers_per_thread,
+            "naive allocation spills: {without}"
+        );
     }
 
     #[test]

@@ -144,7 +144,12 @@ pub fn identify_precision(
     let hypotheses = [OpPrecision::Half, OpPrecision::Single, OpPrecision::Exact];
     let mut outcomes: Vec<ProbeOutcome> = hypotheses
         .iter()
-        .map(|&h| ProbeOutcome { hypothesis: h, matching_trials: 0, trials, max_abs_diff: 0.0 })
+        .map(|&h| ProbeOutcome {
+            hypothesis: h,
+            matching_trials: 0,
+            trials,
+            max_abs_diff: 0.0,
+        })
         .collect();
     for _ in 0..trials {
         // Randomized high-precision input, stored at the device's input
@@ -155,8 +160,9 @@ pub fn identify_precision(
         let b: Vec<Half> = (0..shape.k * shape.n)
             .map(|_| Half::from_f64(rng.random_range(-1.0..=1.0)))
             .collect();
-        let c: Vec<f32> =
-            (0..shape.m * shape.n).map(|_| rng.random_range(-1.0f32..=1.0)).collect();
+        let c: Vec<f32> = (0..shape.m * shape.n)
+            .map(|_| rng.random_range(-1.0f32..=1.0))
+            .collect();
         let device_out = device.mma(&a, &b, &c, shape);
         for outcome in outcomes.iter_mut() {
             let probe_out = mma(&a, &b, &c, shape, outcome.hypothesis);
@@ -175,7 +181,11 @@ pub fn identify_precision(
             }
         }
     }
-    ProbeReport { outcomes, trials, shape }
+    ProbeReport {
+        outcomes,
+        trials,
+        shape,
+    }
 }
 
 /// Measure the *agreement depth* between the device and the
@@ -207,8 +217,9 @@ pub fn agreement_mantissa_bits(
         let b: Vec<Half> = (0..shape.k * shape.n)
             .map(|_| Half::from_f64(rng.random_range(-1.0..=1.0)))
             .collect();
-        let c: Vec<f32> =
-            (0..shape.m * shape.n).map(|_| rng.random_range(-1.0f32..=1.0)).collect();
+        let c: Vec<f32> = (0..shape.m * shape.n)
+            .map(|_| rng.random_range(-1.0f32..=1.0))
+            .collect();
         let device_out = device.mma(&a, &b, &c, shape);
         let probe_out = mma(&a, &b, &c, shape, OpPrecision::Single);
         for (&x, &y) in probe_out.iter().zip(&device_out) {
@@ -237,8 +248,7 @@ mod tests {
     #[test]
     fn identifies_tensor_core_as_single_precision() {
         // The paper's central profiling claim, at the paper's WMMA shape.
-        let report =
-            identify_precision(&TensorCoreDevice, MmaShape::WMMA_16X16X16, 200, 42);
+        let report = identify_precision(&TensorCoreDevice, MmaShape::WMMA_16X16X16, 200, 42);
         assert_eq!(report.verdict(), Some(OpPrecision::Single));
         let single = &report.outcomes[1];
         assert!(single.accepted());
@@ -251,15 +261,13 @@ mod tests {
 
     #[test]
     fn identifies_half_datapath() {
-        let report =
-            identify_precision(&HalfDatapathDevice, MmaShape::WMMA_16X16X16, 100, 7);
+        let report = identify_precision(&HalfDatapathDevice, MmaShape::WMMA_16X16X16, 100, 7);
         assert_eq!(report.verdict(), Some(OpPrecision::Half));
     }
 
     #[test]
     fn identifies_exact_datapath() {
-        let report =
-            identify_precision(&ExactDatapathDevice, MmaShape::WMMA_16X16X16, 100, 8);
+        let report = identify_precision(&ExactDatapathDevice, MmaShape::WMMA_16X16X16, 100, 8);
         assert_eq!(report.verdict(), Some(OpPrecision::Exact));
     }
 
@@ -279,18 +287,18 @@ mod tests {
     fn agreement_depth_matches_paper_phrasing() {
         // The simulated TC is bitwise single-precision: full 23 bits of
         // agreement — comfortably above the paper's observed >= 21.
-        let bits =
-            agreement_mantissa_bits(&TensorCoreDevice, MmaShape::WMMA_16X16X16, 200, 1);
+        let bits = agreement_mantissa_bits(&TensorCoreDevice, MmaShape::WMMA_16X16X16, 200, 1);
         assert_eq!(bits, 23);
         // A device with exact internal accumulation rounds differently in
         // the last places: still >= 18 agreed bits (extended precision
         // would survive on such hardware too), but below full agreement.
-        let exact =
-            agreement_mantissa_bits(&ExactDatapathDevice, MmaShape::WMMA_16X16X16, 200, 2);
-        assert!((18..23).contains(&exact), "exact datapath agrees to {exact} bits");
+        let exact = agreement_mantissa_bits(&ExactDatapathDevice, MmaShape::WMMA_16X16X16, 200, 2);
+        assert!(
+            (18..23).contains(&exact),
+            "exact datapath agrees to {exact} bits"
+        );
         // The all-half datapath collapses far below the 21-bit requirement.
-        let half =
-            agreement_mantissa_bits(&HalfDatapathDevice, MmaShape::WMMA_16X16X16, 200, 3);
+        let half = agreement_mantissa_bits(&HalfDatapathDevice, MmaShape::WMMA_16X16X16, 200, 3);
         assert!(half < 15, "half datapath agrees to {half} bits");
         assert!(half < exact && exact <= bits);
     }

@@ -151,7 +151,10 @@ pub fn render_timeline(trace: &[TraceEvent], cycles: u64, width: usize) -> Strin
                 }
             }
             if any {
-                out.push_str(&format!("w{w} {pipe:>5?} |{}|\n", row.iter().collect::<String>()));
+                out.push_str(&format!(
+                    "w{w} {pipe:>5?} |{}|\n",
+                    row.iter().collect::<String>()
+                ));
             }
         }
     }
@@ -181,7 +184,11 @@ fn simulate_inner(
     assert!(warps > 0, "at least one warp");
     let n = body.instrs.len();
     if n == 0 || iterations == 0 {
-        return SimResult { cycles: 0, issued: 0, pipe_busy: [0; PIPE_COUNT] };
+        return SimResult {
+            cycles: 0,
+            issued: 0,
+            pipe_busy: [0; PIPE_COUNT],
+        };
     }
     let lat = &spec.lat;
     let mut pipe_free = [0u64; PIPE_COUNT];
@@ -208,7 +215,10 @@ fn simulate_inner(
                 continue;
             }
             let instr = &body.instrs[st.next];
-            let mut t = st.ready.max(port_free).max(pipe_free[instr.op.pipe().index()]);
+            let mut t = st
+                .ready
+                .max(port_free)
+                .max(pipe_free[instr.op.pipe().index()]);
             if mode == ScheduleMode::Interleaved {
                 for dep in &instr.deps {
                     let c = match *dep {
@@ -270,7 +280,11 @@ fn simulate_inner(
         }
     }
 
-    SimResult { cycles: last_completion, issued, pipe_busy }
+    SimResult {
+        cycles: last_completion,
+        issued,
+        pipe_busy,
+    }
 }
 
 /// Steady-state cycles per iteration per partition: simulate `base` and
@@ -360,12 +374,21 @@ mod tests {
         // 8 HMMA x issue cycles per partition-iteration.
         let int4 = steady_cycles_per_iter(&spec, &b, 4, ScheduleMode::Interleaved);
         let tc_per_iter = 4.0 * 8.0 * spec.lat.hmma_issue as f64;
-        assert!(int4 >= tc_per_iter * 0.9, "cannot beat the TC pipe bound: {int4}");
-        assert!(int4 <= tc_per_iter * 1.5, "too far off the TC pipe bound: {int4}");
+        assert!(
+            int4 >= tc_per_iter * 0.9,
+            "cannot beat the TC pipe bound: {int4}"
+        );
+        assert!(
+            int4 <= tc_per_iter * 1.5,
+            "too far off the TC pipe bound: {int4}"
+        );
         // Multi-warp sequential still beats single-warp sequential
         // (hardware warp switching), but software interleaving adds on top.
         let seq4 = steady_cycles_per_iter(&spec, &b, 4, ScheduleMode::Sequential);
-        assert!(int4 < seq4, "interleaved {int4} vs sequential {seq4} at 4 warps");
+        assert!(
+            int4 < seq4,
+            "interleaved {int4} vs sequential {seq4} at 4 warps"
+        );
     }
 
     #[test]

@@ -251,8 +251,7 @@ impl DeviceSpec {
 
     /// Peak FP32 CUDA-core throughput at the FP32 sustained clock, TFLOPS.
     pub fn fp32_peak_tflops(&self) -> f64 {
-        self.fp32_flops_per_cycle_per_sm() * self.sm_count as f64
-            * self.sustained_clock_fp32_ghz
+        self.fp32_flops_per_cycle_per_sm() * self.sm_count as f64 * self.sustained_clock_fp32_ghz
             / 1e3
     }
 
@@ -263,7 +262,8 @@ impl DeviceSpec {
             register_file_bytes: self.register_file_per_sm,
             // Table 3 quotes the boost-clock Tensor Core peak (2^6 TFLOPS
             // on T4).
-            peak_tflops: self.tc_flops_per_cycle_per_sm() * self.sm_count as f64
+            peak_tflops: self.tc_flops_per_cycle_per_sm()
+                * self.sm_count as f64
                 * self.boost_clock_ghz
                 / 1e3,
             l2_bandwidth_gbps: self.l2_bandwidth_gbps,
@@ -278,7 +278,11 @@ mod tests {
     #[test]
     fn t4_matches_public_specs() {
         let t4 = DeviceSpec::t4();
-        assert_eq!(t4.sm_count * t4.tensor_cores_per_sm, 320, "§7.1: 320 Tensor Cores");
+        assert_eq!(
+            t4.sm_count * t4.tensor_cores_per_sm,
+            320,
+            "§7.1: 320 Tensor Cores"
+        );
         assert_eq!(t4.sm_count * t4.cuda_cores_per_sm, 2560);
         assert_eq!(t4.shared_mem_per_sm, 65536, "Table 3: 64 KB");
         assert_eq!(t4.register_file_per_sm, 262144, "Table 3: 256 KB");
@@ -289,7 +293,11 @@ mod tests {
     #[test]
     fn rtx6000_matches_public_specs() {
         let rtx = DeviceSpec::rtx6000();
-        assert_eq!(rtx.sm_count * rtx.tensor_cores_per_sm, 576, "§7.1: 576 Tensor Cores");
+        assert_eq!(
+            rtx.sm_count * rtx.tensor_cores_per_sm,
+            576,
+            "§7.1: 576 Tensor Cores"
+        );
         assert!(rtx.dram_bandwidth_gbps > DeviceSpec::t4().dram_bandwidth_gbps);
     }
 

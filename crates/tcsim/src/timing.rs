@@ -114,8 +114,9 @@ pub fn kernel_time(spec: &DeviceSpec, desc: &KernelDesc) -> KernelTiming {
     let cycles_per_iter = if desc.body.instrs.is_empty() {
         0.0
     } else {
-        let warps_per_partition =
-            (desc.warps_per_block * bpsm).div_ceil(spec.partitions_per_sm).max(1);
+        let warps_per_partition = (desc.warps_per_block * bpsm)
+            .div_ceil(spec.partitions_per_sm)
+            .max(1);
         steady_cycles_per_iter(spec, &desc.body, warps_per_partition, desc.schedule)
     };
     // Full waves run at the occupancy limit; the trailing partial wave
@@ -127,12 +128,14 @@ pub fn kernel_time(spec: &DeviceSpec, desc: &KernelDesc) -> KernelTiming {
     let waves = full_waves + u64::from(rem_blocks > 0);
     let mut total_cycles = full_waves as f64 * set_cycles(bpsm);
     if rem_blocks > 0 {
-        let rem_occupancy =
-            ((rem_blocks as usize).div_ceil(spec.sm_count)).clamp(1, bpsm);
+        let rem_occupancy = ((rem_blocks as usize).div_ceil(spec.sm_count)).clamp(1, bpsm);
         total_cycles += set_cycles(rem_occupancy);
     }
-    let clock_ghz =
-        if desc.fp32_clock { spec.sustained_clock_fp32_ghz } else { spec.sustained_clock_ghz };
+    let clock_ghz = if desc.fp32_clock {
+        spec.sustained_clock_fp32_ghz
+    } else {
+        spec.sustained_clock_ghz
+    };
     let clock_hz = clock_ghz * 1e9;
     let compute_time_s = total_cycles / clock_hz;
     let dram_time_s = desc.dram_bytes as f64 / (spec.dram_bandwidth_gbps * 1e9);
@@ -184,7 +187,11 @@ mod tests {
             iterations_per_warp: iters,
             blocks,
             warps_per_block: 8,
-            resources: BlockResources { smem_bytes: 36 * 1024, regs_per_thread: 232, threads: 256 },
+            resources: BlockResources {
+                smem_bytes: 36 * 1024,
+                regs_per_thread: 232,
+                threads: 256,
+            },
             dram_bytes: dram,
             launches: 1,
             schedule: ScheduleMode::Interleaved,
@@ -237,7 +244,11 @@ mod tests {
         assert_eq!(t.bound, Bound::Memory);
         // 64 GiB at 320 GB/s = 0.2147 s.
         let expect = (64u64 * 1024 * 1024 * 1024) as f64 / 320e9;
-        assert!((t.time_s - expect).abs() / expect < 0.05, "time {}", t.time_s);
+        assert!(
+            (t.time_s - expect).abs() / expect < 0.05,
+            "time {}",
+            t.time_s
+        );
     }
 
     #[test]
@@ -270,7 +281,12 @@ mod tests {
         ds.schedule = ScheduleMode::Sequential;
         let ti = kernel_time(&spec, &d);
         let ts = kernel_time(&spec, &ds);
-        assert!(ts.time_s > ti.time_s, "sequential {} <= interleaved {}", ts.time_s, ti.time_s);
+        assert!(
+            ts.time_s > ti.time_s,
+            "sequential {} <= interleaved {}",
+            ts.time_s,
+            ti.time_s
+        );
     }
 
     #[test]
@@ -280,7 +296,10 @@ mod tests {
         let t40 = kernel_time(&spec, &desc(40, 64, 1)).compute_time_s;
         let t41 = kernel_time(&spec, &desc(41, 64, 1)).compute_time_s;
         let t80 = kernel_time(&spec, &desc(80, 64, 1)).compute_time_s;
-        assert!((t41 - t80).abs() < 1e-12, "41 and 80 blocks both take 2 waves");
+        assert!(
+            (t41 - t80).abs() < 1e-12,
+            "41 and 80 blocks both take 2 waves"
+        );
         assert!((t80 / t40 - 2.0).abs() < 1e-9);
     }
 

@@ -27,7 +27,7 @@ fn report(name: &str, model: &AnalyticModel) {
         Some(best) => {
             println!("  chosen tiling: {}", best.config);
             println!(
-            "    objective (Eq.4) = {:.1}, T_comp = {:.0} cyc, T_mem1+T_mem2 = {:.0} cyc",
+                "    objective (Eq.4) = {:.1}, T_comp = {:.0} cyc, T_mem1+T_mem2 = {:.0} cyc",
                 best.objective,
                 best.t_comp,
                 best.t_mem1 + best.t_mem2

@@ -10,9 +10,7 @@
 //! simulated iteration-time speedup for the paper's data-size sweep.
 
 use egemm_baselines::{CublasCudaFp32, EgemmTc, GemmBaseline};
-use egemm_sci::{
-    app_speedup, gaussian_blobs, kmeans_iteration, KMeans, KMEANS_D, KMEANS_K,
-};
+use egemm_sci::{app_speedup, gaussian_blobs, kmeans_iteration, KMeans, KMEANS_D, KMEANS_K};
 use egemm_tcsim::DeviceSpec;
 
 fn main() {
@@ -39,7 +37,10 @@ fn main() {
             }
         }
     }
-    println!("  pair agreement with ground truth: {:.2}%", 100.0 * agree as f64 / total as f64);
+    println!(
+        "  pair agreement with ground truth: {:.2}%",
+        100.0 * agree as f64 / total as f64
+    );
 
     let fp32 = KMeans::new(&cublas).fit(&data, 6, 7);
     let same = result
@@ -59,7 +60,10 @@ fn main() {
          (d = {KMEANS_D}, k = {KMEANS_K}):",
         spec.name
     );
-    println!("  {:>8} {:>12} {:>12} {:>10} {:>12}", "points", "base (ms)", "egemm (ms)", "speedup", "gemm share");
+    println!(
+        "  {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "points", "base (ms)", "egemm (ms)", "speedup", "gemm share"
+    );
     for n in [2048usize, 4096, 8192, 12288, 16384] {
         let t_fp = kmeans_iteration(&spec, &cublas, n, KMEANS_D, KMEANS_K);
         let t_eg = kmeans_iteration(&spec, &egemm, n, KMEANS_D, KMEANS_K);

@@ -17,10 +17,16 @@ fn main() {
     let iters = 3;
 
     for (title, opts) in [
-        ("Figure 6 ordering (w/ latency hiding): LDG prefetch + delayed STS", KernelOpts::default()),
+        (
+            "Figure 6 ordering (w/ latency hiding): LDG prefetch + delayed STS",
+            KernelOpts::default(),
+        ),
         (
             "naive ordering (w/o latency hiding): LDG -> STS -> LDS -> HMMA chained",
-            KernelOpts { latency_hiding: false, ..KernelOpts::default() },
+            KernelOpts {
+                latency_hiding: false,
+                ..KernelOpts::default()
+            },
         ),
     ] {
         let desc = build_kernel(

@@ -28,9 +28,21 @@ fn main() {
     let d_tc = TensorCoreDevice.mma(&a, &b, &c, shape);
     let i = 0;
     println!("one probing trial, element (0,0):");
-    println!("  half_result:   {:>14.8}, {:#010x}", d_half[i], d_half[i].to_bits());
-    println!("  single_result: {:>14.8}, {:#010x}", d_single[i], d_single[i].to_bits());
-    println!("  Tensor Core :  {:>14.8}, {:#010x}", d_tc[i], d_tc[i].to_bits());
+    println!(
+        "  half_result:   {:>14.8}, {:#010x}",
+        d_half[i],
+        d_half[i].to_bits()
+    );
+    println!(
+        "  single_result: {:>14.8}, {:#010x}",
+        d_single[i],
+        d_single[i].to_bits()
+    );
+    println!(
+        "  Tensor Core :  {:>14.8}, {:#010x}",
+        d_tc[i],
+        d_tc[i].to_bits()
+    );
 
     // The full Figure 2 workflow: 10,000 randomized trials, as in §3.2.
     let trials = 10_000;

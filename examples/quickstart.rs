@@ -28,7 +28,10 @@ fn main() {
     // Extended-precision emulated GEMM (Algorithm 1).
     let out = engine.gemm(&a, &b);
     // Plain half-precision Tensor-Core GEMM for contrast.
-    let half = engine.clone().with_scheme(EmulationScheme::TcHalf).gemm(&a, &b);
+    let half = engine
+        .clone()
+        .with_scheme(EmulationScheme::TcHalf)
+        .gemm(&a, &b);
     // Ground truth.
     let truth = gemm_f64_of_f32(&a, &b).to_f64_vec();
 
@@ -36,8 +39,14 @@ fn main() {
     let err_half = ErrorStats::compare(&half.d.to_f64_vec(), &truth);
 
     println!("\n  scheme            max |err|      rms err");
-    println!("  EGEMM-TC        {:>11.3e} {:>12.3e}", err_eg.max_abs, err_eg.rms);
-    println!("  cuBLAS-TC-Half  {:>11.3e} {:>12.3e}", err_half.max_abs, err_half.rms);
+    println!(
+        "  EGEMM-TC        {:>11.3e} {:>12.3e}",
+        err_eg.max_abs, err_eg.rms
+    );
+    println!(
+        "  cuBLAS-TC-Half  {:>11.3e} {:>12.3e}",
+        err_half.max_abs, err_half.rms
+    );
     println!(
         "\n  max-error reduction: {:.0}x (paper: ~350x on average)",
         err_half.max_abs / err_eg.max_abs
@@ -47,5 +56,8 @@ fn main() {
     println!("  time       : {:.3} ms", out.timing.time_s * 1e3);
     println!("  throughput : {:.2} TFLOPS (Eq. 9)", out.timing.tflops);
     println!("  bound      : {:?}", out.timing.bound);
-    println!("  occupancy  : {} block(s)/SM, {} wave(s)", out.timing.blocks_per_sm, out.timing.waves);
+    println!(
+        "  occupancy  : {} block(s)/SM, {} wave(s)",
+        out.timing.blocks_per_sm, out.timing.waves
+    );
 }

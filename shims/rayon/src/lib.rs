@@ -1,0 +1,237 @@
+//! Offline drop-in shim for the subset of [rayon] this workspace uses.
+//!
+//! The build container has no route to crates.io, so the workspace patches
+//! `rayon` to this crate (see `[workspace.dependencies]`). It reproduces the
+//! parallel-iterator *surface* the workspace calls — `par_iter`,
+//! `par_iter_mut`, `par_chunks_mut`, `into_par_iter`, and the
+//! `enumerate`/`zip`/`map`/`for_each`/`collect`/`sum` adaptors — with real
+//! data parallelism on `std::thread::scope`.
+//!
+//! Execution model: structural adaptors (`enumerate`, `zip`) stay lazy on
+//! the underlying std iterator; the *work* stage (`map`/`for_each`) is what
+//! fans out. Items are materialized, split into one contiguous run per
+//! worker, and each worker applies the closure to its run. `map` results are
+//! reassembled in input order, so order-observable consumers (`collect`,
+//! `sum`) are deterministic and independent of the worker count.
+//!
+//! Worker count: `EGEMM_THREADS`, else `RAYON_NUM_THREADS`, else
+//! `std::thread::available_parallelism()`.
+//!
+//! [rayon]: https://docs.rs/rayon
+
+use std::sync::OnceLock;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Worker threads a parallel stage fans out to.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("EGEMM_THREADS")
+            .or_else(|_| std::env::var("RAYON_NUM_THREADS"))
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Split `items` into at most `parts` contiguous runs, preserving order.
+fn split_runs<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    for i in 0..parts {
+        let take = base + usize::from(i < rem);
+        let rest = items.split_off(take);
+        out.push(std::mem::replace(&mut items, rest));
+    }
+    out
+}
+
+fn par_for_each_vec<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
+    let workers = current_num_threads();
+    if workers <= 1 || items.len() <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let runs = split_runs(items, workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        for run in runs {
+            s.spawn(move || run.into_iter().for_each(f));
+        }
+    });
+}
+
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let workers = current_num_threads();
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let runs = split_runs(items, workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = runs
+            .into_iter()
+            .map(|run| s.spawn(move || run.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        // Joining in spawn order reassembles the runs in input order.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    })
+}
+
+/// A "parallel" iterator: a lazy std iterator whose work stage fans out.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I>
+where
+    I::Item: Send,
+{
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+    where
+        J::Item: Send,
+    {
+        ParIter(self.0.zip(other.0))
+    }
+
+    pub fn map<R: Send, F: Fn(I::Item) -> R + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap { iter: self.0, f }
+    }
+
+    pub fn for_each<F: Fn(I::Item) + Sync>(self, f: F) {
+        par_for_each_vec(self.0.collect(), f);
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// The work stage of a parallel pipeline: `iter`'s items, mapped by `f`
+/// across worker threads.
+pub struct ParMap<I, F> {
+    iter: I,
+    f: F,
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.iter.collect(), self.f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Parallel map, then an order-preserving sequential reduction — the
+    /// sum is bitwise independent of the worker count.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        par_map_vec(self.iter.collect(), self.f).into_iter().sum()
+    }
+
+    pub fn for_each(self, g: impl Fn(R) + Sync) {
+        let f = self.f;
+        par_for_each_vec(self.iter.collect(), move |x| g(f(x)));
+    }
+}
+
+/// `par_iter` over shared slices (and anything that derefs to one).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParIter(self.chunks_mut(chunk))
+    }
+}
+
+/// `into_par_iter` for owned collections and ranges.
+pub trait IntoParallelIterator: IntoIterator + Sized
+where
+    Self::Item: Send,
+{
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<C: IntoIterator + Sized> IntoParallelIterator for C where C::Item: Send {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut v = [0usize; 12];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = i * 10 + j;
+            }
+        });
+        assert_eq!(v[0..4], [0, 1, 2, 10]);
+        assert_eq!(v[11], 32);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_and_sum() {
+        let a = vec![1.0f64; 100];
+        let mut b = vec![0.0f64; 100];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(y, &x)| *y = x + 1.0);
+        let s: f64 = (0..100usize).into_par_iter().map(|i| b[i]).sum();
+        assert_eq!(s, 200.0);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v[9], 81);
+    }
+}

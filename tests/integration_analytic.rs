@@ -17,13 +17,26 @@ fn solver_choice_is_near_optimal_under_full_simulation() {
     let chosen = solve_tiling(&model).expect("solution");
     let shape = GemmShape::square(8192);
     let time_of = |cfg| {
-        let d = build_kernel(&spec, &cfg, shape, EmulationScheme::EgemmTc, KernelOpts::default());
+        let d = build_kernel(
+            &spec,
+            &cfg,
+            shape,
+            EmulationScheme::EgemmTc,
+            KernelOpts::default(),
+        );
         kernel_time(&spec, &d).time_s
     };
     let chosen_time = time_of(chosen.config);
-    let times: Vec<f64> =
-        model.feasible_candidates().iter().map(|c| time_of(c.config)).collect();
-    assert!(times.len() > 3, "need a meaningful candidate set, got {}", times.len());
+    let times: Vec<f64> = model
+        .feasible_candidates()
+        .iter()
+        .map(|c| time_of(c.config))
+        .collect();
+    assert!(
+        times.len() > 3,
+        "need a meaningful candidate set, got {}",
+        times.len()
+    );
     let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let beaten_clearly = times.iter().filter(|&&t| t < chosen_time * 0.95).count();
     // §6 claims the model replaces trial-and-error, not that it is the
@@ -79,7 +92,14 @@ fn infeasible_register_points_would_spill_in_simulation() {
     // the occupancy model's architectural bound.
     let spec = DeviceSpec::t4();
     let model = AnalyticModel::for_device(&spec);
-    let cfg = egemm::TilingConfig { bm: 256, bn: 128, bk: 32, wm: 128, wn: 32, wk: 8 };
+    let cfg = egemm::TilingConfig {
+        bm: 256,
+        bn: 128,
+        bk: 32,
+        wm: 128,
+        wn: 32,
+        wk: 8,
+    };
     assert!(model.evaluate(cfg).is_none());
     assert!(cfg.regs_per_thread() > spec.max_registers_per_thread);
 }

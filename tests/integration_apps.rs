@@ -3,8 +3,7 @@
 //! agreement and modeled-performance consistency.
 
 use egemm_baselines::{
-    CublasCudaFp32, CublasTcEmulation, CublasTcHalf, EgemmTc, GemmBaseline, Markidis,
-    SdkCudaFp32,
+    CublasCudaFp32, CublasTcEmulation, CublasTcHalf, EgemmTc, GemmBaseline, Markidis, SdkCudaFp32,
 };
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_sci::{
@@ -90,7 +89,10 @@ fn speedup_hierarchy_is_consistent_across_apps() {
 #[test]
 fn knn_gemm_dominates_at_scale_for_every_tc_backend() {
     let spec = DeviceSpec::t4();
-    for backend in [&EgemmTc::auto(spec) as &dyn GemmBaseline, &CublasTcHalf::new(spec)] {
+    for backend in [
+        &EgemmTc::auto(spec) as &dyn GemmBaseline,
+        &CublasTcHalf::new(spec),
+    ] {
         let t = knn_iteration(&spec, backend, 16384, KNN_D, KNN_K);
         assert!(
             t.gemm_fraction() > 0.3,
@@ -144,7 +146,9 @@ fn half_backend_loses_recall_on_dense_sets() {
     let r = jitter(800, 52, 0.02);
     let truth = knn_exact(&q, &r, 10);
     let rec_half = recall_at_k(
-        &Knn::new(&CublasTcHalf::new(spec)).search(&q, &r, 10).indices,
+        &Knn::new(&CublasTcHalf::new(spec))
+            .search(&q, &r, 10)
+            .indices,
         &truth,
     );
     let rec_eg = recall_at_k(

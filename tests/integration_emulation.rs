@@ -97,7 +97,10 @@ fn figure3_profiling_snippet() {
             d_half[i * 16 + j] = acc;
         }
     }
-    assert!(d_tc.iter().zip(&d_float).all(|(x, y)| x.to_bits() == y.to_bits()));
+    assert!(d_tc
+        .iter()
+        .zip(&d_float)
+        .all(|(x, y)| x.to_bits() == y.to_bits()));
     assert!(d_tc
         .iter()
         .zip(&d_half)

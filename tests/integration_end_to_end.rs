@@ -60,7 +60,11 @@ fn paper_error_ratio_reproduced_at_256() {
     let e_half = err(EmulationScheme::TcHalf);
     assert!(e_eg < 3e-4, "EGEMM-TC max err {e_eg} (paper: ~3e-5 at 256)");
     assert!(e_half > 1e-3, "half err {e_half} (paper: ~1e-2 at 256)");
-    assert!(e_half / e_eg > 50.0, "error reduction {} (paper: ~350x)", e_half / e_eg);
+    assert!(
+        e_half / e_eg > 50.0,
+        "error reduction {} (paper: ~350x)",
+        e_half / e_eg
+    );
     assert!(e_eg <= e_mk, "round-split {e_eg} vs truncate-split {e_mk}");
 }
 
@@ -75,9 +79,21 @@ fn optimization_switches_preserve_numerics() {
     // SM) — exactly what generic library kernels do.
     let slow = Egemm::new(
         DeviceSpec::t4(),
-        egemm::TilingConfig { bm: 64, bn: 64, bk: 32, wm: 32, wn: 32, wk: 8 },
+        egemm::TilingConfig {
+            bm: 64,
+            bn: 64,
+            bk: 32,
+            wm: 32,
+            wn: 32,
+            wk: 8,
+        },
     )
-    .with_opts(KernelOpts { frag_caching: false, latency_hiding: false, launches: 4 });
+    .with_opts(KernelOpts {
+        frag_caching: false,
+        latency_hiding: false,
+        launches: 4,
+        ..KernelOpts::default()
+    });
     let d1 = base.gemm(&a, &b);
     let d2 = slow.gemm(&a, &b);
     assert_eq!(d1.d, d2.d);

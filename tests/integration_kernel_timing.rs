@@ -9,14 +9,24 @@ use egemm_matrix::GemmShape;
 use egemm_tcsim::{kernel_time, Bound, DeviceSpec};
 
 fn egemm_timing(spec: &DeviceSpec, shape: GemmShape, opts: KernelOpts) -> f64 {
-    let d = build_kernel(spec, &TilingConfig::T4_PAPER, shape, EmulationScheme::EgemmTc, opts);
+    let d = build_kernel(
+        spec,
+        &TilingConfig::T4_PAPER,
+        shape,
+        EmulationScheme::EgemmTc,
+        opts,
+    );
     kernel_time(spec, &d).tflops
 }
 
 #[test]
 fn t4_throughput_band_at_8192() {
     // Artifact §A.3: ~12 TFLOPS for the SASS emulation kernel on T4.
-    let t = egemm_timing(&DeviceSpec::t4(), GemmShape::square(8192), KernelOpts::default());
+    let t = egemm_timing(
+        &DeviceSpec::t4(),
+        GemmShape::square(8192),
+        KernelOpts::default(),
+    );
     assert!((10.0..=14.0).contains(&t), "T4 8192^3: {t} TFLOPS");
 }
 
@@ -25,9 +35,16 @@ fn rtx6000_is_faster_than_t4() {
     // Figure 8b: same shape, higher absolute numbers on RTX 6000
     // (~25 vs ~12 TFLOPS at the top end).
     for n in [2048usize, 8192] {
-        let t4 = egemm_timing(&DeviceSpec::t4(), GemmShape::square(n), KernelOpts::default());
-        let rtx =
-            egemm_timing(&DeviceSpec::rtx6000(), GemmShape::square(n), KernelOpts::default());
+        let t4 = egemm_timing(
+            &DeviceSpec::t4(),
+            GemmShape::square(n),
+            KernelOpts::default(),
+        );
+        let rtx = egemm_timing(
+            &DeviceSpec::rtx6000(),
+            GemmShape::square(n),
+            KernelOpts::default(),
+        );
         assert!(rtx > t4 * 1.3, "n={n}: rtx {rtx} vs t4 {t4}");
     }
 }
@@ -55,18 +72,31 @@ fn all_optimizations_contribute() {
     let no_lh = egemm_timing(
         &spec,
         shape,
-        KernelOpts { latency_hiding: false, ..KernelOpts::default() },
+        KernelOpts {
+            latency_hiding: false,
+            ..KernelOpts::default()
+        },
     );
     // Without FRAG caching, C lives in shared memory and the paper-size
     // block tile no longer fits an SM: the un-optimized kernel must also
     // shrink its tiling (as generic library kernels do).
-    let small = TilingConfig { bm: 64, bn: 64, bk: 32, wm: 32, wn: 32, wk: 8 };
+    let small = TilingConfig {
+        bm: 64,
+        bn: 64,
+        bk: 32,
+        wm: 32,
+        wn: 32,
+        wk: 8,
+    };
     let d = build_kernel(
         &spec,
         &small,
         shape,
         EmulationScheme::EgemmTc,
-        KernelOpts { frag_caching: false, ..KernelOpts::default() },
+        KernelOpts {
+            frag_caching: false,
+            ..KernelOpts::default()
+        },
     );
     let no_fc = kernel_time(&spec, &d).tflops;
     assert!(full > no_lh, "latency hiding must help: {full} vs {no_lh}");
@@ -102,7 +132,12 @@ fn small_sizes_are_not_compute_bound() {
     );
     let t = kernel_time(&spec, &d);
     let t_big = egemm_timing(&spec, GemmShape::square(16384), KernelOpts::default());
-    assert!(t.tflops < t_big, "1024^3 {} should trail 16384^3 {}", t.tflops, t_big);
+    assert!(
+        t.tflops < t_big,
+        "1024^3 {} should trail 16384^3 {}",
+        t.tflops,
+        t_big
+    );
 }
 
 #[test]
@@ -110,9 +145,18 @@ fn four_launch_variant_pays_launch_overhead_at_small_sizes() {
     let spec = DeviceSpec::t4();
     let shape = GemmShape::square(1024);
     let one = egemm_timing(&spec, shape, KernelOpts::default());
-    let four =
-        egemm_timing(&spec, shape, KernelOpts { launches: 4, ..KernelOpts::default() });
-    assert!(one > four, "4 launches must cost at small sizes: {one} vs {four}");
+    let four = egemm_timing(
+        &spec,
+        shape,
+        KernelOpts {
+            launches: 4,
+            ..KernelOpts::default()
+        },
+    );
+    assert!(
+        one > four,
+        "4 launches must cost at small sizes: {one} vs {four}"
+    );
 }
 
 #[test]

@@ -12,9 +12,9 @@ use proptest::prelude::*;
 /// binary16 split).
 fn workload_f32() -> impl Strategy<Value = f32> {
     prop_oneof![
-        (-1.0f32..=1.0),
-        (-1000.0f32..=1000.0),
-        (-1e-3f32..=1e-3),
+        -1.0f32..=1.0,
+        -1000.0f32..=1000.0,
+        -1e-3f32..=1e-3,
         Just(0.0f32),
         Just(1.0f32),
         Just(-0.5f32),

@@ -1,0 +1,218 @@
+//! Property-based bit-identity tests of the blocked execution engine.
+//!
+//! The engine (crates/core/src/engine) may block, pack, and parallelize
+//! however it likes, but per output element it must replay *exactly* the
+//! profiled Tensor-Core accumulation order. These properties compare it
+//! against an independent scalar replay (and the crate's entrywise
+//! oracle) with `to_bits` equality — zero tolerance — across all four
+//! schemes, `tk` in {4, 8, 16}, and adversarial shapes: 1 x k x 1,
+//! non-multiples of every tile size, m << n and m >> n.
+
+use egemm::{
+    emulated_gemm_entrywise, emulated_gemm_rows, gemm_blocked, gemm_blocked_range, Egemm,
+    EmulationScheme, EngineConfig, SplitMatrix,
+};
+use egemm_matrix::Matrix;
+use egemm_tcsim::DeviceSpec;
+use proptest::prelude::*;
+
+const SCHEMES: [EmulationScheme; 4] = [
+    EmulationScheme::EgemmTc,
+    EmulationScheme::Markidis,
+    EmulationScheme::MarkidisFourTerm,
+    EmulationScheme::TcHalf,
+];
+
+/// Scalar replay of the accumulation contract with an explicit `tk` and
+/// k range: ascending k in `tk` chunks from `k_lo`, scheme terms in
+/// issue order per chunk, one separate binary32 multiply and add per
+/// product.
+#[allow(clippy::too_many_arguments)]
+fn entrywise_tk(
+    sa: &SplitMatrix,
+    sb: &SplitMatrix,
+    c: Option<&Matrix<f32>>,
+    scheme: EmulationScheme,
+    tk: usize,
+    k_lo: usize,
+    k_hi: usize,
+    i: usize,
+    j: usize,
+) -> f32 {
+    let (k, n) = (sa.cols(), sb.cols());
+    let mut acc = c.map_or(0.0, |c0| c0.get(i, j));
+    let mut kt = k_lo;
+    while kt < k_hi {
+        let chunk = tk.min(k_hi - kt);
+        for &(a_lo, b_lo) in scheme.terms() {
+            let ap = sa.plane(a_lo);
+            let bp = sb.plane(b_lo);
+            for kk in kt..kt + chunk {
+                acc += ap[i * k + kk] * bp[kk * n + j];
+            }
+        }
+        kt += chunk;
+    }
+    acc
+}
+
+fn split_pair(
+    m: usize,
+    k: usize,
+    n: usize,
+    scheme: EmulationScheme,
+    seed: u64,
+) -> (SplitMatrix, SplitMatrix) {
+    let a = Matrix::<f32>::random_uniform(m, k, seed);
+    let b = Matrix::<f32>::random_uniform(k, n, seed + 1);
+    (
+        SplitMatrix::split(&a, scheme.split_scheme()),
+        SplitMatrix::split(&b, scheme.split_scheme()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random shapes, schemes, tk, and blocking configs: every output
+    /// element bit-equals the scalar replay.
+    #[test]
+    fn blocked_engine_bit_identical(
+        m in 1usize..20,
+        k in 1usize..40,
+        n in 1usize..20,
+        tk_idx in 0usize..3,
+        scheme_idx in 0usize..4,
+        mc in 1usize..12,
+        nc in 1usize..24,
+        kc in 1usize..32,
+        threads in 1usize..4,
+        seed in 0u64..1000,
+        with_c in proptest::strategy::any::<bool>(),
+    ) {
+        let scheme = SCHEMES[scheme_idx];
+        let tk = [4usize, 8, 16][tk_idx];
+        let (sa, sb) = split_pair(m, k, n, scheme, seed);
+        let c = Matrix::<f32>::random_uniform(m, n, seed + 2);
+        let c_opt = if with_c { Some(&c) } else { None };
+        let cfg = EngineConfig { mc, nc, kc, threads };
+        let d = gemm_blocked(&sa, &sb, c_opt, scheme, tk, cfg);
+        for i in 0..m {
+            for j in 0..n {
+                let want = entrywise_tk(&sa, &sb, c_opt, scheme, tk, 0, k, i, j);
+                prop_assert_eq!(
+                    d.get(i, j).to_bits(),
+                    want.to_bits(),
+                    "{:?} tk={} ({},{})",
+                    scheme, tk, i, j
+                );
+            }
+        }
+    }
+
+    /// Split-K slices chunk from the slice start and stay bit-identical.
+    #[test]
+    fn blocked_range_bit_identical(
+        k in 2usize..48,
+        cut_num in 1usize..8,
+        tk_idx in 0usize..3,
+        scheme_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let scheme = SCHEMES[scheme_idx];
+        let tk = [4usize, 8, 16][tk_idx];
+        let (m, n) = (5usize, 7usize);
+        let (sa, sb) = split_pair(m, k, n, scheme, seed);
+        let k_lo = (cut_num * k / 8).min(k - 1);
+        let k_hi = k;
+        let cfg = EngineConfig { mc: 3, nc: 5, kc: 9, threads: 2 };
+        let d = gemm_blocked_range(&sa, &sb, k_lo, k_hi, scheme, tk, cfg);
+        for i in 0..m {
+            for j in 0..n {
+                let want = entrywise_tk(&sa, &sb, None, scheme, tk, k_lo, k_hi, i, j);
+                prop_assert_eq!(d.get(i, j).to_bits(), want.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_shapes_bit_identical() {
+    // 1 x k x 1, tile-size non-multiples, m << n, m >> n — every scheme,
+    // every tk, checked against the crate's entrywise oracle where
+    // tk = 8 (its fixed chunk depth) and the scalar replay otherwise.
+    let shapes = [
+        (1usize, 19usize, 1usize),
+        (7, 13, 11),
+        (2, 37, 64),
+        (64, 21, 2),
+    ];
+    for scheme in SCHEMES {
+        for (m, k, n) in shapes {
+            let (sa, sb) = split_pair(m, k, n, scheme, 0xC0FFEE);
+            for tk in [4usize, 8, 16] {
+                let cfg = EngineConfig {
+                    mc: 5,
+                    nc: 9,
+                    kc: 12,
+                    threads: 2,
+                };
+                let d = gemm_blocked(&sa, &sb, None, scheme, tk, cfg);
+                for i in 0..m {
+                    for j in 0..n {
+                        let want = entrywise_tk(&sa, &sb, None, scheme, tk, 0, k, i, j);
+                        assert_eq!(
+                            d.get(i, j).to_bits(),
+                            want.to_bits(),
+                            "{scheme:?} {m}x{k}x{n} tk={tk} ({i},{j})"
+                        );
+                        if tk == 8 {
+                            let oracle = emulated_gemm_entrywise(&sa, &sb, None, scheme, i, j);
+                            assert_eq!(d.get(i, j).to_bits(), oracle.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_with_c_accumulation_regression() {
+    // The public API path (split + engine + C seed) bit-matches the
+    // entrywise oracle with the same C.
+    let eg = Egemm::auto(DeviceSpec::t4());
+    let a = Matrix::<f32>::random_uniform(18, 27, 5);
+    let b = Matrix::<f32>::random_uniform(27, 14, 6);
+    let c = Matrix::<f32>::random_uniform(18, 14, 7);
+    let sa = SplitMatrix::split(&a, eg.scheme.split_scheme());
+    let sb = SplitMatrix::split(&b, eg.scheme.split_scheme());
+    let out = eg.gemm_with_c(&a, &b, Some(&c));
+    for i in 0..18 {
+        for j in 0..14 {
+            let want = emulated_gemm_entrywise(&sa, &sb, Some(&c), eg.scheme, i, j);
+            assert_eq!(out.d.get(i, j).to_bits(), want.to_bits(), "({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn row_sampling_validates_upfront() {
+    let scheme = EmulationScheme::EgemmTc;
+    let (sa, sb) = split_pair(6, 8, 4, scheme, 9);
+    // Valid ascending sample works and bit-matches the full product.
+    let full = egemm::emulated_gemm(&sa, &sb, None, scheme);
+    let sampled = emulated_gemm_rows(&sa, &sb, &[1, 4, 5], scheme);
+    for (ri, &r) in [1usize, 4, 5].iter().enumerate() {
+        for j in 0..4 {
+            assert_eq!(sampled.get(ri, j).to_bits(), full.get(r, j).to_bits());
+        }
+    }
+    // Out-of-range and unsorted inputs fail fast with clear messages.
+    let oob = std::panic::catch_unwind(|| emulated_gemm_rows(&sa, &sb, &[6], scheme));
+    let msg = *oob.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("out of range"), "{msg}");
+    let dup = std::panic::catch_unwind(|| emulated_gemm_rows(&sa, &sb, &[2, 2], scheme));
+    let msg = *dup.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("strictly ascending"), "{msg}");
+}
