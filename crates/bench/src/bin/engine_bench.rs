@@ -1,16 +1,25 @@
 //! Engine trajectory benchmark: naive row-streaming executor vs the
-//! blocked pack-and-tile engine, on the paper's square (Figure 8) and
-//! skewed (Figure 9) shapes. Writes `BENCH_engine.json` so future PRs
-//! have a perf baseline to compare against.
+//! blocked pack-and-tile engine, plus the persistent-runtime entries —
+//! warm-cache repeated GEMM (`repeat_shared_b`) and the SIMD split
+//! kernel (`split_simd`). Writes `BENCH_engine.json` so future PRs have
+//! a perf baseline to compare against.
 //!
 //! GFLOP/s counts useful f32-equivalent work (2·m·n·k), not the 4x
-//! emulation-term overhead, identically for both executors. Both are
-//! checked bit-identical before timing — the speedup is pure execution
-//! engineering, not numerics.
+//! emulation-term overhead, identically for both executors. Every
+//! benchmarked path is checked bit-identical to the uncached scalar
+//! reference **before** timing — the speedups are pure execution
+//! engineering, not numerics. `--smoke` runs only those bit-equality
+//! assertions on small shapes (no timing thresholds, no JSON), which is
+//! what CI gates every PR on.
 
-use egemm::{gemm_blocked, EmulationScheme, EngineConfig, SplitMatrix};
+use egemm::{
+    gemm_blocked, gemm_blocked_in, gemm_blocked_prepared, prepare_b, Egemm, EmulationScheme,
+    EngineConfig, EngineRuntime, RuntimeConfig, SplitMatrix, TilingConfig,
+};
 use egemm_bench::row_streaming_gemm;
+use egemm_fp::{simd_split_available, SplitKernel};
 use egemm_matrix::{GemmShape, Matrix};
+use egemm_tcsim::DeviceSpec;
 use std::time::Instant;
 
 const TK: usize = 8; // HMMA.1688 reduction depth, the EGEMM-TC kernel's
@@ -20,7 +29,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
-fn time_reps<F: FnMut() -> Matrix<f32>>(mut f: F, reps: usize) -> (f64, Matrix<f32>) {
+fn time_reps<T, F: FnMut() -> T>(mut f: F, reps: usize) -> (f64, T) {
     let mut times = Vec::with_capacity(reps);
     let mut last = None;
     for _ in 0..reps {
@@ -30,6 +39,16 @@ fn time_reps<F: FnMut() -> Matrix<f32>>(mut f: F, reps: usize) -> (f64, Matrix<f
         last = Some(out);
     }
     (median(times), last.unwrap())
+}
+
+fn assert_bits_equal(label: &str, got: &Matrix<f32>, want: &Matrix<f32>) {
+    for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: diverges from reference at flat index {i}"
+        );
+    }
 }
 
 struct Row {
@@ -49,18 +68,7 @@ fn bench_shape(label: &'static str, shape: GemmShape, reps: usize) -> Row {
 
     let (t_naive, d_naive) = time_reps(|| row_streaming_gemm(&sa, &sb, scheme, TK), reps);
     let (t_blocked, d_blocked) = time_reps(|| gemm_blocked(&sa, &sb, None, scheme, TK, cfg), reps);
-    for (i, (x, y)) in d_naive
-        .as_slice()
-        .iter()
-        .zip(d_blocked.as_slice())
-        .enumerate()
-    {
-        assert_eq!(
-            x.to_bits(),
-            y.to_bits(),
-            "executors diverge at flat index {i} on {label}"
-        );
-    }
+    assert_bits_equal(label, &d_blocked, &d_naive);
     let gf = |t: f64| shape.flops() as f64 / t / 1e9;
     Row {
         label,
@@ -70,8 +78,166 @@ fn bench_shape(label: &'static str, shape: GemmShape, reps: usize) -> Row {
     }
 }
 
+/// Warm-cache repeated GEMM with a shared B operand (the serving
+/// pattern: one long-lived weight matrix, fresh activations per call).
+///
+/// * **cold** — the pre-runtime path: scalar split of both operands plus
+///   per-tile packing, every call.
+/// * **cold_simd** — same per-call work but with the SIMD split kernel
+///   (isolates how much of the win remains after the split is fast).
+/// * **warm** — the full `Egemm` API against a populated cache: both
+///   operands fingerprint-hit and B's panels arrive prepacked.
+struct RepeatSharedB {
+    shape: GemmShape,
+    cold_gflops: f64,
+    cold_simd_gflops: f64,
+    warm_gflops: f64,
+}
+
+fn bench_repeat_shared_b(shape: GemmShape, reps: usize, assert_perf: bool) -> RepeatSharedB {
+    let scheme = EmulationScheme::EgemmTc;
+    let split_scheme = scheme.split_scheme();
+    let a = Matrix::<f32>::random_uniform(shape.m, shape.k, 11);
+    let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 12);
+    let cfg = EngineConfig::default();
+
+    // Reference + cold timing: uncached scalar splits, per-tile packs.
+    let cold_rt = EngineRuntime::new(RuntimeConfig {
+        cache_bytes: 0,
+        split_kernel: SplitKernel::Scalar,
+        ..RuntimeConfig::from_env()
+    });
+    let (t_cold, d_cold) = time_reps(
+        || {
+            let sa = SplitMatrix::split_with(&a, split_scheme, SplitKernel::Scalar);
+            let sb = SplitMatrix::split_with(&b, split_scheme, SplitKernel::Scalar);
+            gemm_blocked_in(&cold_rt, &sa, &sb, None, scheme, TK, cfg)
+        },
+        reps,
+    );
+
+    // Cold with the SIMD split: same per-call work, faster split phase.
+    let (t_cold_simd, d_cold_simd) = time_reps(
+        || {
+            let sa = SplitMatrix::split_with(&a, split_scheme, SplitKernel::Auto);
+            let sb = SplitMatrix::split_with(&b, split_scheme, SplitKernel::Auto);
+            gemm_blocked_in(&cold_rt, &sa, &sb, None, scheme, TK, cfg)
+        },
+        reps,
+    );
+
+    // Warm: the public API on a caching runtime. The first call misses
+    // and populates; the timed calls hit on both operands. The 4096^2
+    // shared-B split + pack working set (~340 MB) exceeds the 256 MiB
+    // default bound, so size the cache to the workload as a serving
+    // config would.
+    let warm_rt = EngineRuntime::new(RuntimeConfig {
+        cache_bytes: 1 << 30,
+        ..RuntimeConfig::from_env()
+    });
+    let eg = Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER).with_runtime(warm_rt.clone());
+    let d_first = eg.gemm(&a, &b).d;
+    let (t_warm, d_warm) = time_reps(|| eg.gemm(&a, &b).d, reps);
+
+    // And the zero-lookup prepared-handle path.
+    let pb = prepare_b(&warm_rt, &b, split_scheme, TK, cfg);
+    let sa_warm = SplitMatrix::split_with(&a, split_scheme, SplitKernel::Auto);
+    let d_prepared = gemm_blocked_prepared(&warm_rt, &sa_warm, &pb, None, scheme, TK, cfg);
+
+    // Bitwise identity across every path before any timing claim.
+    assert_bits_equal("repeat_shared_b cold_simd", &d_cold_simd, &d_cold);
+    assert_bits_equal("repeat_shared_b first", &d_first, &d_cold);
+    assert_bits_equal("repeat_shared_b warm", &d_warm, &d_cold);
+    assert_bits_equal("repeat_shared_b prepared", &d_prepared, &d_cold);
+
+    let stats = warm_rt.cache_stats();
+    assert!(
+        stats.hits >= 2 && stats.packs == 1,
+        "warm path must reuse the cached operands: {stats:?}"
+    );
+
+    let gf = |t: f64| shape.flops() as f64 / t / 1e9;
+    let out = RepeatSharedB {
+        shape,
+        cold_gflops: gf(t_cold),
+        cold_simd_gflops: gf(t_cold_simd),
+        warm_gflops: gf(t_warm),
+    };
+    if assert_perf {
+        assert!(
+            out.warm_gflops >= 2.0 * out.cold_gflops,
+            "warm-cache path must be >= 2x cold: warm {:.2} vs cold {:.2} GF/s",
+            out.warm_gflops,
+            out.cold_gflops
+        );
+    }
+    out
+}
+
+/// SIMD vs scalar split over one large operand, bit-equality asserted
+/// over all four output planes before timing.
+struct SplitSimd {
+    elements: usize,
+    scalar_melems: f64,
+    simd_melems: f64,
+}
+
+fn bench_split_simd(rows: usize, cols: usize, reps: usize, assert_perf: bool) -> SplitSimd {
+    let src = Matrix::<f32>::random_uniform(rows, cols, 21);
+    let scheme = EmulationScheme::EgemmTc.split_scheme();
+    let (t_scalar, d_scalar) = time_reps(
+        || SplitMatrix::split_with(&src, scheme, SplitKernel::Scalar),
+        reps,
+    );
+    let (t_simd, d_simd) = time_reps(
+        || SplitMatrix::split_with(&src, scheme, SplitKernel::Auto),
+        reps,
+    );
+    assert_eq!(d_simd.hi.as_slice(), d_scalar.hi.as_slice(), "hi planes");
+    assert_eq!(d_simd.lo.as_slice(), d_scalar.lo.as_slice(), "lo planes");
+    for (p, q) in d_simd
+        .hi_f32
+        .iter()
+        .chain(d_simd.lo_f32.iter())
+        .zip(d_scalar.hi_f32.iter().chain(d_scalar.lo_f32.iter()))
+    {
+        assert_eq!(p.to_bits(), q.to_bits(), "widened planes diverge");
+    }
+    let elements = rows * cols;
+    let me = |t: f64| elements as f64 / t / 1e6;
+    let out = SplitSimd {
+        elements,
+        scalar_melems: me(t_scalar),
+        simd_melems: me(t_simd),
+    };
+    if assert_perf && simd_split_available() {
+        assert!(
+            out.simd_melems >= 3.0 * out.scalar_melems,
+            "SIMD split must be >= 3x scalar: {:.1} vs {:.1} Melem/s",
+            out.simd_melems,
+            out.scalar_melems
+        );
+    }
+    out
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let quick = args.iter().any(|a| a == "--quick");
+
+    if smoke {
+        // CI gate: every bit-equality assertion inside the benchmarked
+        // paths, on shapes small enough for a PR check. No timing
+        // thresholds (shared runners), no JSON.
+        bench_shape("smoke_square", GemmShape::square(96), 1);
+        bench_shape("smoke_skewed", GemmShape::new(16, 192, 160), 1);
+        bench_repeat_shared_b(GemmShape::new(16, 256, 256), 1, false);
+        bench_split_simd(64, 331, 1, false);
+        println!("engine_bench --smoke: all bit-equality assertions passed");
+        return;
+    }
+
     let reps = if quick { 1 } else { 3 };
     let shapes: &[(&'static str, GemmShape)] = if quick {
         &[
@@ -94,33 +260,95 @@ fn main() {
         .map(|&(label, shape)| bench_shape(label, shape, reps))
         .collect();
 
+    // Persistent-runtime entries. The warm >= 2x cold and SIMD >= 3x
+    // scalar thresholds are acceptance criteria in full mode; --quick
+    // still checks bits but relaxes nothing else (same shapes scaled
+    // down would distort the cache-reuse ratio).
+    let repeat_shape = if quick {
+        GemmShape::new(32, 2048, 2048)
+    } else {
+        GemmShape::new(64, 4096, 4096)
+    };
+    let repeat = bench_repeat_shared_b(repeat_shape, reps, !quick);
+    let (sr, sc) = if quick { (2048, 2048) } else { (4096, 4096) };
+    let split = bench_split_simd(sr, sc, reps, !quick);
+
     println!(
-        "{:<14}{:>8}{:>8}{:>8}{:>14}{:>14}{:>10}",
+        "{:<16}{:>8}{:>8}{:>8}{:>14}{:>14}{:>10}",
         "shape", "m", "n", "k", "naive GF/s", "blocked GF/s", "speedup"
     );
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"threads\": {},\n  \"entries\": {{\n",
-        EngineConfig::default().resolved_threads()
-    ));
-    for (idx, r) in rows.iter().enumerate() {
-        let speedup = r.blocked_gflops / r.naive_gflops;
+    for r in &rows {
         println!(
-            "{:<14}{:>8}{:>8}{:>8}{:>14.2}{:>14.2}{:>9.2}x",
-            r.label, r.shape.m, r.shape.n, r.shape.k, r.naive_gflops, r.blocked_gflops, speedup
-        );
-        json.push_str(&format!(
-            "    \"{}\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "{:<16}{:>8}{:>8}{:>8}{:>14.2}{:>14.2}{:>9.2}x",
             r.label,
             r.shape.m,
             r.shape.n,
             r.shape.k,
             r.naive_gflops,
             r.blocked_gflops,
-            speedup,
-            if idx + 1 < rows.len() { "," } else { "" }
+            r.blocked_gflops / r.naive_gflops
+        );
+    }
+    println!(
+        "{:<16}{:>8}{:>8}{:>8}{:>14.2}{:>14.2}{:>9.2}x  (cold_simd {:.2})",
+        "repeat_shared_b",
+        repeat.shape.m,
+        repeat.shape.n,
+        repeat.shape.k,
+        repeat.cold_gflops,
+        repeat.warm_gflops,
+        repeat.warm_gflops / repeat.cold_gflops,
+        repeat.cold_simd_gflops,
+    );
+    println!(
+        "{:<16}{:>10} elems{:>14.1}{:>14.1}{:>9.2}x  (Melem/s, simd {})",
+        "split_simd",
+        split.elements,
+        split.scalar_melems,
+        split.simd_melems,
+        split.simd_melems / split.scalar_melems,
+        if simd_split_available() {
+            "avx2+f16c"
+        } else {
+            "unavailable"
+        },
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"threads\": {},\n  \"entries\": {{\n",
+        EngineConfig::default().resolved_threads()
+    ));
+    for r in &rows {
+        json.push_str(&format!(
+            "    \"{}\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3}}},\n",
+            r.label,
+            r.shape.m,
+            r.shape.n,
+            r.shape.k,
+            r.naive_gflops,
+            r.blocked_gflops,
+            r.blocked_gflops / r.naive_gflops,
         ));
     }
+    json.push_str(&format!(
+        "    \"repeat_shared_b\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"cold_gflops\": {:.3}, \"cold_simd_gflops\": {:.3}, \"warm_gflops\": {:.3}, \"warm_over_cold\": {:.3}}},\n",
+        repeat.shape.m,
+        repeat.shape.n,
+        repeat.shape.k,
+        repeat.cold_gflops,
+        repeat.cold_simd_gflops,
+        repeat.warm_gflops,
+        repeat.warm_gflops / repeat.cold_gflops,
+    ));
+    json.push_str(&format!(
+        "    \"split_simd\": {{\"elements\": {}, \"scalar_melems_s\": {:.3}, \"simd_melems_s\": {:.3}, \"speedup\": {:.3}, \"simd_available\": {}}}\n",
+        split.elements,
+        split.scalar_melems,
+        split.simd_melems,
+        split.simd_melems / split.scalar_melems,
+        simd_split_available(),
+    ));
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     eprintln!("wrote BENCH_engine.json");

@@ -12,7 +12,6 @@ use crate::config::TilingConfig;
 use crate::engine;
 use crate::gemm::Egemm;
 use crate::kernel::build_kernel;
-use crate::split_matrix::SplitMatrix;
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_tcsim::{kernel_time, KernelTiming};
 use rayon::prelude::*;
@@ -43,16 +42,26 @@ impl Egemm {
                 "heterogeneous batch shapes"
             );
         }
-        // Each problem runs the one blocked accumulation-order engine,
-        // honouring this Egemm's EngineConfig.
+        // Prepare phase: route every operand through the runtime's
+        // content-addressed cache, so a batch sharing one B (the common
+        // serving pattern) splits and packs it exactly once — the
+        // remaining items hit the fingerprint and reuse the resident
+        // panels. Distinct operands prepare independently as before.
         let tk = TilingConfig::TC.k;
-        let d: Vec<Matrix<f32>> = a
+        let scheme = self.scheme.split_scheme();
+        let rt = self.runtime();
+        let prepared: Vec<_> = b
+            .iter()
+            .map(|bi| engine::prepare_b(rt, bi, scheme, tk, self.opts.engine))
+            .collect();
+        let split_a: Vec<_> = a.iter().map(|ai| rt.split_cached(ai, scheme)).collect();
+        // Compute phase: each problem runs the one blocked
+        // accumulation-order engine, honouring this Egemm's EngineConfig.
+        let d: Vec<Matrix<f32>> = split_a
             .par_iter()
-            .zip(b.par_iter())
-            .map(|(ai, bi)| {
-                let sa = SplitMatrix::split(ai, self.scheme.split_scheme());
-                let sb = SplitMatrix::split(bi, self.scheme.split_scheme());
-                engine::gemm_blocked(&sa, &sb, None, self.scheme, tk, self.opts.engine)
+            .zip(prepared.par_iter())
+            .map(|(sa, pb)| {
+                engine::gemm_blocked_prepared(rt, sa, pb, None, self.scheme, tk, self.opts.engine)
             })
             .collect();
         BatchedOutput {
@@ -117,6 +126,36 @@ mod tests {
         );
         // And per-problem throughput improves.
         assert!(batched.tflops > single.tflops);
+    }
+
+    #[test]
+    fn shared_b_splits_and_packs_once() {
+        use crate::engine::{EngineRuntime, RuntimeConfig};
+        // A private runtime so the counters aren't shared with other
+        // tests running in this process.
+        let rt = EngineRuntime::new(RuntimeConfig::default());
+        let eng = engine().with_runtime(rt.clone());
+        let b0 = Matrix::<f32>::random_uniform(24, 16, 99);
+        let a: Vec<Matrix<f32>> = (0..5)
+            .map(|i| Matrix::random_uniform(32, 24, 40 + i))
+            .collect();
+        let b: Vec<Matrix<f32>> = (0..5).map(|_| b0.clone()).collect();
+        let out = eng.gemm_batched(&a, &b);
+        let s = rt.cache_stats();
+        // One shared B: split once, packed once, hit 4 times. The five
+        // distinct A operands split once each.
+        assert_eq!(s.packs, 1, "shared B must pack exactly once: {s:?}");
+        assert_eq!(s.splits, 6, "1 shared B + 5 distinct A: {s:?}");
+        assert_eq!(s.hits, 4, "4 of 5 B lookups must hit: {s:?}");
+        // And the cached path is bit-identical to uncached singles.
+        let cold = engine().with_runtime(EngineRuntime::new(RuntimeConfig {
+            cache_bytes: 0,
+            ..Default::default()
+        }));
+        for (i, ai) in a.iter().enumerate() {
+            let single = cold.gemm(ai, &b0).d;
+            assert_eq!(out.d[i], single, "batch element {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Bounded LRU cache of prepared (split + packed) operands.
+//!
+//! The host engine's per-call costs — the O(N²) hi/lo split and the
+//! panel pack of B — are pure functions of the operand's *contents* and
+//! a handful of layout parameters. For serving workloads one operand is
+//! typically a long-lived weight matrix, so this cache keys prepared
+//! operands by a 128-bit content fingerprint plus shape, split scheme
+//! and blocking geometry, and hands back [`Arc`]s to the immutable
+//! prepared data. A hit skips the split and the pack entirely; a miss
+//! (including any mutation of the operand's data, which changes the
+//! fingerprint) recomputes from scratch, so caching can never change an
+//! output bit — it only decides whether the bit-identical preparation
+//! work is reused or redone.
+//!
+//! Concurrency: the map is a mutex-guarded `HashMap` of
+//! [`OnceLock`]-wrapped slots. Racing callers for the same key agree on
+//! one slot under the lock, then exactly one of them runs the expensive
+//! initialization inside `OnceLock::get_or_init` while the others
+//! block on the result — so a batch sharing one B operand splits and
+//! packs it exactly once (asserted by the cache-stats test in
+//! `crates/core/src/batched.rs`).
+//!
+//! Eviction is LRU by total resident bytes (split planes + packed
+//! panels). Evicted entries stay alive for as long as callers hold
+//! their `Arc`s; the cache merely drops its reference.
+
+use crate::split_matrix::SplitMatrix;
+use egemm_fp::SplitScheme;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use super::pack::PackedB;
+
+/// Counters describing the cache's lifetime behaviour. All counters are
+/// monotone except `bytes`, which is the current resident total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that reused a prepared operand (including callers that
+    /// waited on a concurrent preparation instead of redoing it).
+    pub hits: u64,
+    /// Lookups that had to prepare the operand.
+    pub misses: u64,
+    /// Entries dropped to respect the byte bound.
+    pub evictions: u64,
+    /// Bytes currently resident (split planes + packed panels).
+    pub bytes: u64,
+    /// O(N²) splits actually executed (not served from cache).
+    pub splits: u64,
+    /// Full-operand B packs actually executed (not served from cache).
+    pub packs: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups, 0.0 when idle.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// 128-bit content fingerprint of a binary32 buffer.
+///
+/// Two independent 64-bit multiply-rotate-xor lanes over the raw bit
+/// patterns (wyhash-style absorption), finalized with distinct
+/// avalanche mixes. ~4 bytes/cycle — negligible against the split it
+/// guards — and any single-bit change to any element flips both lanes,
+/// so a mutated operand always misses.
+pub(crate) fn fingerprint(data: &[f32]) -> (u64, u64) {
+    const M1: u64 = 0x9E37_79B9_7F4A_7C15;
+    const M2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    let mut h1: u64 = data.len() as u64 ^ M1;
+    let mut h2: u64 = (data.len() as u64).wrapping_mul(M2) ^ M2;
+    let mut chunks = data.chunks_exact(4);
+    for c in chunks.by_ref() {
+        let w1 = (c[0].to_bits() as u64) | ((c[1].to_bits() as u64) << 32);
+        let w2 = (c[2].to_bits() as u64) | ((c[3].to_bits() as u64) << 32);
+        h1 = (h1 ^ w1).wrapping_mul(M1).rotate_left(29) ^ w2;
+        h2 = (h2 ^ w2).wrapping_mul(M2).rotate_left(31) ^ w1;
+    }
+    for &x in chunks.remainder() {
+        h1 = (h1 ^ x.to_bits() as u64).wrapping_mul(M1).rotate_left(29);
+        h2 = (h2 ^ x.to_bits() as u64).wrapping_mul(M2).rotate_left(31);
+    }
+    (fmix64(h1), fmix64(h2 ^ h1.rotate_left(17)))
+}
+
+/// MurmurHash3 finalizer: full avalanche over 64 bits.
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    h
+}
+
+/// Cache key: content fingerprint + shape + split scheme. The packed-B
+/// blocking geometry is validated per entry (see [`CacheEntry::packed`])
+/// rather than keyed, since one `Egemm` uses one blocking config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub fp: (u64, u64),
+    pub rows: usize,
+    pub cols: usize,
+    pub scheme: SplitScheme,
+}
+
+/// One prepared operand: the split planes, plus (for B-side use) the
+/// operand's fully packed panels, attached lazily on first B-side use.
+pub(crate) struct CacheEntry {
+    pub split: Arc<SplitMatrix>,
+    /// Packed panels for B-side reuse, filled on demand. The mutex is
+    /// held across the pack so racing callers pack exactly once.
+    packed: Mutex<Option<Arc<PackedB>>>,
+}
+
+impl CacheEntry {
+    pub(crate) fn new(split: SplitMatrix) -> CacheEntry {
+        CacheEntry {
+            split: Arc::new(split),
+            packed: Mutex::new(None),
+        }
+    }
+
+    /// Bytes of split-plane data this entry holds resident: binary16
+    /// hi/lo (2+2 bytes/element) plus the binary32 widenings (4+4).
+    fn split_bytes(&self) -> usize {
+        12 * self.split.rows() * self.split.cols()
+    }
+}
+
+struct Slot {
+    entry: Arc<OnceLock<Arc<CacheEntry>>>,
+    /// LRU stamp, refreshed on every touch.
+    last_used: u64,
+    /// Bytes charged against the cache bound for this slot (split
+    /// planes, plus packed panels once attached).
+    charged: usize,
+}
+
+/// The bounded LRU map. `capacity_bytes == 0` disables retention
+/// entirely: every lookup is a miss and nothing is stored, which is the
+/// reference cold path the bit-identity tests compare against.
+pub(crate) struct PanelCache {
+    capacity_bytes: usize,
+    map: Mutex<HashMap<CacheKey, Slot>>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bytes: AtomicU64,
+    splits: AtomicU64,
+    packs: AtomicU64,
+}
+
+impl PanelCache {
+    pub(crate) fn new(capacity_bytes: usize) -> PanelCache {
+        PanelCache {
+            capacity_bytes,
+            map: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            packs: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            packs: self.packs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Look up `key`, running `split_fn` (charged to the `splits`
+    /// counter) if no prepared entry exists. Racing callers converge on
+    /// one slot and the split runs exactly once.
+    pub(crate) fn get_or_split(
+        &self,
+        key: CacheKey,
+        split_fn: impl FnOnce() -> SplitMatrix,
+    ) -> Arc<CacheEntry> {
+        if self.capacity_bytes == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.splits.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(CacheEntry::new(split_fn()));
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let (slot, inserted) = {
+            let mut map = self.map.lock().unwrap();
+            match map.get_mut(&key) {
+                Some(s) => {
+                    s.last_used = stamp;
+                    (s.entry.clone(), false)
+                }
+                None => {
+                    let cell = Arc::new(OnceLock::new());
+                    map.insert(
+                        key,
+                        Slot {
+                            entry: cell.clone(),
+                            last_used: stamp,
+                            charged: 0,
+                        },
+                    );
+                    (cell, true)
+                }
+            }
+        };
+        if inserted {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let entry = slot
+            .get_or_init(|| {
+                self.splits.fetch_add(1, Ordering::Relaxed);
+                Arc::new(CacheEntry::new(split_fn()))
+            })
+            .clone();
+        if inserted {
+            self.charge(key, entry.split_bytes());
+        }
+        entry
+    }
+
+    /// Return the packed panels of `entry`, packing (charged to the
+    /// `packs` counter) only if none exist yet or the stored geometry
+    /// disagrees with `kc`. The entry's pack mutex is held across the
+    /// pack so concurrent callers pack exactly once.
+    pub(crate) fn get_or_pack(
+        &self,
+        key: CacheKey,
+        entry: &CacheEntry,
+        kc: usize,
+        pack_fn: impl FnOnce() -> PackedB,
+    ) -> Arc<PackedB> {
+        let mut guard = entry.packed.lock().unwrap();
+        if let Some(p) = guard.as_ref() {
+            if p.kc() == kc {
+                return p.clone();
+            }
+        }
+        self.packs.fetch_add(1, Ordering::Relaxed);
+        let packed = Arc::new(pack_fn());
+        let new_bytes = packed.bytes();
+        let old_bytes = guard.as_ref().map_or(0, |p| p.bytes());
+        *guard = Some(packed.clone());
+        drop(guard);
+        if self.capacity_bytes > 0 {
+            self.recharge(key, old_bytes, new_bytes);
+        }
+        packed
+    }
+
+    /// Add `bytes` to `key`'s charge (if the slot is still resident) and
+    /// evict least-recently-used slots until the bound holds.
+    fn charge(&self, key: CacheKey, bytes: usize) {
+        let mut map = self.map.lock().unwrap();
+        if let Some(s) = map.get_mut(&key) {
+            s.charged += bytes;
+            self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        self.evict_over_bound(&mut map, key);
+    }
+
+    /// Replace `old_bytes` of `key`'s charge with `new_bytes` (a pack
+    /// was swapped for one with different geometry), keeping the slot's
+    /// `charged` and the global counter consistent, then re-enforce the
+    /// bound. A slot evicted in the meantime already gave its whole
+    /// charge back, so there is nothing to adjust.
+    fn recharge(&self, key: CacheKey, old_bytes: usize, new_bytes: usize) {
+        let mut map = self.map.lock().unwrap();
+        if let Some(s) = map.get_mut(&key) {
+            s.charged = s.charged - old_bytes + new_bytes;
+            if new_bytes >= old_bytes {
+                self.bytes
+                    .fetch_add((new_bytes - old_bytes) as u64, Ordering::Relaxed);
+            } else {
+                self.bytes
+                    .fetch_sub((old_bytes - new_bytes) as u64, Ordering::Relaxed);
+            }
+        }
+        self.evict_over_bound(&mut map, key);
+    }
+
+    /// Evict least-recently-used slots (never `keep`, never the last
+    /// resident slot) until the byte bound holds.
+    fn evict_over_bound(&self, map: &mut HashMap<CacheKey, Slot>, keep: CacheKey) {
+        while self.bytes.load(Ordering::Relaxed) > self.capacity_bytes as u64 && map.len() > 1 {
+            let victim = map
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k);
+            let Some(v) = victim else { break };
+            if let Some(s) = map.remove(&v) {
+                self.bytes.fetch_sub(s.charged as u64, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egemm_matrix::Matrix;
+
+    fn split_of(m: usize, n: usize, seed: u64) -> (Matrix<f32>, CacheKey) {
+        let mat = Matrix::<f32>::random_uniform(m, n, seed);
+        let key = CacheKey {
+            fp: fingerprint(mat.as_slice()),
+            rows: m,
+            cols: n,
+            scheme: SplitScheme::Round,
+        };
+        (mat, key)
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_every_element() {
+        let base = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let h0 = fingerprint(&base);
+        for i in 0..base.len() {
+            let mut m = base.clone();
+            m[i] = f32::from_bits(m[i].to_bits() ^ 1); // single-ULP flip
+            assert_ne!(fingerprint(&m), h0, "insensitive to element {i}");
+        }
+        // Length is part of the absorption.
+        assert_ne!(fingerprint(&base[..6]), h0);
+        // And it is deterministic.
+        assert_eq!(fingerprint(&base), h0);
+    }
+
+    #[test]
+    fn hit_miss_and_split_counting() {
+        let cache = PanelCache::new(usize::MAX);
+        let (mat, key) = split_of(8, 8, 1);
+        let e1 = cache.get_or_split(key, || SplitMatrix::split(&mat, SplitScheme::Round));
+        let e2 = cache.get_or_split(key, || panic!("second lookup must not split"));
+        assert!(Arc::ptr_eq(&e1.split, &e2.split));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.splits), (1, 1, 1));
+        assert_eq!(s.bytes, 12 * 64);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let cache = PanelCache::new(0);
+        let (mat, key) = split_of(4, 4, 2);
+        for _ in 0..3 {
+            cache.get_or_split(key, || SplitMatrix::split(&mat, SplitScheme::Round));
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.splits, s.bytes), (0, 3, 3, 0));
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_bound() {
+        // Each 8x8 split charges 12 * 64 = 768 bytes; bound of 2000
+        // holds two entries, so inserting a third evicts the least
+        // recently used.
+        let cache = PanelCache::new(2000);
+        let (m1, k1) = split_of(8, 8, 3);
+        let (m2, k2) = split_of(8, 8, 4);
+        let (m3, k3) = split_of(8, 8, 5);
+        cache.get_or_split(k1, || SplitMatrix::split(&m1, SplitScheme::Round));
+        cache.get_or_split(k2, || SplitMatrix::split(&m2, SplitScheme::Round));
+        // Touch k1 so k2 is the LRU victim.
+        cache.get_or_split(k1, || panic!("k1 should be resident"));
+        cache.get_or_split(k3, || SplitMatrix::split(&m3, SplitScheme::Round));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= 2000, "resident {} over bound", s.bytes);
+        // k1 survived, k2 was evicted.
+        cache.get_or_split(k1, || panic!("k1 evicted unexpectedly"));
+        let before = cache.stats().splits;
+        cache.get_or_split(k2, || SplitMatrix::split(&m2, SplitScheme::Round));
+        assert_eq!(cache.stats().splits, before + 1, "k2 should re-split");
+    }
+
+    #[test]
+    fn mutation_changes_key() {
+        let (mat, key) = split_of(6, 6, 7);
+        let mut mutated = mat.clone();
+        let s = mutated.as_mut_slice();
+        s[17] += 1.0;
+        let key2 = CacheKey {
+            fp: fingerprint(mutated.as_slice()),
+            ..key
+        };
+        assert_ne!(key, key2);
+    }
+}

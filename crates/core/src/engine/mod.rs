@@ -24,14 +24,18 @@
 //! proptest suite in `tests/prop_engine.rs` enforces that with
 //! `to_bits` equality.
 
+mod cache;
 mod micro;
 mod pack;
+pub mod runtime;
 
 use crate::emulation::{check, EmulationScheme};
 use crate::split_matrix::SplitMatrix;
+use egemm_fp::SplitScheme;
 use egemm_matrix::Matrix;
 use micro::{load_acc, microkernel, store_acc, PlanePair};
-use pack::{pack_a, pack_b, MR, NR};
+use pack::{pack_a, pack_b, PackedB, MR, NR};
+pub use runtime::{CacheStats, EngineRuntime, PreparedOperand, RuntimeConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Cache-blocking and threading parameters of the execution engine.
@@ -69,30 +73,44 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    /// The worker count this configuration resolves to.
+    /// The worker count this configuration resolves to *when queried
+    /// directly*. The execution path no longer calls this per GEMM: a
+    /// zero `threads` now defers to [`EngineRuntime::default_threads`],
+    /// which resolved the same environment variables exactly once at
+    /// runtime construction ([`RuntimeConfig::from_env`]).
     pub fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
         }
-        for var in ["EGEMM_THREADS", "RAYON_NUM_THREADS"] {
-            if let Some(t) = std::env::var(var)
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-            {
-                if t > 0 {
-                    return t;
-                }
-            }
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        EngineRuntime::global().default_threads()
     }
 }
 
+/// Clamp a requested panel depth to the chunk grid: a positive multiple
+/// of `tk`, so panel seams land on chunk boundaries. Shared by execution
+/// and operand preparation so a prepacked B always matches the blocking
+/// the engine will run.
+pub(crate) fn clamp_kc(kc: usize, tk: usize) -> usize {
+    (kc.max(tk) / tk) * tk
+}
+
 /// Blocked emulated GEMM: `D = A·B (+ C)` with the accumulation
-/// semantics of [`crate::emulated_gemm_tk`].
+/// semantics of [`crate::emulated_gemm_tk`]. Executes on the process-wide
+/// [`EngineRuntime::global`] pool.
 pub fn gemm_blocked(
+    a: &SplitMatrix,
+    b: &SplitMatrix,
+    c: Option<&Matrix<f32>>,
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
+    gemm_blocked_in(EngineRuntime::global(), a, b, c, scheme, tk, cfg)
+}
+
+/// [`gemm_blocked`] on an explicit runtime (pool + cache instance).
+pub fn gemm_blocked_in(
+    rt: &EngineRuntime,
     a: &SplitMatrix,
     b: &SplitMatrix,
     c: Option<&Matrix<f32>>,
@@ -107,9 +125,67 @@ pub fn gemm_blocked(
         None => Matrix::zeros(a.rows(), b.cols()),
     };
     execute(
+        rt,
         &Plan {
             a,
             b,
+            b_pack: None,
+            rows: None,
+            k_lo: 0,
+            k_hi: a.cols(),
+            tk,
+            scheme,
+            cfg,
+        },
+        &mut out,
+    );
+    out
+}
+
+/// Split `src` and pack its B panels through `rt`'s cache, for reuse as
+/// the right-hand operand of [`gemm_blocked_prepared`] under the same
+/// `tk`/`cfg` blocking. A cache hit skips both the O(N²) split and the
+/// pack; the returned handle pins the data independently of eviction.
+pub fn prepare_b(
+    rt: &EngineRuntime,
+    src: &Matrix<f32>,
+    scheme: SplitScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> PreparedOperand {
+    assert!(tk > 0, "tk must be positive");
+    rt.prepare_b(src, scheme, clamp_kc(cfg.kc, tk))
+}
+
+/// Blocked emulated GEMM whose B operand was prepared by [`prepare_b`]
+/// with the same `tk` and `cfg`: the per-tile B pack is skipped in favor
+/// of the prepacked panels. Bit-identical to [`gemm_blocked`] on the
+/// same data — the microkernel consumes byte-for-byte the same slivers.
+///
+/// # Panics
+/// If the prepared panel depth disagrees with `clamp_kc(cfg.kc, tk)` or
+/// the operand shapes disagree.
+pub fn gemm_blocked_prepared(
+    rt: &EngineRuntime,
+    a: &SplitMatrix,
+    b: &PreparedOperand,
+    c: Option<&Matrix<f32>>,
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
+    check(a, &b.split, c, scheme);
+    assert!(tk > 0, "tk must be positive");
+    let mut out = match c {
+        Some(c0) => c0.clone(),
+        None => Matrix::zeros(a.rows(), b.split.cols()),
+    };
+    execute(
+        rt,
+        &Plan {
+            a,
+            b: &b.split,
+            b_pack: Some(&b.packed),
             rows: None,
             k_lo: 0,
             k_hi: a.cols(),
@@ -136,6 +212,19 @@ pub fn gemm_blocked_rows(
     tk: usize,
     cfg: EngineConfig,
 ) -> Matrix<f32> {
+    gemm_blocked_rows_in(EngineRuntime::global(), a, b, rows, scheme, tk, cfg)
+}
+
+/// [`gemm_blocked_rows`] on an explicit runtime.
+pub fn gemm_blocked_rows_in(
+    rt: &EngineRuntime,
+    a: &SplitMatrix,
+    b: &SplitMatrix,
+    rows: &[usize],
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
     check(a, b, None, scheme);
     assert!(tk > 0, "tk must be positive");
     for (pos, &r) in rows.iter().enumerate() {
@@ -155,9 +244,11 @@ pub fn gemm_blocked_rows(
     }
     let mut out = Matrix::<f32>::zeros(rows.len(), b.cols());
     execute(
+        rt,
         &Plan {
             a,
             b,
+            b_pack: None,
             rows: Some(rows),
             k_lo: 0,
             k_hi: a.cols(),
@@ -182,6 +273,21 @@ pub fn gemm_blocked_range(
     tk: usize,
     cfg: EngineConfig,
 ) -> Matrix<f32> {
+    gemm_blocked_range_in(EngineRuntime::global(), a, b, k_lo, k_hi, scheme, tk, cfg)
+}
+
+/// [`gemm_blocked_range`] on an explicit runtime.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked_range_in(
+    rt: &EngineRuntime,
+    a: &SplitMatrix,
+    b: &SplitMatrix,
+    k_lo: usize,
+    k_hi: usize,
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
     check(a, b, None, scheme);
     assert!(tk > 0, "tk must be positive");
     assert!(
@@ -190,9 +296,11 @@ pub fn gemm_blocked_range(
     );
     let mut out = Matrix::<f32>::zeros(a.rows(), b.cols());
     execute(
+        rt,
         &Plan {
             a,
             b,
+            b_pack: None,
             rows: None,
             k_lo,
             k_hi,
@@ -209,6 +317,10 @@ pub fn gemm_blocked_range(
 struct Plan<'a> {
     a: &'a SplitMatrix,
     b: &'a SplitMatrix,
+    /// Whole-operand prepacked B panels; when present, workers read
+    /// slivers from here instead of packing per tile. Only set for the
+    /// full-range (`k_lo == 0`), full-rows path with a matching `kc`.
+    b_pack: Option<&'a PackedB>,
     rows: Option<&'a [usize]>,
     k_lo: usize,
     k_hi: usize,
@@ -223,27 +335,53 @@ struct SharedOut(*mut f32);
 unsafe impl Send for SharedOut {}
 unsafe impl Sync for SharedOut {}
 
-fn execute(plan: &Plan<'_>, out: &mut Matrix<f32>) {
+fn execute(rt: &EngineRuntime, plan: &Plan<'_>, out: &mut Matrix<f32>) {
     let m_out = plan.rows.map_or(plan.a.rows(), <[usize]>::len);
     let n = plan.b.cols();
     debug_assert_eq!((out.rows(), out.cols()), (m_out, n));
     if m_out == 0 || n == 0 || plan.k_lo >= plan.k_hi {
         return; // nothing to accumulate; out already holds C (or zeros)
     }
-    // Clamp the blocking to legal values: kc on the chunk grid, mc/nc to
-    // at least one register tile.
+    // Clamp the blocking to legal values: kc on the chunk grid, mc to at
+    // least one register tile, nc to a positive multiple of NR so every
+    // macro-tile's column origin is strip-aligned (which is what lets a
+    // whole-operand B pack serve any tile). Tiling bounds never affect
+    // output bits — only which elements are computed when.
     let tk = plan.tk;
-    let kc = (plan.cfg.kc.max(tk) / tk) * tk;
+    let kc = clamp_kc(plan.cfg.kc, tk);
     let mc = plan.cfg.mc.max(MR);
-    let nc = plan.cfg.nc.max(NR);
+    let nc = plan.cfg.nc.div_ceil(NR).max(1) * NR;
+    if let Some(p) = plan.b_pack {
+        assert_eq!(
+            (p.k(), p.n()),
+            (plan.b.rows(), plan.b.cols()),
+            "prepacked B shape disagrees with the split operand"
+        );
+        assert_eq!(
+            p.kc(),
+            kc,
+            "prepacked panel depth disagrees with the blocking in effect"
+        );
+        assert_eq!(plan.k_lo, 0, "prepacked B requires a full k range");
+        assert_eq!(
+            plan.k_hi,
+            plan.b.rows(),
+            "prepacked B requires a full k range"
+        );
+    }
     let tiles_m = m_out.div_ceil(mc);
     let tiles_n = n.div_ceil(nc);
     let n_tiles = tiles_m * tiles_n;
-    let threads = plan.cfg.resolved_threads().min(n_tiles).max(1);
+    let threads = if plan.cfg.threads > 0 {
+        plan.cfg.threads
+    } else {
+        rt.default_threads()
+    }
+    .min(n_tiles)
+    .max(1);
 
     let next = AtomicUsize::new(0);
     let shared = SharedOut(out.as_mut_slice().as_mut_ptr());
-    let run = |ctx: &WorkerCtx| worker(ctx, plan, &next, &shared);
     let ctx = WorkerCtx {
         m_out,
         n,
@@ -253,15 +391,7 @@ fn execute(plan: &Plan<'_>, out: &mut Matrix<f32>) {
         tiles_n,
         n_tiles,
     };
-    if threads == 1 {
-        run(&ctx);
-    } else {
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| run(&ctx));
-            }
-        });
-    }
+    rt.run_parallel(threads, &|| worker(&ctx, plan, &next, &shared));
 }
 
 /// Geometry shared by all workers of one execution.
@@ -281,13 +411,15 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
     let (a_hi_used, a_lo_used) = (terms.iter().any(|t| !t.0), terms.iter().any(|t| t.0));
     let (b_hi_used, b_lo_used) = (terms.iter().any(|t| !t.1), terms.iter().any(|t| t.1));
     // Per-worker pack scratch, reused across tiles and panels. Planes a
-    // scheme never touches stay empty and are never indexed.
+    // scheme never touches stay empty and are never indexed; B scratch
+    // is skipped entirely when the operand arrives prepacked.
+    let prepacked = plan.b_pack.is_some();
     let a_cap = ctx.mc.div_ceil(MR) * MR * ctx.kc;
     let b_cap = ctx.nc.div_ceil(NR) * NR * ctx.kc;
     let mut a_hi = vec![0f32; if a_hi_used { a_cap } else { 0 }];
     let mut a_lo = vec![0f32; if a_lo_used { a_cap } else { 0 }];
-    let mut b_hi = vec![0f32; if b_hi_used { b_cap } else { 0 }];
-    let mut b_lo = vec![0f32; if b_lo_used { b_cap } else { 0 }];
+    let mut b_hi = vec![0f32; if b_hi_used && !prepacked { b_cap } else { 0 }];
+    let mut b_lo = vec![0f32; if b_lo_used && !prepacked { b_cap } else { 0 }];
     let mut rowbuf: Vec<usize> = Vec::with_capacity(ctx.mc);
 
     loop {
@@ -321,7 +453,7 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
             if a_lo_used {
                 pack_a(plan.a.plane(true), k, &rowbuf, pc, kcb, &mut a_lo[..a_len]);
             }
-            if b_hi_used {
+            if b_hi_used && !prepacked {
                 pack_b(
                     plan.b.plane(false),
                     ctx.n,
@@ -332,7 +464,7 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
                     &mut b_hi[..b_len],
                 );
             }
-            if b_lo_used {
+            if b_lo_used && !prepacked {
                 pack_b(
                     plan.b.plane(true),
                     ctx.n,
@@ -344,9 +476,21 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
                 );
             }
             for sb in 0..strips {
-                let b_pair = PlanePair {
-                    hi: sliver(&b_hi, sb, kcb * NR),
-                    lo: sliver(&b_lo, sb, kcb * NR),
+                // Prepacked slivers are bit-identical to what pack_b
+                // would have produced for this tile: jc is NR-aligned
+                // (nc is clamped to an NR multiple) and the k grid
+                // matches (k_lo = 0, same kc), so global strip jc/NR+sb
+                // of panel pc/kc covers exactly the same column range
+                // with the same zero padding.
+                let b_pair = match plan.b_pack {
+                    Some(p) => PlanePair {
+                        hi: p.sliver(false, pc / ctx.kc, kcb, jc / NR + sb),
+                        lo: p.sliver(true, pc / ctx.kc, kcb, jc / NR + sb),
+                    },
+                    None => PlanePair {
+                        hi: sliver(&b_hi, sb, kcb * NR),
+                        lo: sliver(&b_lo, sb, kcb * NR),
+                    },
                 };
                 let j0 = jc + sb * NR;
                 let cols = NR.min(ncb - sb * NR);
@@ -566,6 +710,43 @@ mod tests {
         for (x, y) in one.as_slice().iter().zip(four.as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn prepared_b_path_bit_identical() {
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        for scheme in SCHEMES {
+            let a = Matrix::<f32>::random_uniform(11, 29, 41);
+            let b = Matrix::<f32>::random_uniform(29, 13, 43);
+            let sa = SplitMatrix::split(&a, scheme.split_scheme());
+            let sb = SplitMatrix::split(&b, scheme.split_scheme());
+            let c = Matrix::<f32>::random_uniform(11, 13, 45);
+            for tk in [4usize, 8] {
+                let baseline = gemm_blocked(&sa, &sb, Some(&c), scheme, tk, tight());
+                let pb = prepare_b(&rt, &b, scheme.split_scheme(), tk, tight());
+                let d = gemm_blocked_prepared(&rt, &sa, &pb, Some(&c), scheme, tk, tight());
+                for (x, y) in d.as_slice().iter().zip(baseline.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{scheme:?} tk={tk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prepacked panel depth disagrees")]
+    fn prepared_b_blocking_mismatch_rejected() {
+        let rt = EngineRuntime::new(RuntimeConfig::default());
+        let scheme = EmulationScheme::EgemmTc;
+        let a = Matrix::<f32>::random_uniform(8, 32, 51);
+        let b = Matrix::<f32>::random_uniform(32, 8, 53);
+        let sa = SplitMatrix::split(&a, scheme.split_scheme());
+        let pb = prepare_b(&rt, &b, scheme.split_scheme(), 8, tight());
+        // Same shapes, different kc (16 vs tight()'s clamped 8).
+        let other = EngineConfig { kc: 16, ..tight() };
+        gemm_blocked_prepared(&rt, &sa, &pb, None, scheme, 8, other);
     }
 
     #[test]

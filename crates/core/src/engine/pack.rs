@@ -17,6 +17,8 @@
 //! row-sampled entry point (`emulated_gemm_rows`) without a gather copy
 //! of A.
 
+use crate::split_matrix::SplitMatrix;
+
 /// Microkernel output rows (register tile height).
 pub(crate) const MR: usize = 4;
 /// Microkernel output columns (register tile width). 4 x 16 keeps eight
@@ -84,9 +86,115 @@ pub(crate) fn pack_b(
     }
 }
 
+/// Both planes of a whole B operand packed once for reuse across calls.
+///
+/// Layout: `k.div_ceil(kc)` panels, each holding `n.div_ceil(NR)` strips
+/// of `kcb x NR` row-major slivers — exactly what [`pack_b`] produces for
+/// the full column range of one k panel. Panels are stored at the stride
+/// of a *full* panel (`strips * kc * NR`) so panel offsets don't depend
+/// on the ragged depth of the final panel.
+///
+/// A macro-tile whose column origin `jc` is NR-aligned and whose k grid
+/// starts at 0 with the same `kc` reads its slivers at global strip
+/// `jc/NR + sb`, panel `pc/kc` — bit-for-bit the slivers a per-tile
+/// [`pack_b`] call would have produced, because strip contents depend
+/// only on the global column range and zero padding matches at the right
+/// edge. The engine asserts those alignment conditions before taking the
+/// prepacked path.
+pub(crate) struct PackedB {
+    n: usize,
+    k: usize,
+    kc: usize,
+    strips: usize,
+    panel_stride: usize,
+    hi: Vec<f32>,
+    lo: Vec<f32>,
+}
+
+impl PackedB {
+    /// Pack both planes of `split` with panel depth `kc` (>= 1, already
+    /// clamped to the chunk grid by the caller).
+    pub(crate) fn pack(split: &SplitMatrix, kc: usize) -> PackedB {
+        assert!(kc >= 1, "panel depth must be positive");
+        let k = split.rows();
+        let n = split.cols();
+        let strips = n.div_ceil(NR);
+        let panels = k.div_ceil(kc);
+        let panel_stride = strips * kc * NR;
+        let mut hi = vec![0f32; panels * panel_stride];
+        let mut lo = vec![0f32; panels * panel_stride];
+        let mut pc = 0usize;
+        while pc < k {
+            let kcb = kc.min(k - pc);
+            let base = (pc / kc) * panel_stride;
+            let len = strips * kcb * NR;
+            pack_b(
+                split.plane(false),
+                n,
+                0,
+                n,
+                pc,
+                kcb,
+                &mut hi[base..base + len],
+            );
+            pack_b(
+                split.plane(true),
+                n,
+                0,
+                n,
+                pc,
+                kcb,
+                &mut lo[base..base + len],
+            );
+            pc += kcb;
+        }
+        PackedB {
+            n,
+            k,
+            kc,
+            strips,
+            panel_stride,
+            hi,
+            lo,
+        }
+    }
+
+    /// Panel depth the operand was packed with.
+    pub(crate) fn kc(&self) -> usize {
+        self.kc
+    }
+
+    /// Reduction depth (B rows).
+    pub(crate) fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns (B columns).
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Resident bytes of both packed planes.
+    pub(crate) fn bytes(&self) -> usize {
+        4 * (self.hi.len() + self.lo.len())
+    }
+
+    /// The `kcb x NR` sliver of global strip `strip` in panel `panel`
+    /// (whose actual depth is `kcb`).
+    #[inline]
+    pub(crate) fn sliver(&self, lo_plane: bool, panel: usize, kcb: usize, strip: usize) -> &[f32] {
+        debug_assert!(strip < self.strips && kcb <= self.kc);
+        let plane = if lo_plane { &self.lo } else { &self.hi };
+        let base = panel * self.panel_stride + strip * kcb * NR;
+        &plane[base..base + kcb * NR]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use egemm_fp::SplitScheme;
+    use egemm_matrix::Matrix;
 
     #[test]
     fn pack_a_layout_and_padding() {
@@ -144,5 +252,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn packed_b_slivers_match_per_tile_pack() {
+        // A ragged shape: k = 23 over kc = 8 (final panel depth 7),
+        // n = 37 over NR strips (final strip ragged). Every sliver of
+        // the whole-operand pack must equal the sliver a per-tile pack
+        // over any NR-aligned column range would produce.
+        let (k, n, kc) = (23usize, 37usize, 8usize);
+        let src = Matrix::<f32>::random_uniform(k, n, 42);
+        let split = SplitMatrix::split(&src, SplitScheme::Round);
+        let packed = PackedB::pack(&split, kc);
+        assert_eq!((packed.k(), packed.n(), packed.kc()), (k, n, kc));
+        for lo_plane in [false, true] {
+            let plane = split.plane(lo_plane);
+            // Tile column origin jc = 16 (one NR strip in), width 21
+            // (spans strips 1 and the ragged final strip 2).
+            let (jc, ncb) = (NR, (n - NR).min(2 * NR));
+            let strips = ncb.div_ceil(NR);
+            let mut pc = 0usize;
+            while pc < k {
+                let kcb = kc.min(k - pc);
+                let mut tile = vec![-1.0f32; strips * kcb * NR];
+                pack_b(plane, n, jc, ncb, pc, kcb, &mut tile);
+                for sb in 0..strips {
+                    let want = &tile[sb * kcb * NR..(sb + 1) * kcb * NR];
+                    let got = packed.sliver(lo_plane, pc / kc, kcb, jc / NR + sb);
+                    assert_eq!(got, want, "lo={lo_plane} pc={pc} sb={sb}");
+                }
+                pc += kcb;
+            }
+        }
+    }
+
+    #[test]
+    fn packed_b_bytes_accounting() {
+        let src = Matrix::<f32>::random_uniform(8, 16, 1);
+        let split = SplitMatrix::split(&src, SplitScheme::Round);
+        let packed = PackedB::pack(&split, 8);
+        // 1 panel x 1 strip x 8x16 x 2 planes x 4 bytes.
+        assert_eq!(packed.bytes(), 2 * 4 * 8 * 16);
     }
 }

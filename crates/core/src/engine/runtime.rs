@@ -1,0 +1,483 @@
+//! The persistent engine runtime: worker pool + prepared-operand cache.
+//!
+//! The blocked engine used to rebuild its whole execution environment on
+//! every call — resolve thread-count env vars, spawn a fresh
+//! `thread::scope`, split both operands element-by-element, and re-pack
+//! every panel. [`EngineRuntime`] hoists all of that out of the call
+//! path:
+//!
+//! * **Worker pool** — a fixed set of parked threads created lazily and
+//!   reused across calls. Dispatch hands the pool one type-erased job
+//!   pointer per call (the engine's tile-claiming worker loop); workers
+//!   claim it under a mutex, run it to completion, and park again.
+//!   Nested calls (e.g. split-K slices computed on rayon threads) fall
+//!   back to running solo instead of deadlocking on the busy pool.
+//! * **Environment** — `EGEMM_THREADS` / `RAYON_NUM_THREADS` and
+//!   `EGEMM_CACHE_BYTES` are read once at runtime construction
+//!   ([`RuntimeConfig::from_env`]), never per call.
+//! * **Prepared-operand cache** — see [`super::cache`]: split planes and
+//!   packed B panels keyed by content fingerprint, plus the explicit
+//!   [`PreparedOperand`] handle for zero-lookup reuse.
+//!
+//! None of this can change an output bit: the pool runs the exact worker
+//! function `thread::scope` used to run (tile regions stay disjoint and
+//! each element's accumulation order is fixed by the plan, not by the
+//! thread that executes it), and the cache only decides whether
+//! bit-identical preparation work is reused or redone.
+
+use super::cache::{fingerprint, CacheEntry, CacheKey, PanelCache};
+use super::pack::PackedB;
+use crate::split_matrix::SplitMatrix;
+use egemm_fp::{SplitKernel, SplitScheme};
+use egemm_matrix::Matrix;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub use super::cache::CacheStats;
+
+/// Construction-time parameters of an [`EngineRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Pool width used when an [`super::EngineConfig`] leaves `threads`
+    /// at 0. Must be >= 1 (use [`RuntimeConfig::from_env`] to resolve
+    /// from the environment).
+    pub threads: usize,
+    /// Byte bound of the prepared-operand cache; 0 disables retention
+    /// (every call re-prepares, the reference cold path).
+    pub cache_bytes: usize,
+    /// Split kernel used for every split issued through this runtime.
+    pub split_kernel: SplitKernel,
+}
+
+/// Default cache bound: 256 MiB of split planes + packed panels.
+const DEFAULT_CACHE_BYTES: usize = 256 << 20;
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            threads: 1,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            split_kernel: SplitKernel::Auto,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Resolve the configuration from the environment **once**:
+    /// `EGEMM_THREADS`, then `RAYON_NUM_THREADS`, then the machine's
+    /// available parallelism for the pool width; `EGEMM_CACHE_BYTES`
+    /// for the cache bound.
+    pub fn from_env() -> RuntimeConfig {
+        let mut threads = 0usize;
+        for var in ["EGEMM_THREADS", "RAYON_NUM_THREADS"] {
+            if let Some(t) = std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                if t > 0 {
+                    threads = t;
+                    break;
+                }
+            }
+        }
+        if threads == 0 {
+            threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+        }
+        let cache_bytes = std::env::var("EGEMM_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CACHE_BYTES);
+        RuntimeConfig {
+            threads,
+            cache_bytes,
+            split_kernel: SplitKernel::Auto,
+        }
+    }
+}
+
+/// A split (and, for B-side operands, packed) matrix handed back by
+/// [`crate::Egemm::prepare`] for zero-lookup reuse across calls. The
+/// handle pins its data: it stays valid even after cache eviction.
+#[derive(Clone)]
+pub struct PreparedOperand {
+    pub(crate) split: Arc<SplitMatrix>,
+    pub(crate) packed: Arc<PackedB>,
+    pub(crate) scheme: SplitScheme,
+}
+
+impl PreparedOperand {
+    /// The split planes (shared with the cache).
+    pub fn split(&self) -> &SplitMatrix {
+        &self.split
+    }
+
+    /// The split scheme the operand was prepared with.
+    pub fn scheme(&self) -> SplitScheme {
+        self.scheme
+    }
+
+    /// Resident bytes this handle pins (split planes + packed panels).
+    pub fn bytes(&self) -> usize {
+        12 * self.split.rows() * self.split.cols() + self.packed.bytes()
+    }
+}
+
+impl std::fmt::Debug for PreparedOperand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedOperand")
+            .field("rows", &self.split.rows())
+            .field("cols", &self.split.cols())
+            .field("scheme", &self.scheme)
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+/// Persistent execution state shared by every GEMM issued through one
+/// [`crate::Egemm`] (or through the process-wide [`EngineRuntime::global`]).
+pub struct EngineRuntime {
+    default_threads: usize,
+    split_kernel: SplitKernel,
+    cache: PanelCache,
+    pool: Pool,
+}
+
+impl std::fmt::Debug for EngineRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineRuntime")
+            .field("default_threads", &self.default_threads)
+            .field("split_kernel", &self.split_kernel)
+            .field("cache_stats", &self.cache.stats())
+            .finish()
+    }
+}
+
+impl EngineRuntime {
+    /// Build a runtime with explicit parameters. Workers are spawned
+    /// lazily on first multi-threaded dispatch and parked between calls.
+    pub fn new(cfg: RuntimeConfig) -> Arc<EngineRuntime> {
+        Arc::new(EngineRuntime {
+            default_threads: cfg.threads.max(1),
+            split_kernel: cfg.split_kernel,
+            cache: PanelCache::new(cfg.cache_bytes),
+            pool: Pool::new(),
+        })
+    }
+
+    /// The process-wide runtime, configured from the environment exactly
+    /// once ([`RuntimeConfig::from_env`]). Every [`crate::Egemm`] uses it
+    /// unless given a private runtime via [`crate::Egemm::with_runtime`].
+    pub fn global() -> &'static Arc<EngineRuntime> {
+        static GLOBAL: OnceLock<Arc<EngineRuntime>> = OnceLock::new();
+        GLOBAL.get_or_init(|| EngineRuntime::new(RuntimeConfig::from_env()))
+    }
+
+    /// Pool width used when a call doesn't pin its own thread count.
+    pub fn default_threads(&self) -> usize {
+        self.default_threads
+    }
+
+    /// The split kernel this runtime dispatches.
+    pub fn split_kernel(&self) -> SplitKernel {
+        self.split_kernel
+    }
+
+    /// Lifetime cache counters (hits/misses/evictions/resident bytes,
+    /// plus how many splits and packs actually executed).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Split `src` through the cache: a content-fingerprint hit returns
+    /// the resident planes without touching the O(N²) split.
+    pub(crate) fn split_cached(&self, src: &Matrix<f32>, scheme: SplitScheme) -> Arc<SplitMatrix> {
+        let key = CacheKey {
+            fp: fingerprint(src.as_slice()),
+            rows: src.rows(),
+            cols: src.cols(),
+            scheme,
+        };
+        self.entry_for(key, src, scheme).split.clone()
+    }
+
+    /// Split `src` and pack its B panels for blocking depth `kc`
+    /// (already clamped to the chunk grid), both through the cache.
+    pub(crate) fn prepare_b(
+        &self,
+        src: &Matrix<f32>,
+        scheme: SplitScheme,
+        kc: usize,
+    ) -> PreparedOperand {
+        let key = CacheKey {
+            fp: fingerprint(src.as_slice()),
+            rows: src.rows(),
+            cols: src.cols(),
+            scheme,
+        };
+        let entry = self.entry_for(key, src, scheme);
+        let packed = self
+            .cache
+            .get_or_pack(key, &entry, kc, || PackedB::pack(&entry.split, kc));
+        PreparedOperand {
+            split: entry.split.clone(),
+            packed,
+            scheme,
+        }
+    }
+
+    fn entry_for(&self, key: CacheKey, src: &Matrix<f32>, scheme: SplitScheme) -> Arc<CacheEntry> {
+        self.cache.get_or_split(key, || {
+            SplitMatrix::split_with(src, scheme, self.split_kernel)
+        })
+    }
+
+    /// Run `f` on `workers` threads: the caller plus `workers - 1` pool
+    /// workers. Returns when every participant has returned. If the pool
+    /// is already dispatching (a nested call from inside another job or
+    /// a rayon task), the caller runs `f` alone — same results, since
+    /// every engine job is a claim loop over a shared tile grid.
+    pub(crate) fn run_parallel(&self, workers: usize, f: &(dyn Fn() + Sync)) {
+        if workers <= 1 {
+            f();
+            return;
+        }
+        let Ok(_dispatch) = self.pool.dispatch.try_lock() else {
+            f();
+            return;
+        };
+        self.pool.run(workers - 1, f);
+    }
+}
+
+impl Drop for EngineRuntime {
+    fn drop(&mut self) {
+        self.pool.shutdown();
+    }
+}
+
+/// Type-erased pointer to the per-call job closure. The dispatcher keeps
+/// the closure alive (and its borrows valid) until every claimant has
+/// finished, which `Pool::run` enforces before returning.
+#[derive(Clone, Copy)]
+struct JobRef(*const (dyn Fn() + Sync));
+unsafe impl Send for JobRef {}
+unsafe impl Sync for JobRef {}
+
+struct PoolState {
+    /// Current job, present only while a dispatch is in flight.
+    job: Option<JobRef>,
+    /// Bumped per dispatch so parked workers can tell a new job from a
+    /// spurious wakeup or an already-drained one.
+    epoch: u64,
+    /// Claims still available for the current job.
+    unclaimed: usize,
+    /// Workers currently inside the current job.
+    active: usize,
+    /// Worker threads spawned so far.
+    spawned: usize,
+    shutdown: bool,
+}
+
+/// Parked-thread worker pool. One job at a time (serialized by
+/// `dispatch`); workers live for the runtime's lifetime.
+struct Pool {
+    /// Serializes dispatches; `try_lock` failure = pool busy.
+    dispatch: Mutex<()>,
+    state: Arc<(Mutex<PoolState>, Condvar, Condvar)>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        Pool {
+            dispatch: Mutex::new(()),
+            state: Arc::new((
+                Mutex::new(PoolState {
+                    job: None,
+                    epoch: 0,
+                    unclaimed: 0,
+                    active: 0,
+                    spawned: 0,
+                    shutdown: false,
+                }),
+                Condvar::new(), // work: workers park here
+                Condvar::new(), // done: dispatcher parks here
+            )),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Dispatch `f` to `helpers` workers and run it on the calling
+    /// thread too; return once all participants have finished. Caller
+    /// must hold the `dispatch` lock.
+    fn run(&self, helpers: usize, f: &(dyn Fn() + Sync)) {
+        self.ensure_workers(helpers);
+        let (lock, work, done) = &*self.state;
+        {
+            let mut st = lock.lock().unwrap();
+            // SAFETY: erasing the borrow lifetime is sound because this
+            // function does not return until `unclaimed` and `active`
+            // are both zero, i.e. no worker can still reach the pointer.
+            let erased: &'static (dyn Fn() + Sync + 'static) = unsafe { std::mem::transmute(f) };
+            st.job = Some(JobRef(erased as *const _));
+            st.epoch += 1;
+            st.unclaimed = helpers;
+            work.notify_all();
+        }
+        f(); // the dispatcher is a full participant
+        let mut st = lock.lock().unwrap();
+        while st.unclaimed > 0 || st.active > 0 {
+            st = done.wait(st).unwrap();
+        }
+        st.job = None;
+    }
+
+    /// Grow the pool to at least `n` parked workers.
+    fn ensure_workers(&self, n: usize) {
+        let missing = {
+            let st = self.state.0.lock().unwrap();
+            n.saturating_sub(st.spawned)
+        };
+        if missing == 0 {
+            return;
+        }
+        let mut handles = self.handles.lock().unwrap();
+        let mut st = self.state.0.lock().unwrap();
+        while st.spawned < n {
+            let state = Arc::clone(&self.state);
+            let h = std::thread::Builder::new()
+                .name("egemm-engine".into())
+                .spawn(move || worker_loop(&state))
+                .expect("spawn engine worker");
+            handles.push(h);
+            st.spawned += 1;
+        }
+    }
+
+    fn shutdown(&self) {
+        {
+            let mut st = self.state.0.lock().unwrap();
+            st.shutdown = true;
+            self.state.1.notify_all();
+        }
+        for h in self.handles.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(state: &(Mutex<PoolState>, Condvar, Condvar)) {
+    let (lock, work, done) = state;
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen_epoch {
+                    seen_epoch = st.epoch;
+                    if st.unclaimed > 0 {
+                        st.unclaimed -= 1;
+                        st.active += 1;
+                        break st.job.expect("claimable epoch must carry a job");
+                    }
+                    // Late to the party: the job is fully claimed; skip
+                    // this epoch and park again.
+                }
+                st = work.wait(st).unwrap();
+            }
+        };
+        // SAFETY: the dispatcher keeps the closure alive until
+        // `unclaimed == 0 && active == 0`, and this worker is counted in
+        // `active` for exactly the duration of this call.
+        unsafe { (&*job.0)() };
+        let mut st = lock.lock().unwrap();
+        st.active -= 1;
+        if st.unclaimed == 0 && st.active == 0 {
+            done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_job_on_all_participants() {
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads: 4,
+            ..Default::default()
+        });
+        let counter = AtomicUsize::new(0);
+        rt.run_parallel(4, &|| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        // Workers parked, reusable: dispatch again.
+        rt.run_parallel(3, &|| {
+            counter.fetch_add(10, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 34);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let rt = EngineRuntime::new(RuntimeConfig::default());
+        let counter = AtomicUsize::new(0);
+        rt.run_parallel(1, &|| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_dispatch_degrades_to_solo() {
+        // A job that itself dispatches must not deadlock: the inner call
+        // finds the pool busy and runs solo.
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let counter = AtomicUsize::new(0);
+        let rt2 = rt.clone();
+        let inner_ran = &counter;
+        rt.run_parallel(2, &|| {
+            rt2.run_parallel(2, &|| {
+                inner_ran.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        // Outer job ran on 2 threads; each inner dispatch ran solo (1)
+        // or, if the dispatch lock happened to be free again, on up to 2.
+        let n = counter.load(Ordering::SeqCst);
+        assert!((2..=4).contains(&n), "inner ran {n} times");
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads: 3,
+            ..Default::default()
+        });
+        rt.run_parallel(3, &|| {});
+        drop(rt); // must not hang
+    }
+
+    #[test]
+    fn global_runtime_resolves_env_once() {
+        let a = EngineRuntime::global();
+        let b = EngineRuntime::global();
+        assert!(Arc::ptr_eq(a, b));
+        assert!(a.default_threads() >= 1);
+    }
+
+    #[test]
+    fn runtime_config_from_env_positive() {
+        let cfg = RuntimeConfig::from_env();
+        assert!(cfg.threads >= 1);
+    }
+}

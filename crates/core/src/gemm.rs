@@ -10,11 +10,13 @@ use crate::analytic::{solve_tiling, AnalyticModel};
 use crate::config::TilingConfig;
 use crate::emulation::EmulationScheme;
 use crate::engine;
+use crate::engine::{EngineRuntime, PreparedOperand};
 use crate::kernel::build_kernel;
 pub use crate::kernel::KernelOpts;
 use crate::split_matrix::SplitMatrix;
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_tcsim::{kernel_time, DeviceSpec, KernelTiming};
+use std::sync::Arc;
 
 /// An EGEMM-TC GEMM engine bound to a device, tiling and emulation scheme.
 #[derive(Debug, Clone)]
@@ -27,6 +29,10 @@ pub struct Egemm {
     pub scheme: EmulationScheme,
     /// Kernel optimization switches.
     pub opts: KernelOpts,
+    /// Persistent execution state: worker pool + prepared-operand cache.
+    /// The process-wide [`EngineRuntime::global`] unless overridden via
+    /// [`Egemm::with_runtime`].
+    runtime: Arc<EngineRuntime>,
 }
 
 /// Result of one emulated GEMM.
@@ -50,6 +56,7 @@ impl Egemm {
             config,
             scheme: EmulationScheme::EgemmTc,
             opts: KernelOpts::default(),
+            runtime: EngineRuntime::global().clone(),
         }
     }
 
@@ -74,6 +81,70 @@ impl Egemm {
         self
     }
 
+    /// Use a private [`EngineRuntime`] instead of the process-wide one
+    /// (builder style) — its pool width, cache bound, and split kernel
+    /// then govern every call through this instance.
+    pub fn with_runtime(mut self, runtime: Arc<EngineRuntime>) -> Egemm {
+        self.runtime = runtime;
+        self
+    }
+
+    /// The runtime this instance executes on.
+    pub fn runtime(&self) -> &Arc<EngineRuntime> {
+        &self.runtime
+    }
+
+    /// Split and pack `b` for reuse as the right-hand operand of
+    /// [`Egemm::gemm_prepared`]. Both the O(N²) split and the panel pack
+    /// run at most once per distinct content; the handle afterwards
+    /// skips even the cache lookup (and survives cache eviction).
+    pub fn prepare(&self, b: &Matrix<f32>) -> PreparedOperand {
+        engine::prepare_b(
+            &self.runtime,
+            b,
+            self.scheme.split_scheme(),
+            TilingConfig::TC.k,
+            self.opts.engine,
+        )
+    }
+
+    /// `D = A·B (+ C)` with a prepared B operand: bit-identical to
+    /// [`Egemm::gemm_with_c`] on the same data, minus the per-call B
+    /// split and pack.
+    ///
+    /// # Panics
+    /// If `b` was prepared under a different split scheme or blocking
+    /// than this instance currently uses.
+    pub fn gemm_prepared(
+        &self,
+        a: &Matrix<f32>,
+        b: &PreparedOperand,
+        c: Option<&Matrix<f32>>,
+    ) -> GemmOutput {
+        assert_eq!(
+            b.scheme(),
+            self.scheme.split_scheme(),
+            "operand was prepared under a different split scheme"
+        );
+        assert_eq!(a.cols(), b.split().rows(), "inner dimensions disagree");
+        let shape = GemmShape::new(a.rows(), b.split().cols(), a.cols());
+        let sa = self.runtime.split_cached(a, self.scheme.split_scheme());
+        let d = engine::gemm_blocked_prepared(
+            &self.runtime,
+            &sa,
+            b,
+            c,
+            self.scheme,
+            TilingConfig::TC.k,
+            self.opts.engine,
+        );
+        GemmOutput {
+            d,
+            timing: self.time(shape),
+            shape,
+        }
+    }
+
     /// `D = A·B`: split, execute functionally, and cost the kernel.
     pub fn gemm(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> GemmOutput {
         self.gemm_with_c(a, b, None)
@@ -88,14 +159,24 @@ impl Egemm {
     ) -> GemmOutput {
         assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
         let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
-        // CUDA-core phase: O(N^2) data split (§3.2).
-        let sa = SplitMatrix::split(a, self.scheme.split_scheme());
-        let sb = SplitMatrix::split(b, self.scheme.split_scheme());
+        // CUDA-core phase: O(N^2) data split (§3.2), through the
+        // runtime's prepared-operand cache — a content hit on either
+        // operand skips its split (and B's pack) entirely.
+        let scheme = self.scheme.split_scheme();
+        let sa = self.runtime.split_cached(a, scheme);
+        let pb = engine::prepare_b(
+            &self.runtime,
+            b,
+            scheme,
+            TilingConfig::TC.k,
+            self.opts.engine,
+        );
         // Tensor-core phase: O(N^3) tiled emulated GEMM on the blocked
         // engine, with this instance's blocking/threading config.
-        let d = engine::gemm_blocked(
+        let d = engine::gemm_blocked_prepared(
+            &self.runtime,
             &sa,
-            &sb,
+            &pb,
             c,
             self.scheme,
             TilingConfig::TC.k,
@@ -115,7 +196,15 @@ impl Egemm {
         c: Option<&Matrix<f32>>,
     ) -> GemmOutput {
         let shape = GemmShape::new(sa.rows(), sb.cols(), sa.cols());
-        let d = engine::gemm_blocked(sa, sb, c, self.scheme, TilingConfig::TC.k, self.opts.engine);
+        let d = engine::gemm_blocked_in(
+            &self.runtime,
+            sa,
+            sb,
+            c,
+            self.scheme,
+            TilingConfig::TC.k,
+            self.opts.engine,
+        );
         GemmOutput {
             d,
             timing: self.time(shape),

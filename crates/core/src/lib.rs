@@ -59,7 +59,11 @@ pub use config::TilingConfig;
 pub use emulation::{
     emulated_gemm, emulated_gemm_entrywise, emulated_gemm_rows, emulated_gemm_tk, EmulationScheme,
 };
-pub use engine::{gemm_blocked, gemm_blocked_range, gemm_blocked_rows, EngineConfig};
+pub use engine::{
+    gemm_blocked, gemm_blocked_in, gemm_blocked_prepared, gemm_blocked_range,
+    gemm_blocked_range_in, gemm_blocked_rows, gemm_blocked_rows_in, prepare_b, CacheStats,
+    EngineConfig, EngineRuntime, PreparedOperand, RuntimeConfig,
+};
 pub use errbound::{crossover_k, dot_error_bound};
 pub use gemm::{Egemm, GemmOutput, KernelOpts};
 pub use kernel::{build_kernel, plane_counts, wave_reuse_ab_bytes, BYTES_PER_128B_INSTR};

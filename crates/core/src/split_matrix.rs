@@ -7,7 +7,7 @@
 //! Core datapath sees after its internal widening), so the functional
 //! executors don't re-convert inside the O(N³) loops.
 
-use egemm_fp::{Half, SplitScheme};
+use egemm_fp::{split_planes, Half, SplitKernel, SplitScheme};
 use egemm_matrix::Matrix;
 use rayon::prelude::*;
 
@@ -30,8 +30,15 @@ pub struct SplitMatrix {
 
 impl SplitMatrix {
     /// Split every element of `src` with `scheme`. This is the O(N²)
-    /// "CUDA-core" phase of the emulation; parallelized across rows.
+    /// "CUDA-core" phase of the emulation; parallelized across rows and
+    /// SIMD-dispatched within a row where the hardware allows
+    /// ([`SplitKernel::Auto`] — bit-identical to the scalar path).
     pub fn split(src: &Matrix<f32>, scheme: SplitScheme) -> SplitMatrix {
+        SplitMatrix::split_with(src, scheme, SplitKernel::default())
+    }
+
+    /// [`SplitMatrix::split`] with an explicit per-row split kernel.
+    pub fn split_with(src: &Matrix<f32>, scheme: SplitScheme, kernel: SplitKernel) -> SplitMatrix {
         let rows = src.rows();
         let cols = src.cols();
         let n = rows * cols;
@@ -50,13 +57,7 @@ impl SplitMatrix {
                 .enumerate()
                 .for_each(|(r, ((hb, lb), (hf, lf)))| {
                     let srow = &srcs[r * cols..(r + 1) * cols];
-                    for c in 0..cols {
-                        let s = scheme.split(srow[c]);
-                        hb[c] = s.hi;
-                        lb[c] = s.lo;
-                        hf[c] = s.hi.to_f32();
-                        lf[c] = s.lo.to_f32();
-                    }
+                    split_planes(kernel, scheme, srow, hb, lb, hf, lf);
                 });
         }
         SplitMatrix {
@@ -132,6 +133,25 @@ mod tests {
             for c in 0..8 {
                 let s = egemm_fp::truncate_split(src.get(r, c));
                 assert_eq!(sm.hi.get(r, c).to_bits(), s.hi.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn split_kernels_bit_identical() {
+        // 33 columns: each row exercises the 8-lane SIMD body and a
+        // ragged scalar tail.
+        let src = Matrix::<f32>::random_uniform(13, 33, 9);
+        for scheme in [SplitScheme::Round, SplitScheme::Truncate] {
+            let auto = SplitMatrix::split_with(&src, scheme, SplitKernel::Auto);
+            let scalar = SplitMatrix::split_with(&src, scheme, SplitKernel::Scalar);
+            assert_eq!(auto.hi.as_slice(), scalar.hi.as_slice());
+            assert_eq!(auto.lo.as_slice(), scalar.lo.as_slice());
+            for (x, y) in auto.hi_f32.iter().zip(&scalar.hi_f32) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in auto.lo_f32.iter().zip(&scalar.lo_f32) {
+                assert_eq!(x.to_bits(), y.to_bits());
             }
         }
     }

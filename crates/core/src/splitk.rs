@@ -22,7 +22,6 @@ use crate::config::TilingConfig;
 use crate::engine;
 use crate::gemm::Egemm;
 use crate::kernel::build_kernel;
-use crate::split_matrix::SplitMatrix;
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_tcsim::{blocks_per_sm, kernel_time, DeviceSpec, KernelTiming};
 use rayon::prelude::*;
@@ -72,8 +71,14 @@ impl Egemm {
             slices
         };
         assert!(s >= 1 && s <= shape.k, "slice count out of range");
-        let sa = SplitMatrix::split(a, self.scheme.split_scheme());
-        let sb = SplitMatrix::split(b, self.scheme.split_scheme());
+        // Operand splits go through the runtime cache: repeated split-K
+        // calls over the same data (or operands shared with the fused
+        // path) skip the O(N²) split. The per-slice engine runs can't
+        // use a prepacked B — their k grids start mid-operand — so only
+        // the split planes are shared.
+        let rt = self.runtime();
+        let sa = rt.split_cached(a, self.scheme.split_scheme());
+        let sb = rt.split_cached(b, self.scheme.split_scheme());
 
         // Slice boundaries: contiguous, ascending, sizes within 1.
         let bounds: Vec<(usize, usize)> = (0..s)
@@ -90,7 +95,16 @@ impl Egemm {
         let partials: Vec<Matrix<f32>> = bounds
             .par_iter()
             .map(|&(lo, hi)| {
-                engine::gemm_blocked_range(&sa, &sb, lo, hi, self.scheme, tk, self.opts.engine)
+                engine::gemm_blocked_range_in(
+                    rt,
+                    &sa,
+                    &sb,
+                    lo,
+                    hi,
+                    self.scheme,
+                    tk,
+                    self.opts.engine,
+                )
             })
             .collect();
         // Ascending-slice reduction, in f32 like the device's epilogue.

@@ -1,0 +1,360 @@
+//! SIMD data split: vectorized round/truncate split of binary32 slices.
+//!
+//! The split phase is `O(N²)` against the GEMM's `O(N³)`, but for the
+//! skewed serving shapes the host engine targets (small `m`, large
+//! `n = k`) it dominates wall time: the scalar
+//! [`SplitScheme::split`](crate::SplitScheme::split) path routes every
+//! element through a branchy binary64 decompose/round sequence
+//! (~190 cycles/element measured). This module processes 8 lanes per
+//! iteration on x86-64 with AVX + F16C: `vcvtps2ph` performs the same
+//! correctly-rounded binary32→binary16 narrowing the software path
+//! implements (RNE for round-split, RTZ for truncate-split),
+//! `vcvtph2ps` the same exact widening, and a compare-and-mask replaces
+//! the `is_finite` branch of the scalar residual computation.
+//!
+//! **Bit identity is a hard contract**: for every input — normals,
+//! subnormals, ±0, ±inf, NaNs, values on rounding ties, values past the
+//! binary16 overflow threshold — the SIMD path must produce the same
+//! `(hi, lo)` encodings and the same widened binary32 planes as the
+//! scalar path, which remains both the portable fallback and the test
+//! oracle (see the exhaustive sweep in this module's tests and the
+//! `split_simd` entry of `engine_bench`, which asserts equality before
+//! timing).
+
+use crate::half::Half;
+use crate::split::SplitScheme;
+
+/// Which split implementation to run.
+///
+/// `Auto` dispatches to the SIMD path when the CPU supports it and is
+/// the default everywhere; `Scalar` forces the portable path — used by
+/// benches to measure the pre-SIMD baseline and by tests as the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitKernel {
+    /// Runtime-dispatched: SIMD when available, scalar otherwise.
+    #[default]
+    Auto,
+    /// Portable scalar reference path.
+    Scalar,
+}
+
+/// `true` iff the SIMD split path will be used by [`SplitKernel::Auto`]
+/// on this machine.
+pub fn simd_split_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("f16c")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Split `xs` into the four parallel planes the GEMM engine consumes:
+/// binary16 `hi`/`lo` encodings plus their exact binary32 widenings.
+/// All four output slices must have the same length as `xs`.
+///
+/// Output is bit-identical regardless of `kernel` or CPU features.
+pub fn split_planes(
+    kernel: SplitKernel,
+    scheme: SplitScheme,
+    xs: &[f32],
+    hi: &mut [Half],
+    lo: &mut [Half],
+    hi_f32: &mut [f32],
+    lo_f32: &mut [f32],
+) {
+    assert_eq!(xs.len(), hi.len(), "hi plane length mismatch");
+    assert_eq!(xs.len(), lo.len(), "lo plane length mismatch");
+    assert_eq!(xs.len(), hi_f32.len(), "hi_f32 plane length mismatch");
+    assert_eq!(xs.len(), lo_f32.len(), "lo_f32 plane length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if kernel == SplitKernel::Auto && simd_split_available() {
+        // SAFETY: AVX2 + F16C support just verified.
+        unsafe { x86::split_planes_f16c(scheme, xs, hi, lo, hi_f32, lo_f32) };
+        return;
+    }
+    let _ = kernel;
+    split_planes_scalar(scheme, xs, hi, lo, hi_f32, lo_f32);
+}
+
+/// The portable scalar path: one [`SplitScheme::split`] per element.
+/// This is the reference the SIMD path is verified against.
+pub fn split_planes_scalar(
+    scheme: SplitScheme,
+    xs: &[f32],
+    hi: &mut [Half],
+    lo: &mut [Half],
+    hi_f32: &mut [f32],
+    lo_f32: &mut [f32],
+) {
+    for (i, &x) in xs.iter().enumerate() {
+        let s = scheme.split(x);
+        hi[i] = s.hi;
+        lo[i] = s.lo;
+        hi_f32[i] = s.hi.to_f32();
+        lo_f32[i] = s.lo.to_f32();
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// 8-lane split: `vcvtps2ph` narrows (RNE or RTZ per scheme),
+    /// `vcvtph2ps` widens back exactly, `x - hi` runs as one `vsubps`,
+    /// and non-finite `hi` lanes have their residual masked to +0.0 —
+    /// the vector form of the scalar `if hi.is_finite()` guard.
+    ///
+    /// # Safety
+    /// Caller must verify AVX2 and F16C support; slice lengths are
+    /// checked by the public wrapper.
+    #[target_feature(enable = "avx2,f16c")]
+    pub(super) unsafe fn split_planes_f16c(
+        scheme: SplitScheme,
+        xs: &[f32],
+        hi: &mut [Half],
+        lo: &mut [Half],
+        hi_f32: &mut [f32],
+        lo_f32: &mut [f32],
+    ) {
+        match scheme {
+            SplitScheme::Round => {
+                split_lanes::<{ _MM_FROUND_TO_NEAREST_INT }>(xs, hi, lo, hi_f32, lo_f32)
+            }
+            SplitScheme::Truncate => {
+                split_lanes::<{ _MM_FROUND_TO_ZERO }>(xs, hi, lo, hi_f32, lo_f32)
+            }
+        }
+        // Ragged tail: the scalar path is the definition, so delegating
+        // the last `len % 8` lanes to it is trivially bit-identical.
+        let tail = xs.len() - xs.len() % 8;
+        split_planes_scalar(
+            scheme,
+            &xs[tail..],
+            &mut hi[tail..],
+            &mut lo[tail..],
+            &mut hi_f32[tail..],
+            &mut lo_f32[tail..],
+        );
+    }
+
+    /// Both split schemes are the same dataflow with a different
+    /// narrowing rounding mode, so the rounding immediate is the only
+    /// parameter. `vcvtps2ph` with RTZ saturates overflow to ±65504 and
+    /// with RNE rounds it to ±inf — exactly the scalar conversions —
+    /// and quiets NaNs while keeping the top 10 payload bits, matching
+    /// `f64_to_f16_bits_round`'s NaN handling (the binary32→binary64
+    /// hop in the scalar path shifts the payload by 29 bits, so both
+    /// keep the same top-10 slice).
+    #[target_feature(enable = "avx2,f16c")]
+    unsafe fn split_lanes<const IMM: i32>(
+        xs: &[f32],
+        hi: &mut [Half],
+        lo: &mut [Half],
+        hi_f32: &mut [f32],
+        lo_f32: &mut [f32],
+    ) {
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let f16_max = _mm256_set1_ps(65504.0);
+        for i in (0..xs.len() / 8).map(|b| b * 8) {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            let h_bits = _mm256_cvtps_ph::<IMM>(x);
+            let h = _mm256_cvtph_ps(h_bits);
+            // Finite iff |hi| <= 65504: the widened hi is an exact
+            // binary16 value, so the ordered compare is false only for
+            // ±inf and NaN lanes (the scalar path zeroes those
+            // residuals; `and` with the all-zeros mask lane produces
+            // the same +0.0).
+            let finite = _mm256_cmp_ps::<_CMP_LE_OQ>(_mm256_andnot_ps(sign_mask, h), f16_max);
+            let residual = _mm256_and_ps(_mm256_sub_ps(x, h), finite);
+            let l_bits = _mm256_cvtps_ph::<IMM>(residual);
+            let l = _mm256_cvtph_ps(l_bits);
+            _mm_storeu_si128(hi.as_mut_ptr().add(i) as *mut __m128i, h_bits);
+            _mm_storeu_si128(lo.as_mut_ptr().add(i) as *mut __m128i, l_bits);
+            _mm256_storeu_ps(hi_f32.as_mut_ptr().add(i), h);
+            _mm256_storeu_ps(lo_f32.as_mut_ptr().add(i), l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::f16_bits_to_f32;
+
+    /// Adversarial inputs: every binary16 value widened (hits every
+    /// exponent/mantissa pattern including subnormals, ±0, ±inf, NaNs),
+    /// rounding ties, overflow-threshold neighbours, f32 subnormals,
+    /// signalling/quiet NaNs with payloads, and a pseudo-random sweep.
+    fn adversarial_inputs() -> Vec<f32> {
+        let mut xs: Vec<f32> = (0..=u16::MAX).map(f16_bits_to_f32).collect();
+        xs.extend([
+            0.0f32,
+            -0.0,
+            1.0 + 2f32.powi(-11),       // exact RNE tie at 1.0
+            1.0 + 3.0 * 2f32.powi(-11), // tie, odd mantissa
+            -(1.0 + 2f32.powi(-11)),
+            1.0 + 2f32.powi(-11) + 2f32.powi(-22), // just above the tie
+            65519.9,
+            65520.0, // RNE overflow threshold
+            65536.0,
+            -65520.0,
+            1e30,
+            -1e30,
+            f32::MAX,
+            f32::MIN,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::MIN_POSITIVE / 8.0, // f32 subnormal
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            -f32::NAN,
+            f32::from_bits(0x7f80_0001), // signalling NaN, tiny payload
+            f32::from_bits(0xffc0_1234), // quiet NaN with payload
+            f32::from_bits(0x7fbf_ffff), // all-ones payload sNaN
+            2f32.powi(-24) * 1.5,        // binary16 subnormal tie
+            2f32.powi(-25),              // below half the f16 quantum
+        ]);
+        let mut s: u32 = 0x1234_5678;
+        for _ in 0..40_000 {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            xs.push(f32::from_bits(s));
+            let v = ((s >> 8) as f32 / (1u32 << 24) as f32) * 2.0 - 1.0;
+            xs.push(v);
+        }
+        xs
+    }
+
+    fn assert_paths_identical(scheme: SplitScheme, xs: &[f32]) {
+        let n = xs.len();
+        let mut got = (
+            vec![Half::ZERO; n],
+            vec![Half::ZERO; n],
+            vec![0f32; n],
+            vec![0f32; n],
+        );
+        let mut want = (
+            vec![Half::ZERO; n],
+            vec![Half::ZERO; n],
+            vec![0f32; n],
+            vec![0f32; n],
+        );
+        split_planes(
+            SplitKernel::Auto,
+            scheme,
+            xs,
+            &mut got.0,
+            &mut got.1,
+            &mut got.2,
+            &mut got.3,
+        );
+        split_planes_scalar(
+            scheme,
+            xs,
+            &mut want.0,
+            &mut want.1,
+            &mut want.2,
+            &mut want.3,
+        );
+        for (i, x) in xs.iter().enumerate().take(n) {
+            assert_eq!(
+                got.0[i].to_bits(),
+                want.0[i].to_bits(),
+                "{scheme:?} hi diverges for input {:#010x} ({})",
+                x.to_bits(),
+                x
+            );
+            assert_eq!(
+                got.1[i].to_bits(),
+                want.1[i].to_bits(),
+                "{scheme:?} lo diverges for input {:#010x} ({})",
+                x.to_bits(),
+                x
+            );
+            assert_eq!(got.2[i].to_bits(), want.2[i].to_bits(), "hi_f32 at {i}");
+            assert_eq!(got.3[i].to_bits(), want.3[i].to_bits(), "lo_f32 at {i}");
+        }
+    }
+
+    #[test]
+    fn simd_round_split_bit_identical_to_scalar() {
+        assert_paths_identical(SplitScheme::Round, &adversarial_inputs());
+    }
+
+    #[test]
+    fn simd_truncate_split_bit_identical_to_scalar() {
+        assert_paths_identical(SplitScheme::Truncate, &adversarial_inputs());
+    }
+
+    #[test]
+    fn ragged_tails_every_length() {
+        // Lengths 0..=17 cover empty, sub-vector, and vector+tail cases.
+        let base = adversarial_inputs();
+        for len in 0..=17usize {
+            assert_paths_identical(SplitScheme::Round, &base[100..100 + len]);
+        }
+    }
+
+    #[test]
+    fn forced_scalar_matches_auto() {
+        let xs = [0.1f32, -0.25, 1.0, 0.333, -0.97, 1e30, f32::NAN, 0.5];
+        let n = xs.len();
+        let mut a = (
+            vec![Half::ZERO; n],
+            vec![Half::ZERO; n],
+            vec![0f32; n],
+            vec![0f32; n],
+        );
+        let mut b = (
+            vec![Half::ZERO; n],
+            vec![Half::ZERO; n],
+            vec![0f32; n],
+            vec![0f32; n],
+        );
+        split_planes(
+            SplitKernel::Scalar,
+            SplitScheme::Round,
+            &xs,
+            &mut a.0,
+            &mut a.1,
+            &mut a.2,
+            &mut a.3,
+        );
+        split_planes(
+            SplitKernel::Auto,
+            SplitScheme::Round,
+            &xs,
+            &mut b.0,
+            &mut b.1,
+            &mut b.2,
+            &mut b.3,
+        );
+        for i in 0..n {
+            assert_eq!(a.0[i].to_bits(), b.0[i].to_bits());
+            assert_eq!(a.1[i].to_bits(), b.1[i].to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_plane_lengths_rejected() {
+        let xs = [1.0f32; 4];
+        let mut hi = vec![Half::ZERO; 3];
+        let mut lo = vec![Half::ZERO; 4];
+        let mut hf = vec![0f32; 4];
+        let mut lf = vec![0f32; 4];
+        split_planes(
+            SplitKernel::Auto,
+            SplitScheme::Round,
+            &xs,
+            &mut hi,
+            &mut lo,
+            &mut hf,
+            &mut lf,
+        );
+    }
+}

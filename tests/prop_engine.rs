@@ -10,8 +10,9 @@
 
 use egemm::{
     emulated_gemm_entrywise, emulated_gemm_rows, gemm_blocked, gemm_blocked_range, Egemm,
-    EmulationScheme, EngineConfig, SplitMatrix,
+    EmulationScheme, EngineConfig, EngineRuntime, RuntimeConfig, SplitMatrix, TilingConfig,
 };
+use egemm_fp::SplitKernel;
 use egemm_matrix::Matrix;
 use egemm_tcsim::DeviceSpec;
 use proptest::prelude::*;
@@ -133,6 +134,106 @@ proptest! {
                 prop_assert_eq!(d.get(i, j).to_bits(), want.to_bits());
             }
         }
+    }
+}
+
+/// An `Egemm` on a fresh private runtime (so cache counters and pool
+/// width are isolated from other tests in this process).
+fn egemm_on(scheme: EmulationScheme, cfg: RuntimeConfig) -> Egemm {
+    Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER)
+        .with_scheme(scheme)
+        .with_runtime(EngineRuntime::new(cfg))
+}
+
+/// The pre-runtime reference path: no caching, scalar split kernel,
+/// single thread.
+fn cold_reference(scheme: EmulationScheme) -> Egemm {
+    egemm_on(
+        scheme,
+        RuntimeConfig {
+            threads: 1,
+            cache_bytes: 0,
+            split_kernel: SplitKernel::Scalar,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cache-miss, cache-hit, and prepared-handle paths are all bitwise
+    /// identical to the uncached scalar path, at pool sizes 1 and 4.
+    #[test]
+    fn cached_paths_bit_identical_to_uncached(
+        m in 1usize..16,
+        k in 1usize..32,
+        n in 1usize..16,
+        scheme_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let scheme = SCHEMES[scheme_idx];
+        let a = Matrix::<f32>::random_uniform(m, k, seed);
+        let b = Matrix::<f32>::random_uniform(k, n, seed + 1);
+        let want = cold_reference(scheme).gemm(&a, &b).d;
+        for threads in [1usize, 4] {
+            let eg = egemm_on(scheme, RuntimeConfig { threads, ..Default::default() });
+            let miss = eg.gemm(&a, &b).d; // cold cache: both operands miss
+            let hit = eg.gemm(&a, &b).d; // warm cache: both operands hit
+            let pb = eg.prepare(&b);
+            let prepared = eg.gemm_prepared(&a, &pb, None).d;
+            let prepared_again = eg.gemm_prepared(&a, &pb, None).d;
+            for (name, d) in [
+                ("miss", &miss),
+                ("hit", &hit),
+                ("prepared", &prepared),
+                ("prepared_again", &prepared_again),
+            ] {
+                for (x, y) in d.as_slice().iter().zip(want.as_slice()) {
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{} path diverged ({:?}, threads={})",
+                        name,
+                        scheme,
+                        threads
+                    );
+                }
+            }
+            let s = eg.runtime().cache_stats();
+            prop_assert!(s.hits >= 2, "warm call must hit both operands: {:?}", s);
+        }
+    }
+}
+
+#[test]
+fn mutated_operand_misses_and_follows_new_data() {
+    let scheme = EmulationScheme::EgemmTc;
+    let eg = egemm_on(scheme, RuntimeConfig::default());
+    let a = Matrix::<f32>::random_uniform(9, 21, 77);
+    let mut b = Matrix::<f32>::random_uniform(21, 11, 78);
+    let pb_old = eg.prepare(&b);
+    let d1 = eg.gemm(&a, &b).d;
+    let misses_before = eg.runtime().cache_stats().misses;
+
+    // Mutate one element of B: the content fingerprint must change, so
+    // the lookup misses and the result follows the new data.
+    let s = b.as_mut_slice();
+    s[5] += 1.0;
+    let d2 = eg.gemm(&a, &b).d;
+    assert!(
+        eg.runtime().cache_stats().misses > misses_before,
+        "mutated operand must miss the cache"
+    );
+    let want = cold_reference(scheme).gemm(&a, &b).d;
+    for (x, y) in d2.as_slice().iter().zip(want.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "stale data served after mutation");
+    }
+
+    // The handle prepared before the mutation pins the *old* data: it
+    // still reproduces the original result, eviction or not.
+    let d1_again = eg.gemm_prepared(&a, &pb_old, None).d;
+    for (x, y) in d1_again.as_slice().iter().zip(d1.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "prepared handle lost its data");
     }
 }
 
