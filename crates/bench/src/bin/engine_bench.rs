@@ -92,6 +92,8 @@ struct RepeatSharedB {
     cold_gflops: f64,
     cold_simd_gflops: f64,
     warm_gflops: f64,
+    /// The warm runtime's cache counters after all repetitions.
+    cache: egemm::CacheStats,
 }
 
 fn bench_repeat_shared_b(shape: GemmShape, reps: usize, assert_perf: bool) -> RepeatSharedB {
@@ -162,6 +164,7 @@ fn bench_repeat_shared_b(shape: GemmShape, reps: usize, assert_perf: bool) -> Re
         cold_gflops: gf(t_cold),
         cold_simd_gflops: gf(t_cold_simd),
         warm_gflops: gf(t_warm),
+        cache: warm_rt.cache_stats(),
     };
     if assert_perf {
         assert!(
@@ -300,6 +303,7 @@ fn main() {
         repeat.warm_gflops / repeat.cold_gflops,
         repeat.cold_simd_gflops,
     );
+    println!("{:<16}warm runtime cache: {}", "", repeat.cache);
     println!(
         "{:<16}{:>10} elems{:>14.1}{:>14.1}{:>9.2}x  (Melem/s, simd {})",
         "split_simd",
@@ -332,7 +336,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "    \"repeat_shared_b\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"cold_gflops\": {:.3}, \"cold_simd_gflops\": {:.3}, \"warm_gflops\": {:.3}, \"warm_over_cold\": {:.3}}},\n",
+        "    \"repeat_shared_b\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"cold_gflops\": {:.3}, \"cold_simd_gflops\": {:.3}, \"warm_gflops\": {:.3}, \"warm_over_cold\": {:.3}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"splits\": {}, \"packs\": {}, \"hit_ratio\": {:.4}, \"resident_bytes\": {}}}}},\n",
         repeat.shape.m,
         repeat.shape.n,
         repeat.shape.k,
@@ -340,6 +344,13 @@ fn main() {
         repeat.cold_simd_gflops,
         repeat.warm_gflops,
         repeat.warm_gflops / repeat.cold_gflops,
+        repeat.cache.hits,
+        repeat.cache.misses,
+        repeat.cache.evictions,
+        repeat.cache.splits,
+        repeat.cache.packs,
+        repeat.cache.hit_ratio(),
+        repeat.cache.bytes,
     ));
     json.push_str(&format!(
         "    \"split_simd\": {{\"elements\": {}, \"scalar_melems_s\": {:.3}, \"simd_melems_s\": {:.3}, \"speedup\": {:.3}, \"simd_available\": {}}}\n",

@@ -81,25 +81,22 @@ fn main() {
     );
 
     // Engine runtime health check: three calls reusing both operands
-    // should split each operand once and hit the cache thereafter.
+    // should split each operand once and hit the cache thereafter. Runs
+    // with tracing on so the last call yields a full phase report.
+    egemm::telemetry::set_enabled(true);
     let rt = EngineRuntime::new(RuntimeConfig::default());
     let eg = Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER).with_runtime(rt.clone());
     let ga = Matrix::<f32>::random_uniform(96, 96, 11);
     let gb = Matrix::<f32>::random_uniform(96, 96, 12);
+    let mut last = None;
     for _ in 0..3 {
-        let _ = eg.gemm(&ga, &gb);
+        last = eg.gemm(&ga, &gb).report;
     }
-    let s = rt.cache_stats();
     println!(
-        "\nengine runtime packed-operand cache after 3 repeated 96x96 GEMMs:\n\
-         hits {}, misses {}, evictions {}, resident bytes {}, splits {}, packs {}\n\
-         hit ratio {:.3}",
-        s.hits,
-        s.misses,
-        s.evictions,
-        s.bytes,
-        s.splits,
-        s.packs,
-        s.hit_ratio()
+        "\nengine runtime packed-operand cache after 3 repeated 96x96 GEMMs:\n{}",
+        rt.cache_stats()
     );
+    if let Some(report) = last {
+        println!("telemetry for the final (fully warm) call:\n{report}");
+    }
 }

@@ -12,6 +12,7 @@ use crate::config::TilingConfig;
 use crate::engine;
 use crate::gemm::Egemm;
 use crate::kernel::build_kernel;
+use crate::telemetry::GemmReport;
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_tcsim::{kernel_time, KernelTiming};
 use rayon::prelude::*;
@@ -23,6 +24,9 @@ pub struct BatchedOutput {
     pub d: Vec<Matrix<f32>>,
     /// Simulated timing of the single batched launch.
     pub timing: KernelTiming,
+    /// Telemetry for the whole batch (prepare + compute phases) —
+    /// `Some` only while tracing is on.
+    pub report: Option<GemmReport>,
 }
 
 impl Egemm {
@@ -47,6 +51,7 @@ impl Egemm {
         // serving pattern) splits and packs it exactly once — the
         // remaining items hit the fingerprint and reuse the resident
         // panels. Distinct operands prepare independently as before.
+        let window = self.trace_begin();
         let tk = TilingConfig::TC.k;
         let scheme = self.scheme.split_scheme();
         let rt = self.runtime();
@@ -64,9 +69,20 @@ impl Egemm {
                 engine::gemm_blocked_prepared(rt, sa, pb, None, self.scheme, tk, self.opts.engine)
             })
             .collect();
+        let report = self.trace_end(
+            window,
+            format!(
+                "gemm_batched {}x{}x{} x{}",
+                shape.m,
+                shape.n,
+                shape.k,
+                a.len()
+            ),
+        );
         BatchedOutput {
             d,
             timing: self.time_batched(shape, a.len()),
+            report,
         }
     }
 

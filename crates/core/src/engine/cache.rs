@@ -25,12 +25,24 @@
 //! their `Arc`s; the cache merely drops its reference.
 
 use crate::split_matrix::SplitMatrix;
+use crate::telemetry;
 use egemm_fp::SplitScheme;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use super::pack::PackedB;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+/// Every structure in the engine guarded this way (cache map, pack
+/// slots, pool state) is updated transactionally — counters and maps
+/// are adjusted together under the lock — so the data is consistent
+/// even when the holder unwound; the panic itself is surfaced to the
+/// submitting caller separately (see `runtime::Pool::run`).
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Counters describing the cache's lifetime behaviour. All counters are
 /// monotone except `bytes`, which is the current resident total.
@@ -60,6 +72,25 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    /// One-line rendering shared by `profiling.rs` / `engine_bench`:
+    /// `hits/misses/evictions + splits/packs executed + resident KiB +
+    /// hit ratio`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit / {} miss / {} evict, {} split + {} pack run, {:.1} KiB resident, {:.1}% hit ratio",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.splits,
+            self.packs,
+            self.bytes as f64 / 1024.0,
+            100.0 * self.hit_ratio()
+        )
     }
 }
 
@@ -197,9 +228,10 @@ impl PanelCache {
             self.splits.fetch_add(1, Ordering::Relaxed);
             return Arc::new(CacheEntry::new(split_fn()));
         }
+        let t_lookup = telemetry::span_start();
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let (slot, inserted) = {
-            let mut map = self.map.lock().unwrap();
+            let mut map = lock_unpoisoned(&self.map);
             match map.get_mut(&key) {
                 Some(s) => {
                     s.last_used = stamp;
@@ -224,6 +256,7 @@ impl PanelCache {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
+        telemetry::span_end(telemetry::Phase::CacheLookup, t_lookup, (!inserted) as u64);
         let entry = slot
             .get_or_init(|| {
                 self.splits.fetch_add(1, Ordering::Relaxed);
@@ -247,15 +280,20 @@ impl PanelCache {
         kc: usize,
         pack_fn: impl FnOnce() -> PackedB,
     ) -> Arc<PackedB> {
-        let mut guard = entry.packed.lock().unwrap();
+        let t_lookup = telemetry::span_start();
+        let mut guard = lock_unpoisoned(&entry.packed);
         if let Some(p) = guard.as_ref() {
             if p.kc() == kc {
+                telemetry::span_end(telemetry::Phase::CacheLookup, t_lookup, 1);
                 return p.clone();
             }
         }
+        telemetry::span_end(telemetry::Phase::CacheLookup, t_lookup, 0);
         self.packs.fetch_add(1, Ordering::Relaxed);
+        let t_pack = telemetry::span_start();
         let packed = Arc::new(pack_fn());
         let new_bytes = packed.bytes();
+        telemetry::span_end(telemetry::Phase::PackB, t_pack, new_bytes as u64);
         let old_bytes = guard.as_ref().map_or(0, |p| p.bytes());
         *guard = Some(packed.clone());
         drop(guard);
@@ -268,7 +306,7 @@ impl PanelCache {
     /// Add `bytes` to `key`'s charge (if the slot is still resident) and
     /// evict least-recently-used slots until the bound holds.
     fn charge(&self, key: CacheKey, bytes: usize) {
-        let mut map = self.map.lock().unwrap();
+        let mut map = lock_unpoisoned(&self.map);
         if let Some(s) = map.get_mut(&key) {
             s.charged += bytes;
             self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
@@ -282,7 +320,7 @@ impl PanelCache {
     /// bound. A slot evicted in the meantime already gave its whole
     /// charge back, so there is nothing to adjust.
     fn recharge(&self, key: CacheKey, old_bytes: usize, new_bytes: usize) {
-        let mut map = self.map.lock().unwrap();
+        let mut map = lock_unpoisoned(&self.map);
         if let Some(s) = map.get_mut(&key) {
             s.charged = s.charged - old_bytes + new_bytes;
             if new_bytes >= old_bytes {
@@ -390,6 +428,44 @@ mod tests {
         let before = cache.stats().splits;
         cache.get_or_split(k2, || SplitMatrix::split(&m2, SplitScheme::Round));
         assert_eq!(cache.stats().splits, before + 1, "k2 should re-split");
+    }
+
+    #[test]
+    fn poisoned_pack_slot_recovers() {
+        // Regression: a panicking pack_fn poisons the entry's pack
+        // mutex; the next caller used to abort on `.unwrap()`. It must
+        // recover the guard and pack normally instead.
+        use egemm_fp::SplitScheme;
+        let cache = PanelCache::new(usize::MAX);
+        let (mat, key) = split_of(8, 16, 11);
+        let entry = cache.get_or_split(key, || SplitMatrix::split(&mat, SplitScheme::Round));
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_pack(key, &entry, 8, || panic!("pack failure"));
+        }));
+        assert!(poisoned.is_err());
+        let packed = cache.get_or_pack(key, &entry, 8, || PackedB::pack(&entry.split, 8));
+        assert_eq!(packed.kc(), 8);
+        // And a further lookup hits the now-resident pack.
+        let again = cache.get_or_pack(key, &entry, 8, || panic!("must be resident"));
+        assert!(Arc::ptr_eq(&packed, &again));
+    }
+
+    #[test]
+    fn display_formats_counters() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 2,
+            bytes: 2048,
+            splits: 1,
+            packs: 1,
+        };
+        let text = s.to_string();
+        assert!(text.contains("3 hit"), "{text}");
+        assert!(text.contains("2.0 KiB"), "{text}");
+        assert!(text.contains("75.0% hit ratio"), "{text}");
+        // The idle stats line must not divide by zero.
+        assert!(CacheStats::default().to_string().contains("0.0% hit ratio"));
     }
 
     #[test]

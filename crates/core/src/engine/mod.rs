@@ -31,6 +31,7 @@ pub mod runtime;
 
 use crate::emulation::{check, EmulationScheme};
 use crate::split_matrix::SplitMatrix;
+use crate::telemetry;
 use egemm_fp::SplitScheme;
 use egemm_matrix::Matrix;
 use micro::{load_acc, microkernel, store_acc, PlanePair};
@@ -422,11 +423,18 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
     let mut b_lo = vec![0f32; if b_lo_used && !prepacked { b_cap } else { 0 }];
     let mut rowbuf: Vec<usize> = Vec::with_capacity(ctx.mc);
 
+    // One Worker span covers this thread's whole participation (claim
+    // loop entry to exhaustion); nested spans time each pack and each
+    // panel's compute. Span starts are 0 — and ends no-ops — when
+    // tracing is off, so the loop pays one relaxed load per span site.
+    let t_worker = telemetry::span_start();
+    let mut tiles_claimed = 0u64;
     loop {
         let t = next.fetch_add(1, Ordering::Relaxed);
         if t >= ctx.n_tiles {
             break;
         }
+        tiles_claimed += 1;
         let ic = (t / ctx.tiles_n) * ctx.mc;
         let jc = (t % ctx.tiles_n) * ctx.nc;
         let mcb = ctx.mc.min(ctx.m_out - ic);
@@ -447,34 +455,49 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
             let kcb = ctx.kc.min(plan.k_hi - pc);
             let a_len = row_blocks * kcb * MR;
             let b_len = strips * kcb * NR;
+            let t_pack_a = telemetry::span_start();
             if a_hi_used {
                 pack_a(plan.a.plane(false), k, &rowbuf, pc, kcb, &mut a_hi[..a_len]);
             }
             if a_lo_used {
                 pack_a(plan.a.plane(true), k, &rowbuf, pc, kcb, &mut a_lo[..a_len]);
             }
-            if b_hi_used && !prepacked {
-                pack_b(
-                    plan.b.plane(false),
-                    ctx.n,
-                    jc,
-                    ncb,
-                    pc,
-                    kcb,
-                    &mut b_hi[..b_len],
+            telemetry::span_end(
+                telemetry::Phase::PackA,
+                t_pack_a,
+                4 * (a_len * (a_hi_used as usize + a_lo_used as usize)) as u64,
+            );
+            if !prepacked {
+                let t_pack_b = telemetry::span_start();
+                if b_hi_used {
+                    pack_b(
+                        plan.b.plane(false),
+                        ctx.n,
+                        jc,
+                        ncb,
+                        pc,
+                        kcb,
+                        &mut b_hi[..b_len],
+                    );
+                }
+                if b_lo_used {
+                    pack_b(
+                        plan.b.plane(true),
+                        ctx.n,
+                        jc,
+                        ncb,
+                        pc,
+                        kcb,
+                        &mut b_lo[..b_len],
+                    );
+                }
+                telemetry::span_end(
+                    telemetry::Phase::PackB,
+                    t_pack_b,
+                    4 * (b_len * (b_hi_used as usize + b_lo_used as usize)) as u64,
                 );
             }
-            if b_lo_used && !prepacked {
-                pack_b(
-                    plan.b.plane(true),
-                    ctx.n,
-                    jc,
-                    ncb,
-                    pc,
-                    kcb,
-                    &mut b_lo[..b_len],
-                );
-            }
+            let t_tile = telemetry::span_start();
             for sb in 0..strips {
                 // Prepacked slivers are bit-identical to what pack_b
                 // would have produced for this tile: jc is NR-aligned
@@ -511,9 +534,11 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
                     }
                 }
             }
+            telemetry::span_end(telemetry::Phase::Tile, t_tile, t as u64);
             pc += kcb;
         }
     }
+    telemetry::span_end(telemetry::Phase::Worker, t_worker, tiles_claimed);
 }
 
 /// The `idx`-th packed sliver of `len` elements, or an empty slice for an

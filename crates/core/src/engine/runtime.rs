@@ -25,14 +25,23 @@
 //! thread that executes it), and the cache only decides whether
 //! bit-identical preparation work is reused or redone.
 
-use super::cache::{fingerprint, CacheEntry, CacheKey, PanelCache};
+use super::cache::{fingerprint, lock_unpoisoned, CacheEntry, CacheKey, PanelCache};
 use super::pack::PackedB;
 use crate::split_matrix::SplitMatrix;
+use crate::telemetry;
 use egemm_fp::{SplitKernel, SplitScheme};
 use egemm_matrix::Matrix;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, TryLockError};
 
 pub use super::cache::CacheStats;
+
+/// Wait on a condvar, recovering the guard if another holder panicked
+/// (see [`lock_unpoisoned`] for why the data stays consistent).
+fn wait_unpoisoned<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Construction-time parameters of an [`EngineRuntime`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +166,9 @@ impl EngineRuntime {
     /// Build a runtime with explicit parameters. Workers are spawned
     /// lazily on first multi-threaded dispatch and parked between calls.
     pub fn new(cfg: RuntimeConfig) -> Arc<EngineRuntime> {
+        // First runtime construction is the natural "before any engine
+        // work" point to honour EGEMM_TRACE.
+        telemetry::init_from_env();
         Arc::new(EngineRuntime {
             default_threads: cfg.threads.max(1),
             split_kernel: cfg.split_kernel,
@@ -237,16 +249,29 @@ impl EngineRuntime {
     /// is already dispatching (a nested call from inside another job or
     /// a rayon task), the caller runs `f` alone — same results, since
     /// every engine job is a claim loop over a shared tile grid.
+    ///
+    /// A panic inside `f` (on any participant) is re-raised here, on the
+    /// submitting thread, after every other participant has drained —
+    /// the pool itself stays healthy and accepts the next dispatch.
     pub(crate) fn run_parallel(&self, workers: usize, f: &(dyn Fn() + Sync)) {
         if workers <= 1 {
             f();
             return;
         }
-        let Ok(_dispatch) = self.pool.dispatch.try_lock() else {
-            f();
-            return;
+        // A previous dispatcher that panicked poisons this mutex as it
+        // unwinds; the lock guards no data, so recover rather than
+        // degrade every later call to solo.
+        let _dispatch = match self.pool.dispatch.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                f();
+                return;
+            }
         };
+        let t_dispatch = telemetry::span_start();
         self.pool.run(workers - 1, f);
+        telemetry::span_end(telemetry::Phase::Dispatch, t_dispatch, workers as u64);
     }
 }
 
@@ -276,6 +301,10 @@ struct PoolState {
     active: usize,
     /// Worker threads spawned so far.
     spawned: usize,
+    /// First panic payload raised by a worker inside the current job;
+    /// collected by the dispatcher after the drain and re-raised on the
+    /// submitting thread.
+    panic: Option<Box<dyn Any + Send>>,
     shutdown: bool,
 }
 
@@ -299,6 +328,7 @@ impl Pool {
                     unclaimed: 0,
                     active: 0,
                     spawned: 0,
+                    panic: None,
                     shutdown: false,
                 }),
                 Condvar::new(), // work: workers park here
@@ -310,12 +340,14 @@ impl Pool {
 
     /// Dispatch `f` to `helpers` workers and run it on the calling
     /// thread too; return once all participants have finished. Caller
-    /// must hold the `dispatch` lock.
+    /// must hold the `dispatch` lock. A panic on any participant is
+    /// re-raised here after the drain (dispatcher's own panic first),
+    /// leaving the pool ready for the next dispatch.
     fn run(&self, helpers: usize, f: &(dyn Fn() + Sync)) {
         self.ensure_workers(helpers);
         let (lock, work, done) = &*self.state;
         {
-            let mut st = lock.lock().unwrap();
+            let mut st = lock_unpoisoned(lock);
             // SAFETY: erasing the borrow lifetime is sound because this
             // function does not return until `unclaimed` and `active`
             // are both zero, i.e. no worker can still reach the pointer.
@@ -323,27 +355,37 @@ impl Pool {
             st.job = Some(JobRef(erased as *const _));
             st.epoch += 1;
             st.unclaimed = helpers;
+            st.panic = None;
             work.notify_all();
         }
-        f(); // the dispatcher is a full participant
-        let mut st = lock.lock().unwrap();
+        // The dispatcher is a full participant. Catch its panic so the
+        // drain below always runs — returning (or unwinding) before
+        // `unclaimed` and `active` hit zero would free the closure while
+        // workers still hold the type-erased pointer to it.
+        let own_panic = catch_unwind(AssertUnwindSafe(f)).err();
+        let mut st = lock_unpoisoned(lock);
         while st.unclaimed > 0 || st.active > 0 {
-            st = done.wait(st).unwrap();
+            st = wait_unpoisoned(done, st);
         }
         st.job = None;
+        let worker_panic = st.panic.take();
+        drop(st);
+        if let Some(p) = own_panic.or(worker_panic) {
+            resume_unwind(p);
+        }
     }
 
     /// Grow the pool to at least `n` parked workers.
     fn ensure_workers(&self, n: usize) {
         let missing = {
-            let st = self.state.0.lock().unwrap();
+            let st = lock_unpoisoned(&self.state.0);
             n.saturating_sub(st.spawned)
         };
         if missing == 0 {
             return;
         }
-        let mut handles = self.handles.lock().unwrap();
-        let mut st = self.state.0.lock().unwrap();
+        let mut handles = lock_unpoisoned(&self.handles);
+        let mut st = lock_unpoisoned(&self.state.0);
         while st.spawned < n {
             let state = Arc::clone(&self.state);
             let h = std::thread::Builder::new()
@@ -357,11 +399,11 @@ impl Pool {
 
     fn shutdown(&self) {
         {
-            let mut st = self.state.0.lock().unwrap();
+            let mut st = lock_unpoisoned(&self.state.0);
             st.shutdown = true;
             self.state.1.notify_all();
         }
-        for h in self.handles.lock().unwrap().drain(..) {
+        for h in lock_unpoisoned(&self.handles).drain(..) {
             let _ = h.join();
         }
     }
@@ -371,8 +413,9 @@ fn worker_loop(state: &(Mutex<PoolState>, Condvar, Condvar)) {
     let (lock, work, done) = state;
     let mut seen_epoch = 0u64;
     loop {
-        let job = {
-            let mut st = lock.lock().unwrap();
+        let t_park = telemetry::span_start();
+        let (job, epoch) = {
+            let mut st = lock_unpoisoned(lock);
             loop {
                 if st.shutdown {
                     return;
@@ -382,19 +425,29 @@ fn worker_loop(state: &(Mutex<PoolState>, Condvar, Condvar)) {
                     if st.unclaimed > 0 {
                         st.unclaimed -= 1;
                         st.active += 1;
-                        break st.job.expect("claimable epoch must carry a job");
+                        break (st.job.expect("claimable epoch must carry a job"), st.epoch);
                     }
                     // Late to the party: the job is fully claimed; skip
                     // this epoch and park again.
                 }
-                st = work.wait(st).unwrap();
+                st = wait_unpoisoned(work, st);
             }
         };
+        telemetry::span_end(telemetry::Phase::Park, t_park, epoch);
         // SAFETY: the dispatcher keeps the closure alive until
         // `unclaimed == 0 && active == 0`, and this worker is counted in
         // `active` for exactly the duration of this call.
-        unsafe { (&*job.0)() };
-        let mut st = lock.lock().unwrap();
+        //
+        // Catch the job's panic instead of unwinding out of the loop: an
+        // unwound worker would leave `active` stuck above zero (hanging
+        // the dispatcher forever) and shrink the pool for all later
+        // calls. The payload is handed to the dispatcher, which re-raises
+        // it on the submitting thread after the drain.
+        let panic = catch_unwind(AssertUnwindSafe(|| unsafe { (&*job.0)() })).err();
+        let mut st = lock_unpoisoned(lock);
+        if let Some(p) = panic {
+            st.panic.get_or_insert(p);
+        }
         st.active -= 1;
         if st.unclaimed == 0 && st.active == 0 {
             done.notify_all();
@@ -465,6 +518,68 @@ mod tests {
         });
         rt.run_parallel(3, &|| {});
         drop(rt); // must not hang
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        // Regression: a panicking job used to poison the pool state
+        // mutex and leave `active` stuck, hanging or aborting every
+        // later dispatch. Now the panic surfaces on the submitting
+        // thread and the pool keeps working.
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads: 4,
+            ..Default::default()
+        });
+        let hits = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            rt.run_parallel(4, &|| {
+                // Exactly one participant blows up; the rest finish.
+                if hits.fetch_add(1, Ordering::SeqCst) == 2 {
+                    panic!("synthetic worker failure");
+                }
+            });
+        }));
+        let payload = caught.expect_err("the job's panic must reach the submitter");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("synthetic worker failure"), "payload: {msg}");
+        // The pool must accept and complete subsequent dispatches on the
+        // full complement of workers.
+        for _ in 0..3 {
+            let counter = AtomicUsize::new(0);
+            rt.run_parallel(4, &|| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        }
+        drop(rt); // shutdown must still join cleanly
+    }
+
+    #[test]
+    fn dispatcher_panic_leaves_pool_usable() {
+        // The submitting thread's own share of the job can panic too;
+        // the drain must still run (workers hold a pointer into the
+        // dispatcher's frame) and the next dispatch must succeed.
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let main_id = std::thread::current().id();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            rt.run_parallel(2, &|| {
+                if std::thread::current().id() == main_id {
+                    panic!("dispatcher failure");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        let counter = AtomicUsize::new(0);
+        rt.run_parallel(2, &|| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::engine::{EngineRuntime, PreparedOperand};
 use crate::kernel::build_kernel;
 pub use crate::kernel::KernelOpts;
 use crate::split_matrix::SplitMatrix;
+use crate::telemetry::{self, GemmReport};
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_tcsim::{kernel_time, DeviceSpec, KernelTiming};
 use std::sync::Arc;
@@ -45,6 +46,10 @@ pub struct GemmOutput {
     pub timing: KernelTiming,
     /// Problem shape.
     pub shape: GemmShape,
+    /// Telemetry for this call — `Some` only while tracing is on
+    /// ([`telemetry::enabled`]): phase timers, per-worker lanes, cache
+    /// deltas, and the exporters ([`GemmReport::chrome_trace`] et al.).
+    pub report: Option<GemmReport>,
 }
 
 impl Egemm {
@@ -94,6 +99,25 @@ impl Egemm {
         &self.runtime
     }
 
+    /// Open a per-call trace window: `None` (zero further cost) unless
+    /// tracing is on. Drains stale ring events so the closing
+    /// [`GemmReport`] covers exactly this call's spans.
+    pub(crate) fn trace_begin(&self) -> Option<(u64, engine::CacheStats)> {
+        telemetry::enabled().then(|| {
+            telemetry::drain();
+            (telemetry::now_ns(), self.runtime.cache_stats())
+        })
+    }
+
+    /// Close a trace window opened by [`Egemm::trace_begin`].
+    pub(crate) fn trace_end(
+        &self,
+        window: Option<(u64, engine::CacheStats)>,
+        label: String,
+    ) -> Option<GemmReport> {
+        window.map(|(t0, c0)| GemmReport::collect(label, t0, c0, self.runtime.cache_stats()))
+    }
+
     /// Split and pack `b` for reuse as the right-hand operand of
     /// [`Egemm::gemm_prepared`]. Both the O(N²) split and the panel pack
     /// run at most once per distinct content; the handle afterwards
@@ -128,6 +152,7 @@ impl Egemm {
         );
         assert_eq!(a.cols(), b.split().rows(), "inner dimensions disagree");
         let shape = GemmShape::new(a.rows(), b.split().cols(), a.cols());
+        let window = self.trace_begin();
         let sa = self.runtime.split_cached(a, self.scheme.split_scheme());
         let d = engine::gemm_blocked_prepared(
             &self.runtime,
@@ -138,10 +163,15 @@ impl Egemm {
             TilingConfig::TC.k,
             self.opts.engine,
         );
+        let report = self.trace_end(
+            window,
+            format!("gemm_prepared {}x{}x{}", shape.m, shape.n, shape.k),
+        );
         GemmOutput {
             d,
             timing: self.time(shape),
             shape,
+            report,
         }
     }
 
@@ -159,6 +189,7 @@ impl Egemm {
     ) -> GemmOutput {
         assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
         let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
+        let window = self.trace_begin();
         // CUDA-core phase: O(N^2) data split (§3.2), through the
         // runtime's prepared-operand cache — a content hit on either
         // operand skips its split (and B's pack) entirely.
@@ -182,8 +213,14 @@ impl Egemm {
             TilingConfig::TC.k,
             self.opts.engine,
         );
+        let report = self.trace_end(window, format!("gemm {}x{}x{}", shape.m, shape.n, shape.k));
         let timing = self.time(shape);
-        GemmOutput { d, timing, shape }
+        GemmOutput {
+            d,
+            timing,
+            shape,
+            report,
+        }
     }
 
     /// Pre-split entry point: reuse existing [`SplitMatrix`] operands (the
@@ -196,6 +233,7 @@ impl Egemm {
         c: Option<&Matrix<f32>>,
     ) -> GemmOutput {
         let shape = GemmShape::new(sa.rows(), sb.cols(), sa.cols());
+        let window = self.trace_begin();
         let d = engine::gemm_blocked_in(
             &self.runtime,
             sa,
@@ -205,10 +243,15 @@ impl Egemm {
             TilingConfig::TC.k,
             self.opts.engine,
         );
+        let report = self.trace_end(
+            window,
+            format!("gemm_split {}x{}x{}", shape.m, shape.n, shape.k),
+        );
         GemmOutput {
             d,
             timing: self.time(shape),
             shape,
+            report,
         }
     }
 

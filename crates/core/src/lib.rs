@@ -50,6 +50,7 @@ pub mod memaccess;
 pub mod sass;
 pub mod split_matrix;
 pub mod splitk;
+pub mod telemetry;
 pub mod tensorize;
 
 pub use analytic::{continuous_optimum, solve_tiling, AnalyticModel, Candidate};
@@ -70,3 +71,4 @@ pub use kernel::{build_kernel, plane_counts, wave_reuse_ab_bytes, BYTES_PER_128B
 pub use sass::{generate_sass, AllocationReport, SassKernel};
 pub use split_matrix::SplitMatrix;
 pub use splitk::{choose_slices, SplitKOutput};
+pub use telemetry::GemmReport;

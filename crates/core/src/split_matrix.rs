@@ -39,6 +39,7 @@ impl SplitMatrix {
 
     /// [`SplitMatrix::split`] with an explicit per-row split kernel.
     pub fn split_with(src: &Matrix<f32>, scheme: SplitScheme, kernel: SplitKernel) -> SplitMatrix {
+        let t_split = crate::telemetry::span_start();
         let rows = src.rows();
         let cols = src.cols();
         let n = rows * cols;
@@ -60,6 +61,7 @@ impl SplitMatrix {
                     split_planes(kernel, scheme, srow, hb, lb, hf, lf);
                 });
         }
+        crate::telemetry::span_end(crate::telemetry::Phase::Split, t_split, n as u64);
         SplitMatrix {
             rows,
             cols,

@@ -22,6 +22,7 @@ use crate::config::TilingConfig;
 use crate::engine;
 use crate::gemm::Egemm;
 use crate::kernel::build_kernel;
+use crate::telemetry::GemmReport;
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_tcsim::{blocks_per_sm, kernel_time, DeviceSpec, KernelTiming};
 use rayon::prelude::*;
@@ -55,6 +56,9 @@ pub struct SplitKOutput {
     pub slices: usize,
     /// Simulated timing (main kernel + reduction pass).
     pub timing: KernelTiming,
+    /// Telemetry for the call (splits + all slices + reduction) —
+    /// `Some` only while tracing is on.
+    pub report: Option<GemmReport>,
 }
 
 impl Egemm {
@@ -71,6 +75,7 @@ impl Egemm {
             slices
         };
         assert!(s >= 1 && s <= shape.k, "slice count out of range");
+        let window = self.trace_begin();
         // Operand splits go through the runtime cache: repeated split-K
         // calls over the same data (or operands shared with the fused
         // path) skip the O(N²) split. The per-slice engine runs can't
@@ -114,10 +119,15 @@ impl Egemm {
                 *acc += x;
             }
         }
+        let report = self.trace_end(
+            window,
+            format!("gemm_split_k {}x{}x{} s={s}", shape.m, shape.n, shape.k),
+        );
         SplitKOutput {
             d,
             slices: s,
             timing: self.time_split_k(shape, s),
+            report,
         }
     }
 

@@ -1,0 +1,250 @@
+//! Report exporters: human-readable summary, JSON, Chrome `trace_event`.
+//!
+//! All three are hand-rolled — the workspace is zero-dependency — and
+//! emit only ASCII-escaped strings and finite numbers, so the output is
+//! valid JSON by construction.
+
+use std::fmt;
+
+use super::report::GemmReport;
+use super::Phase;
+
+impl fmt::Display for GemmReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] wall {:.3} ms, {} worker(s), imbalance {:.2}x",
+            self.label,
+            self.wall_ns as f64 / 1e6,
+            self.workers.len(),
+            self.imbalance
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>8} {:>12} {:>10}",
+            "phase", "spans", "total ms", "mean us"
+        )?;
+        for p in Phase::ALL {
+            let n = self.phase_count(p);
+            if n == 0 {
+                continue;
+            }
+            let total = self.phase_total_ns(p);
+            writeln!(
+                f,
+                "  {:<12} {:>8} {:>12.3} {:>10.1}",
+                p.name(),
+                n,
+                total as f64 / 1e6,
+                total as f64 / n as f64 / 1e3
+            )?;
+        }
+        writeln!(
+            f,
+            "  packed {:.2} MiB; cache {}",
+            self.bytes_packed as f64 / (1024.0 * 1024.0),
+            self.cache
+        )?;
+        for w in &self.workers {
+            writeln!(
+                f,
+                "  worker {:>2} ({}): {} tile(s), busy {:.3} ms",
+                w.worker,
+                w.name,
+                w.tiles,
+                w.busy_ns as f64 / 1e6
+            )?;
+        }
+        if self.dropped_events > 0 {
+            writeln!(
+                f,
+                "  ! {} event(s) dropped to ring overflow",
+                self.dropped_events
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Escape a string for a JSON string literal (ASCII output).
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 || (c as u32) > 0x7E => {
+                use fmt::Write;
+                for u in c.encode_utf16(&mut [0u16; 2]) {
+                    let _ = write!(out, "\\u{u:04x}");
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl GemmReport {
+    /// The report as a self-contained JSON object (phases, cache deltas,
+    /// per-worker lanes) — the machine-readable sibling of `Display`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"label\":\"");
+        esc(&self.label, &mut s);
+        s.push_str(&format!(
+            "\",\"wall_ns\":{},\"bytes_packed\":{},\"imbalance\":{:.4},\"dropped_events\":{}",
+            self.wall_ns, self.bytes_packed, self.imbalance, self.dropped_events
+        ));
+        s.push_str(",\"phases\":{");
+        let mut first = true;
+        for p in Phase::ALL {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"total_ns\":{}}}",
+                p.name(),
+                self.phase_count(p),
+                self.phase_total_ns(p)
+            ));
+        }
+        s.push_str("},\"cache\":{");
+        s.push_str(&format!(
+            "\"hits\":{},\"misses\":{},\"evictions\":{},\"splits\":{},\"packs\":{},\"hit_ratio\":{:.4},\"resident_bytes\":{}",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.splits,
+            self.cache.packs,
+            self.cache.hit_ratio(),
+            self.cache.bytes
+        ));
+        s.push_str("},\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"worker\":{},\"name\":\"", w.worker));
+            esc(&w.name, &mut s);
+            s.push_str(&format!(
+                "\",\"tiles\":{},\"busy_ns\":{}}}",
+                w.tiles, w.busy_ns
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// The call's raw spans in Chrome `trace_event` JSON object format:
+    /// load the string (saved as a `.json` file) in `chrome://tracing`
+    /// or <https://ui.perfetto.dev>. Each recording thread becomes one
+    /// named track (`pid` 1, `tid` = worker id); every span is a
+    /// complete (`"ph":"X"`) event with microsecond `ts`/`dur` and its
+    /// detail word under `args`.
+    pub fn chrome_trace(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for lane in &self.lanes {
+            if lane.events.is_empty() {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            // Track name metadata so Perfetto labels the row.
+            s.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"",
+                lane.worker
+            ));
+            esc(&lane.name, &mut s);
+            s.push_str("\"}}");
+            for ev in &lane.events {
+                s.push_str(&format!(
+                    ",{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\"cat\":\"engine\",\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"detail\":{}}}}}",
+                    lane.worker,
+                    ev.phase.name(),
+                    ev.start_ns as f64 / 1e3,
+                    ev.dur_ns as f64 / 1e3,
+                    ev.detail
+                ));
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::report::{GemmReport, WorkerLane};
+    use super::super::ring::{Lane, TraceEvent};
+    use super::super::Phase;
+    use crate::engine::CacheStats;
+
+    fn sample() -> GemmReport {
+        let mut phase_ns = [0u64; Phase::COUNT];
+        let mut phase_counts = [0u64; Phase::COUNT];
+        phase_ns[Phase::Tile as usize] = 5_000;
+        phase_counts[Phase::Tile as usize] = 2;
+        GemmReport {
+            label: "t \"x\"".into(),
+            wall_ns: 10_000,
+            phase_ns,
+            phase_counts,
+            bytes_packed: 128,
+            cache: CacheStats::default(),
+            workers: vec![WorkerLane {
+                worker: 3,
+                name: "w#3".into(),
+                tiles: 2,
+                busy_ns: 6_000,
+            }],
+            imbalance: 1.0,
+            dropped_events: 0,
+            lanes: vec![Lane {
+                worker: 3,
+                name: "w#3".into(),
+                dropped: 0,
+                events: vec![TraceEvent {
+                    phase: Phase::Tile,
+                    start_ns: 1_000,
+                    dur_ns: 2_500,
+                    detail: 7,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn display_mentions_phases_and_workers() {
+        let text = sample().to_string();
+        assert!(text.contains("tile"), "{text}");
+        assert!(text.contains("worker  3"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_label() {
+        let j = sample().to_json();
+        assert!(j.contains("\"label\":\"t \\\"x\\\"\""), "{j}");
+        assert!(
+            j.contains("\"tile\":{\"count\":2,\"total_ns\":5000}"),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_events() {
+        let t = sample().chrome_trace();
+        assert!(t.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(t.contains("\"ph\":\"M\""), "{t}");
+        assert!(t.contains("\"ph\":\"X\""), "{t}");
+        assert!(t.contains("\"tid\":3"), "{t}");
+        assert!(t.contains("\"name\":\"tile\""), "{t}");
+        assert!(t.ends_with("]}"));
+    }
+}

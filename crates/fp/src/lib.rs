@@ -43,5 +43,7 @@ pub use dekker::{DoubleHalf, DEKKER_FMA_HALF_INSTRUCTIONS, EGEMM_TC_INSTRUCTIONS
 pub use error::{max_abs_error, max_rel_error, rms_error, ulp_distance_f32, ErrorStats};
 pub use formats::PrecisionFormat;
 pub use half::Half;
-pub use simd_split::{simd_split_available, split_planes, split_planes_scalar, SplitKernel};
+pub use simd_split::{
+    simd_split_available, split_dispatch_counts, split_planes, split_planes_scalar, SplitKernel,
+};
 pub use split::{round_split, truncate_split, Split, SplitScheme};

@@ -1,0 +1,105 @@
+//! Integration tests of the telemetry layer's two contracts: tracing is
+//! a pure observer (outputs are bit-identical with tracing enabled or
+//! disabled, on solo and multi-worker pools), and the per-thread trace
+//! rings absorb overflow by dropping the oldest events — never by
+//! reallocating or blocking the recording thread.
+
+use std::sync::Mutex;
+
+use egemm::telemetry::{self, Phase, RING_CAPACITY};
+use egemm::{Egemm, EngineRuntime, RuntimeConfig, TilingConfig};
+use egemm_matrix::Matrix;
+use egemm_tcsim::DeviceSpec;
+use proptest::prelude::*;
+
+/// The enabled flag and the ring registry are process-global, so tests
+/// that flip tracing must not interleave within this binary.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// An engine on a private runtime with a pinned pool size, so the two
+/// sides of a comparison start from identical (empty) cache state.
+fn engine(threads: usize) -> Egemm {
+    let rt = EngineRuntime::new(RuntimeConfig {
+        threads,
+        ..RuntimeConfig::default()
+    });
+    Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER).with_runtime(rt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same operands, fresh runtimes: the traced product must equal the
+    /// untraced one to the bit, whether the pool is solo (threads = 1)
+    /// or parallel (threads = 4). Tracing that perturbed scheduling into
+    /// a different accumulation grouping would show up here.
+    #[test]
+    fn tracing_never_changes_output_bits(
+        m in 1usize..96,
+        n in 1usize..96,
+        k in 1usize..96,
+        pool in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let threads = [1usize, 4][pool];
+        let _g = TRACE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let a = Matrix::<f32>::random_uniform(m, k, seed + 1);
+        let b = Matrix::<f32>::random_uniform(k, n, seed + 2);
+
+        telemetry::set_enabled(false);
+        let plain = engine(threads).gemm(&a, &b);
+        prop_assert!(plain.report.is_none(), "report produced while tracing is off");
+
+        telemetry::set_enabled(true);
+        let traced = engine(threads).gemm(&a, &b);
+        telemetry::set_enabled(false);
+
+        for (i, (x, y)) in traced.d.as_slice().iter().zip(plain.d.as_slice()).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "element {} differs traced vs untraced ({}x{}x{}, {} thread(s))",
+                i, m, n, k, threads
+            );
+        }
+        // And the traced side actually observed the run.
+        let report = traced.report.expect("tracing on must yield a report");
+        prop_assert!(report.phase_count(Phase::Tile) >= 1, "no tile spans recorded");
+        prop_assert!(report.phase_count(Phase::Worker) >= 1, "no worker spans recorded");
+        prop_assert!(!report.workers.is_empty(), "no worker lanes attributed");
+    }
+}
+
+/// Pushing far more spans than a ring holds must neither grow the ring
+/// nor stall the recorder: the drain returns exactly `RING_CAPACITY`
+/// surviving events — the newest ones — and an exact count of drops.
+#[test]
+fn ring_overflow_drops_oldest_without_growing() {
+    let _g = TRACE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    telemetry::set_enabled(true);
+    telemetry::drain(); // discard anything this thread recorded earlier
+
+    let total = RING_CAPACITY + 257;
+    for i in 0..total {
+        let t = telemetry::span_start();
+        telemetry::span_end(Phase::Split, t, i as u64);
+    }
+    telemetry::set_enabled(false);
+
+    let me = telemetry::worker_id();
+    let lanes = telemetry::drain();
+    let lane = lanes
+        .into_iter()
+        .find(|l| l.worker == me)
+        .expect("this thread registered a lane");
+    assert_eq!(lane.events.len(), RING_CAPACITY, "ring grew past capacity");
+    assert_eq!(lane.dropped as usize, total - RING_CAPACITY);
+    // Overwrite-oldest: the survivors are the most recent events, in order.
+    assert_eq!(lane.events[0].detail, (total - RING_CAPACITY) as u64);
+    assert_eq!(lane.events[RING_CAPACITY - 1].detail, (total - 1) as u64);
+
+    // A second drain finds the lane empty — events are consumed once.
+    let lanes = telemetry::drain();
+    let lane = lanes.into_iter().find(|l| l.worker == me).unwrap();
+    assert!(lane.events.is_empty(), "drain did not consume events");
+    assert_eq!(lane.dropped, 0, "drop counter not reset by drain");
+}
