@@ -228,6 +228,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = args.iter().any(|a| a == "--quick");
+    // Default stays the tracked baseline at the repo root; --out
+    // redirects (e.g. under target/) without touching it.
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
 
     if smoke {
         // CI gate: every bit-equality assertion inside the benchmarked
@@ -361,6 +369,11 @@ fn main() {
         simd_split_available(),
     ));
     json.push_str("  }\n}\n");
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
-    eprintln!("wrote BENCH_engine.json");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark baseline");
+    eprintln!("wrote {out_path}");
 }

@@ -1,0 +1,361 @@
+//! Load generator and smoke harness for the serving layer.
+//!
+//! Modes:
+//!
+//! - `--smoke [--out PATH]` — the CI gate. Phase A starts a server plus
+//!   TCP frontend and fires a concurrent mixed-shape shared-B burst:
+//!   every request must get a response (zero drops), the batched ratio
+//!   must exceed 1.0, and a sample of responses is checked bit-identical
+//!   to direct cold `Egemm::gemm` calls. Phase B shrinks the queue to
+//!   force the backpressure paths: at least one `busy` rejection and one
+//!   deadline `timeout` must be observed, again with zero dropped
+//!   responses, and both server and frontend must shut down cleanly.
+//!   Records a `serve_throughput` entry (req/s, batched ratio, p99) into
+//!   `BENCH_engine.json` (or `--out PATH`), preserving the entries the
+//!   engine benchmark wrote.
+//! - `--serve ADDR` — run a standalone server until killed.
+//! - `--connect ADDR [--requests N]` — fire a burst at a running server
+//!   and print the outcome.
+//!
+//! The wire protocol is documented in `egemm_serve::wire` and the
+//! README's "Serving" section.
+
+use egemm::{Egemm, EngineRuntime, RuntimeConfig, TilingConfig};
+use egemm_matrix::{GemmShape, Matrix};
+use egemm_serve::{wire, GemmRequest, ServeError, Server, ServerConfig, TcpServer};
+use egemm_tcsim::DeviceSpec;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn engine(threads: usize) -> Egemm {
+    let rt = EngineRuntime::new(RuntimeConfig {
+        threads,
+        ..RuntimeConfig::default()
+    });
+    Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER).with_runtime(rt)
+}
+
+/// Tally of one connection's responses.
+#[derive(Default, Debug, Clone, Copy)]
+struct Outcome {
+    sent: usize,
+    responses: usize,
+    ok: usize,
+    busy: usize,
+    timeout: usize,
+    other_err: usize,
+}
+
+impl Outcome {
+    fn absorb(&mut self, o: Outcome) {
+        self.sent += o.sent;
+        self.responses += o.responses;
+        self.ok += o.ok;
+        self.busy += o.busy;
+        self.timeout += o.timeout;
+        self.other_err += o.other_err;
+    }
+}
+
+/// Send `requests` over one connection (one in flight at a time, the
+/// protocol's per-connection discipline) and tally the responses.
+/// `verify_against` bit-checks response `i` against the given cold
+/// product.
+fn run_connection(
+    addr: std::net::SocketAddr,
+    requests: &[GemmRequest],
+    verify_against: &[Option<Matrix<f32>>],
+) -> Outcome {
+    let mut conn = TcpStream::connect(addr).expect("connect to serve frontend");
+    let mut out = Outcome::default();
+    for (i, req) in requests.iter().enumerate() {
+        out.sent += 1;
+        wire::write_frame(&mut conn, wire::encode_request(i as u64, req).as_bytes())
+            .expect("write request frame");
+        let frame = wire::read_frame(&mut conn)
+            .expect("read response frame")
+            .expect("connection closed mid-burst");
+        let resp = wire::decode_response(&frame).expect("decode response");
+        assert_eq!(resp.id, i as u64, "responses must arrive in order");
+        out.responses += 1;
+        match resp.result {
+            Ok(served) => {
+                out.ok += 1;
+                if let Some(Some(want)) = verify_against.get(i) {
+                    assert_eq!(
+                        served.d.as_slice(),
+                        want.as_slice(),
+                        "served result differs from cold direct gemm"
+                    );
+                }
+            }
+            Err(ServeError::Busy { .. }) => out.busy += 1,
+            Err(ServeError::TimedOut { .. }) => out.timeout += 1,
+            Err(_) => out.other_err += 1,
+        }
+    }
+    out
+}
+
+/// Fetch the server's counters over the wire.
+fn fetch_stats(addr: std::net::SocketAddr) -> wire::Value {
+    let mut conn = TcpStream::connect(addr).expect("connect for stats");
+    wire::write_frame(&mut conn, wire::encode_stats_request(0).as_bytes())
+        .expect("write stats request");
+    let frame = wire::read_frame(&mut conn)
+        .expect("read stats frame")
+        .expect("stats response");
+    let v = wire::parse(std::str::from_utf8(&frame).expect("utf-8")).expect("stats json");
+    v.get("stats").cloned().expect("stats payload")
+}
+
+fn stat(v: &wire::Value, key: &str) -> f64 {
+    v.get(key).and_then(wire::Value::as_f64).unwrap_or(0.0)
+}
+
+/// Phase A: mixed-shape shared-B throughput burst. Returns the numbers
+/// recorded into `BENCH_engine.json`.
+fn smoke_throughput() -> (f64, f64, f64) {
+    let server = Server::start(
+        engine(4),
+        ServerConfig {
+            queue_cap: 64,
+            batch_window: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+    let tcp = TcpServer::bind("127.0.0.1:0", server.client()).expect("bind frontend");
+    let addr = tcp.local_addr();
+
+    // Three shapes, one long-lived B each — requests of the same shape
+    // from different connections share a bucket.
+    let shapes = [
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(32, 48, 96),
+        GemmShape::new(80, 128, 16),
+    ];
+    let shared_b: Vec<Matrix<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Matrix::random_uniform(s.k, s.n, 1000 + i as u64))
+        .collect();
+    let reference = Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER).with_runtime(
+        EngineRuntime::new(RuntimeConfig {
+            threads: 1,
+            cache_bytes: 0,
+            ..RuntimeConfig::default()
+        }),
+    );
+
+    let connections = 8usize;
+    let per_conn = 5usize;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let mut requests = Vec::new();
+            let mut verify = Vec::new();
+            for r in 0..per_conn {
+                let si = (c + r) % shapes.len();
+                let s = shapes[si];
+                let a = Matrix::<f32>::random_uniform(s.m, s.k, (c * 100 + r) as u64 + 1);
+                // Bit-check the first response on every connection.
+                verify.push((r == 0).then(|| reference.gemm(&a, &shared_b[si]).d));
+                requests.push(GemmRequest::gemm(a, shared_b[si].clone()));
+            }
+            std::thread::spawn(move || run_connection(addr, &requests, &verify))
+        })
+        .collect();
+    let mut total = Outcome::default();
+    for h in handles {
+        total.absorb(h.join().expect("connection thread"));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let stats = fetch_stats(addr);
+    tcp.shutdown();
+    server.shutdown();
+
+    assert_eq!(
+        total.responses, total.sent,
+        "phase A dropped responses: {total:?}"
+    );
+    assert_eq!(total.ok, total.sent, "phase A had failures: {total:?}");
+    let ratio = stat(&stats, "batched_ratio");
+    assert!(
+        ratio > 1.0,
+        "batched ratio must exceed 1.0 under a shared-B burst, got {ratio} \
+         ({} calls for {} dispatched)",
+        stat(&stats, "engine_calls"),
+        stat(&stats, "dispatched"),
+    );
+    let req_s = total.ok as f64 / elapsed;
+    let p99_ms = stat(&stats, "p99_ns") / 1e6;
+    println!(
+        "phase A: {} requests on {connections} connections in {elapsed:.3} s \
+         -> {req_s:.1} req/s, batched ratio {ratio:.2}x, p99 {p99_ms:.2} ms",
+        total.ok
+    );
+    (req_s, ratio, p99_ms)
+}
+
+/// Phase B: backpressure. A tiny queue plus a long batch window force
+/// `busy` rejections; a millisecond deadline under that window forces a
+/// pre-dispatch `timeout`. Every request still gets exactly one
+/// response.
+fn smoke_backpressure() {
+    let server = Server::start(
+        engine(2),
+        ServerConfig {
+            queue_cap: 2,
+            batch_window: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    );
+    let tcp = TcpServer::bind("127.0.0.1:0", server.client()).expect("bind frontend");
+    let addr = tcp.local_addr();
+
+    let shape = GemmShape::new(24, 24, 24);
+    let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 5);
+
+    // Forced timeout: admitted first, deadline far below the 50 ms
+    // linger the scheduler now enters.
+    let doomed = GemmRequest::gemm(Matrix::random_uniform(shape.m, shape.k, 6), b.clone())
+        .with_deadline(Duration::from_millis(1));
+    let timeout_conn = std::thread::spawn(move || run_connection(addr, &[doomed], &[None]));
+    // Let the doomed request wake the scheduler into its linger.
+    std::thread::sleep(Duration::from_millis(15));
+
+    // Queue-full burst: 12 one-shot connections against a 2-slot queue
+    // mid-linger.
+    let handles: Vec<_> = (0..12u64)
+        .map(|i| {
+            let req =
+                GemmRequest::gemm(Matrix::random_uniform(shape.m, shape.k, 100 + i), b.clone());
+            std::thread::spawn(move || run_connection(addr, &[req], &[None]))
+        })
+        .collect();
+
+    let mut total = Outcome::default();
+    total.absorb(timeout_conn.join().expect("timeout connection"));
+    for h in handles {
+        total.absorb(h.join().expect("burst connection"));
+    }
+    tcp.shutdown();
+    server.shutdown();
+
+    assert_eq!(
+        total.responses, total.sent,
+        "phase B dropped responses: {total:?}"
+    );
+    assert_eq!(total.other_err, 0, "unexpected errors: {total:?}");
+    assert!(
+        total.busy >= 1,
+        "a 12-request burst against a 2-slot queue must see busy: {total:?}"
+    );
+    assert!(
+        total.timeout >= 1,
+        "the 1 ms deadline under a 50 ms window must time out: {total:?}"
+    );
+    println!(
+        "phase B: {} requests -> {} ok, {} busy, {} timeout; zero dropped",
+        total.sent, total.ok, total.busy, total.timeout
+    );
+}
+
+/// Render a [`wire::Value`] the way the engine benchmark formats
+/// `BENCH_engine.json`: top-level and second-level objects multi-line,
+/// everything deeper compact.
+fn pretty(v: &wire::Value, depth: usize, out: &mut String) {
+    match v {
+        wire::Value::Obj(fields) if depth < 2 && !fields.is_empty() => {
+            let pad = "  ".repeat(depth + 1);
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&format!("\"{k}\": "));
+                pretty(val, depth + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(depth));
+            out.push('}');
+        }
+        _ => out.push_str(&v.to_json()),
+    }
+}
+
+/// Insert/replace the `serve_throughput` entry in the benchmark
+/// baseline file, preserving everything the engine benchmark recorded.
+fn record(path: &str, req_s: f64, ratio: f64, p99_ms: f64) {
+    let mut root = match std::fs::read_to_string(path) {
+        Ok(text) => wire::parse(&text).unwrap_or_else(|e| {
+            panic!("{path} exists but is not valid JSON ({e}); refusing to overwrite")
+        }),
+        Err(_) => wire::Value::Obj(Vec::new()),
+    };
+    let entry = wire::parse(&format!(
+        "{{\"req_s\": {req_s:.1}, \"batched_ratio\": {ratio:.3}, \"p99_ms\": {p99_ms:.3}}}"
+    ))
+    .unwrap();
+    root.set("serve_throughput", entry);
+    let mut text = String::new();
+    pretty(&root, 0, &mut text);
+    text.push('\n');
+    std::fs::write(path, text).expect("write benchmark baseline");
+    eprintln!("recorded serve_throughput in {path}");
+}
+
+fn serve_forever(addr: &str) {
+    let server = Server::start(engine(4), ServerConfig::default());
+    let tcp = TcpServer::bind(addr, server.client()).expect("bind frontend");
+    println!("serving on {}", tcp.local_addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn connect_burst(addr: &str, n: usize) {
+    let addr: std::net::SocketAddr = addr.parse().expect("parse address");
+    let shape = GemmShape::new(64, 64, 64);
+    let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 1);
+    let requests: Vec<GemmRequest> = (0..n as u64)
+        .map(|i| GemmRequest::gemm(Matrix::random_uniform(shape.m, shape.k, 10 + i), b.clone()))
+        .collect();
+    let verify = vec![None; n];
+    let t0 = Instant::now();
+    let out = run_connection(addr, &requests, &verify);
+    println!(
+        "{out:?} in {:.3} s; server stats: {}",
+        t0.elapsed().as_secs_f64(),
+        fetch_stats(addr).to_json()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    if flag("--smoke") {
+        let (req_s, ratio, p99_ms) = smoke_throughput();
+        smoke_backpressure();
+        let out = opt("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+        record(&out, req_s, ratio, p99_ms);
+        println!("serve_loadgen --smoke: all serving assertions passed");
+    } else if let Some(addr) = opt("--serve") {
+        serve_forever(&addr);
+    } else if let Some(addr) = opt("--connect") {
+        let n = opt("--requests").and_then(|s| s.parse().ok()).unwrap_or(16);
+        connect_burst(&addr, n);
+    } else {
+        eprintln!("usage: serve_loadgen --smoke [--out PATH] | --serve ADDR | --connect ADDR [--requests N]");
+        std::process::exit(2);
+    }
+}

@@ -101,7 +101,11 @@ impl fmt::Display for CacheStats {
 /// avalanche mixes. ~4 bytes/cycle — negligible against the split it
 /// guards — and any single-bit change to any element flips both lanes,
 /// so a mutated operand always misses.
-pub(crate) fn fingerprint(data: &[f32]) -> (u64, u64) {
+///
+/// Public (as [`crate::engine::content_fingerprint`]) so layers above
+/// the cache — the serving tier's shared-B bucketing in particular —
+/// can group operands by exactly the key the cache will hit on.
+pub fn fingerprint(data: &[f32]) -> (u64, u64) {
     const M1: u64 = 0x9E37_79B9_7F4A_7C15;
     const M2: u64 = 0xC2B2_AE3D_27D4_EB4F;
     let mut h1: u64 = data.len() as u64 ^ M1;

@@ -32,6 +32,7 @@ pub mod runtime;
 use crate::emulation::{check, EmulationScheme};
 use crate::split_matrix::SplitMatrix;
 use crate::telemetry;
+pub use cache::fingerprint as content_fingerprint;
 use egemm_fp::SplitScheme;
 use egemm_matrix::Matrix;
 use micro::{load_acc, microkernel, store_acc, PlanePair};

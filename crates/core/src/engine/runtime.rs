@@ -33,7 +33,7 @@ use egemm_fp::{SplitKernel, SplitScheme};
 use egemm_matrix::Matrix;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, TryLockError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError, TryLockError};
 
 pub use super::cache::CacheStats;
 
@@ -71,21 +71,42 @@ impl Default for RuntimeConfig {
 }
 
 impl RuntimeConfig {
-    /// Resolve the configuration from the environment **once**:
-    /// `EGEMM_THREADS`, then `RAYON_NUM_THREADS`, then the machine's
-    /// available parallelism for the pool width; `EGEMM_CACHE_BYTES`
-    /// for the cache bound.
+    /// Resolve the configuration from the environment **once**.
+    ///
+    /// Pool-width fallback order:
+    ///
+    /// 1. `EGEMM_THREADS` — used when set to a positive integer;
+    /// 2. `RAYON_NUM_THREADS` — consulted next, same parsing rule;
+    /// 3. the machine's available parallelism (at least 1).
+    ///
+    /// A variable that is set but does not parse as a positive integer
+    /// (garbage, negative, or `0` — zero means "unset" only for
+    /// [`super::EngineConfig::threads`], never here) is *skipped*, and a
+    /// one-time warning is printed to stderr so the silent fall-through
+    /// is visible. The same rule applies to `EGEMM_CACHE_BYTES` (cache
+    /// byte bound), except there an explicit `0` is meaningful — it
+    /// disables retention — so only unparsable values warn and fall back
+    /// to the 256 MiB default.
     pub fn from_env() -> RuntimeConfig {
+        static WARN_THREADS: Once = Once::new();
+        static WARN_CACHE: Once = Once::new();
         let mut threads = 0usize;
         for var in ["EGEMM_THREADS", "RAYON_NUM_THREADS"] {
-            if let Some(t) = std::env::var(var)
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-            {
-                if t > 0 {
+            let Ok(raw) = std::env::var(var) else {
+                continue;
+            };
+            match raw.trim().parse::<usize>() {
+                Ok(t) if t > 0 => {
                     threads = t;
                     break;
                 }
+                _ => WARN_THREADS.call_once(|| {
+                    eprintln!(
+                        "egemm: ignoring {var}={raw:?} (not a positive integer); \
+                         falling back to the next source \
+                         (EGEMM_THREADS, then RAYON_NUM_THREADS, then available parallelism)"
+                    );
+                }),
             }
         }
         if threads == 0 {
@@ -93,10 +114,21 @@ impl RuntimeConfig {
                 .map(|n| n.get())
                 .unwrap_or(1);
         }
-        let cache_bytes = std::env::var("EGEMM_CACHE_BYTES")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(DEFAULT_CACHE_BYTES);
+        let cache_bytes = match std::env::var("EGEMM_CACHE_BYTES") {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(b) => b,
+                Err(_) => {
+                    WARN_CACHE.call_once(|| {
+                        eprintln!(
+                            "egemm: ignoring EGEMM_CACHE_BYTES={raw:?} (not an integer); \
+                             using the {DEFAULT_CACHE_BYTES}-byte default"
+                        );
+                    });
+                    DEFAULT_CACHE_BYTES
+                }
+            },
+            Err(_) => DEFAULT_CACHE_BYTES,
+        };
         RuntimeConfig {
             threads,
             cache_bytes,

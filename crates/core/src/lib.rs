@@ -61,7 +61,7 @@ pub use emulation::{
     emulated_gemm, emulated_gemm_entrywise, emulated_gemm_rows, emulated_gemm_tk, EmulationScheme,
 };
 pub use engine::{
-    gemm_blocked, gemm_blocked_in, gemm_blocked_prepared, gemm_blocked_range,
+    content_fingerprint, gemm_blocked, gemm_blocked_in, gemm_blocked_prepared, gemm_blocked_range,
     gemm_blocked_range_in, gemm_blocked_rows, gemm_blocked_rows_in, prepare_b, CacheStats,
     EngineConfig, EngineRuntime, PreparedOperand, RuntimeConfig,
 };

@@ -1,0 +1,500 @@
+//! The server: admission, the bucketing scheduler thread, dispatch.
+
+use crate::queue::{lock_unpoisoned, AdmissionQueue, BucketKey, Pending, Ticket, TicketInner};
+use crate::request::{GemmRequest, JobKind, ServeError, ServeOutput};
+use crate::stats::{ServeStats, StatsInner};
+use egemm::telemetry::GemmReport;
+use egemm::{content_fingerprint, Egemm};
+use egemm_matrix::Matrix;
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving policy knobs. Defaults suit an interactive mixed-shape load;
+/// the loadgen smoke profile shrinks the queue and stretches the window
+/// to force the backpressure paths deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Admission queue bound; a full queue answers [`ServeError::Busy`].
+    pub queue_cap: usize,
+    /// Most requests coalesced into one engine call.
+    pub max_batch: usize,
+    /// How long the scheduler lingers after waking before it drains the
+    /// queue, letting concurrent submitters join the same dispatch
+    /// cycle (and therefore the same buckets). Zero dispatches eagerly.
+    pub batch_window: Duration,
+    /// Accept non-finite (NaN/Inf) operand values. Off by default: a
+    /// NaN poisons every product it touches, so the serving tier
+    /// rejects it at validation rather than burn engine time.
+    pub allow_nonfinite: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_cap: 256,
+            max_batch: 64,
+            batch_window: Duration::ZERO,
+            allow_nonfinite: false,
+        }
+    }
+}
+
+pub(crate) struct ServerInner {
+    engine: Egemm,
+    cfg: ServerConfig,
+    queue: AdmissionQueue,
+    stats: StatsInner,
+}
+
+/// A running serving instance: one scheduler thread over one shared
+/// [`Egemm`] (and therefore one persistent runtime: pool + cache).
+/// Dropping the server performs a graceful shutdown — every admitted
+/// request is answered before the scheduler exits.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    sched: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start a server around `engine`. The engine's runtime is shared
+    /// by every dispatch, so bucket after bucket hits the same packed
+    /// operand cache and parked worker pool.
+    pub fn start(engine: Egemm, cfg: ServerConfig) -> Server {
+        let inner = Arc::new(ServerInner {
+            engine,
+            queue: AdmissionQueue::new(cfg.queue_cap),
+            cfg,
+            stats: StatsInner::new(),
+        });
+        let sched_inner = Arc::clone(&inner);
+        let sched = std::thread::Builder::new()
+            .name("egemm-serve".into())
+            .spawn(move || scheduler(&sched_inner))
+            .expect("spawn serve scheduler");
+        Server {
+            inner,
+            sched: Some(sched),
+        }
+    }
+
+    /// A cloneable in-process submission handle.
+    pub fn client(&self) -> Client {
+        Client {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop admitting, drain everything already
+    /// queued (every ticket is answered), join the scheduler.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.inner.queue.close();
+        if let Some(h) = self.sched.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// In-process client handle. Clone freely; all clones feed one queue.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<ServerInner>,
+}
+
+impl Client {
+    /// Validate and enqueue a request. Returns immediately: `Ok` with a
+    /// [`Ticket`] to wait on, or the admission error ([`ServeError::Busy`],
+    /// [`ServeError::Invalid`], [`ServeError::Shutdown`]).
+    pub fn submit(&self, req: GemmRequest) -> Result<Ticket, ServeError> {
+        let inner = &*self.inner;
+        StatsInner::bump(&inner.stats.submitted);
+        if let Err(msg) = validate(&req, inner.cfg.allow_nonfinite) {
+            StatsInner::bump(&inner.stats.rejected_invalid);
+            return Err(ServeError::Invalid(msg));
+        }
+        let admitted = Instant::now();
+        let ticket = TicketInner::new();
+        let pending = Pending {
+            key: bucket_key(&req),
+            admitted,
+            deadline: req.deadline.map(|d| admitted + d),
+            ticket: Arc::clone(&ticket),
+            req,
+        };
+        match inner.queue.push(pending) {
+            Ok(()) => {
+                StatsInner::bump(&inner.stats.admitted);
+                Ok(Ticket { inner: ticket })
+            }
+            Err(e) => {
+                if matches!(e, ServeError::Busy { .. }) {
+                    StatsInner::bump(&inner.stats.rejected_busy);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Submit and block for the response.
+    pub fn call(&self, req: GemmRequest) -> Result<ServeOutput, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats.snapshot()
+    }
+}
+
+/// Admission-time validation: shape agreement and the finite-value
+/// policy. Anything the engine would reject by panicking *for this
+/// request alone* (e.g. a split-K slice count out of range) is instead
+/// left to the dispatch panic barrier, which converts it into a
+/// per-request [`ServeError::Engine`].
+fn validate(req: &GemmRequest, allow_nonfinite: bool) -> Result<(), String> {
+    let (m, k) = (req.a.rows(), req.a.cols());
+    let (kb, n) = (req.b.rows(), req.b.cols());
+    if m == 0 || k == 0 || n == 0 {
+        return Err(format!("degenerate operands: A {m}x{k}, B {kb}x{n}"));
+    }
+    if k != kb {
+        return Err(format!(
+            "inner dimensions disagree: A is {m}x{k}, B is {kb}x{n}"
+        ));
+    }
+    if let Some(c) = &req.c {
+        if (c.rows(), c.cols()) != (m, n) {
+            return Err(format!("C is {}x{}, expected {m}x{n}", c.rows(), c.cols()));
+        }
+    }
+    if !allow_nonfinite {
+        for (name, mat) in [
+            ("A", Some(&req.a)),
+            ("B", Some(&req.b)),
+            ("C", req.c.as_ref()),
+        ] {
+            let Some(mat) = mat else { continue };
+            if let Some(i) = mat.as_slice().iter().position(|x| !x.is_finite()) {
+                return Err(format!(
+                    "non-finite value {} in {name} at flat index {i} \
+                     (finite-only policy; see ServerConfig::allow_nonfinite)",
+                    mat.as_slice()[i]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn bucket_key(req: &GemmRequest) -> BucketKey {
+    let kind = match req.kind {
+        JobKind::Gemm if req.c.is_none() => 0,
+        JobKind::Gemm => 1,
+        JobKind::SplitK { slices } => 2 | ((slices as u64) << 2),
+    };
+    BucketKey {
+        shape: req.shape(),
+        scheme: req.scheme,
+        b_fp: content_fingerprint(req.b.as_slice()),
+        kind,
+    }
+}
+
+/// Scheduler thread body. The inner loop is wrapped in a panic barrier:
+/// if a cycle somehow unwinds outside the per-dispatch barrier, every
+/// request it was holding is answered with [`ServeError::Engine`] and
+/// the loop restarts — the server never silently stops answering.
+fn scheduler(inner: &ServerInner) {
+    loop {
+        let exited = catch_unwind(AssertUnwindSafe(|| scheduler_loop(inner)));
+        match exited {
+            Ok(()) => return, // clean shutdown drain finished
+            Err(_) => {
+                // Answer anything still queued, then resume serving.
+                let drained: Vec<Pending> = {
+                    let mut st = lock_unpoisoned(&inner.queue.state);
+                    st.queue.drain(..).collect()
+                };
+                for p in drained {
+                    StatsInner::bump(&inner.stats.engine_failures);
+                    p.ticket.fulfill(Err(ServeError::Engine(
+                        "scheduler cycle panicked; request abandoned".into(),
+                    )));
+                }
+            }
+        }
+    }
+}
+
+fn scheduler_loop(inner: &ServerInner) {
+    loop {
+        let snapshot: Vec<Pending> = {
+            let mut st = lock_unpoisoned(&inner.queue.state);
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner
+                    .queue
+                    .work
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if !inner.cfg.batch_window.is_zero() && !st.shutdown {
+                // Linger so concurrent submitters join this cycle: drop
+                // the lock (admission must stay open), sleep, re-take.
+                drop(st);
+                std::thread::sleep(inner.cfg.batch_window);
+                st = lock_unpoisoned(&inner.queue.state);
+            }
+            st.queue.drain(..).collect()
+        };
+        dispatch_cycle(inner, snapshot);
+    }
+}
+
+/// Group one queue snapshot into buckets (arrival order preserved both
+/// across and within buckets) and dispatch each.
+fn dispatch_cycle(inner: &ServerInner, snapshot: Vec<Pending>) {
+    let mut order: Vec<(BucketKey, Vec<Pending>)> = Vec::new();
+    let mut index: HashMap<BucketKey, usize> = HashMap::new();
+    for p in snapshot {
+        match index.get(&p.key) {
+            Some(&i) => order[i].1.push(p),
+            None => {
+                index.insert(p.key, order.len());
+                order.push((p.key, vec![p]));
+            }
+        }
+    }
+    for (key, bucket) in order {
+        let mut rest = bucket;
+        while !rest.is_empty() {
+            let take = rest.len().min(inner.cfg.max_batch.max(1));
+            let chunk: Vec<Pending> = rest.drain(..take).collect();
+            dispatch_chunk(inner, key, chunk);
+        }
+    }
+}
+
+/// Dispatch one bucket chunk as a single engine call (or a short run of
+/// single calls for non-batchable kinds), honouring deadlines on both
+/// sides of the call and converting engine panics into per-request
+/// errors.
+fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
+    // Pre-dispatch deadline check: expired requests cost no engine time.
+    let now = Instant::now();
+    let mut live: Vec<Pending> = Vec::with_capacity(chunk.len());
+    for p in chunk {
+        if p.deadline.is_some_and(|d| d <= now) {
+            StatsInner::bump(&inner.stats.timed_out_before);
+            p.ticket.fulfill(Err(ServeError::TimedOut {
+                after_dispatch: false,
+            }));
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Tear the metadata off before the matrices move into the engine
+    // closure: on a panic the operands are lost mid-call, but every
+    // ticket must still be answered.
+    let batched_with = live.len();
+    let dispatched_at = Instant::now();
+    let metas: Vec<(Arc<TicketInner>, Instant, Option<Instant>)> = live
+        .iter()
+        .map(|p| (Arc::clone(&p.ticket), p.admitted, p.deadline))
+        .collect();
+    let reqs: Vec<GemmRequest> = live.into_iter().map(|p| p.req).collect();
+
+    StatsInner::bump(&inner.stats.engine_calls);
+    let engine = inner.engine.clone().with_scheme(key.scheme);
+    let result = catch_unwind(AssertUnwindSafe(|| run_engine(&engine, key, reqs)));
+
+    match result {
+        Ok((ds, report)) => {
+            let finished = Instant::now();
+            debug_assert_eq!(ds.len(), metas.len());
+            for (d, (ticket, admitted, deadline)) in ds.into_iter().zip(metas) {
+                let total_ns = finished.duration_since(admitted).as_nanos() as u64;
+                inner.stats.record_latency(total_ns);
+                StatsInner::bump(&inner.stats.dispatched);
+                if batched_with >= 2 {
+                    StatsInner::bump(&inner.stats.coalesced);
+                }
+                if deadline.is_some_and(|dl| dl <= finished) {
+                    StatsInner::bump(&inner.stats.timed_out_after);
+                    ticket.fulfill(Err(ServeError::TimedOut {
+                        after_dispatch: true,
+                    }));
+                } else {
+                    StatsInner::bump(&inner.stats.completed);
+                    ticket.fulfill(Ok(ServeOutput {
+                        shape: key.shape,
+                        d,
+                        batched_with,
+                        queue_ns: dispatched_at.duration_since(admitted).as_nanos() as u64,
+                        total_ns,
+                        report: report.clone(),
+                    }));
+                }
+            }
+        }
+        Err(payload) => {
+            let msg = panic_message(&payload);
+            for (ticket, _, _) in metas {
+                StatsInner::bump(&inner.stats.engine_failures);
+                ticket.fulfill(Err(ServeError::Engine(msg.clone())));
+            }
+        }
+    }
+}
+
+/// The actual engine call for one chunk: batched for compatible plain
+/// GEMMs, per-request otherwise. Returns per-request products in input
+/// order plus the (shared) telemetry report.
+#[allow(clippy::type_complexity)]
+fn run_engine(
+    engine: &Egemm,
+    key: BucketKey,
+    reqs: Vec<GemmRequest>,
+) -> (Vec<Matrix<f32>>, Option<Arc<GemmReport>>) {
+    if key.kind == 0 && reqs.len() > 1 {
+        let mut a = Vec::with_capacity(reqs.len());
+        let mut b = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            a.push(r.a);
+            b.push(r.b);
+        }
+        let out = engine.gemm_batched(&a, &b);
+        (out.d, out.report.map(Arc::new))
+    } else {
+        let mut ds = Vec::with_capacity(reqs.len());
+        let mut report = None;
+        for r in reqs {
+            match r.kind {
+                JobKind::Gemm => {
+                    let out = engine.gemm_with_c(&r.a, &r.b, r.c.as_ref());
+                    report = out.report.map(Arc::new).or(report);
+                    ds.push(out.d);
+                }
+                JobKind::SplitK { slices } => {
+                    let out = engine.gemm_split_k(&r.a, &r.b, slices);
+                    report = out.report.map(Arc::new).or(report);
+                    ds.push(out.d);
+                }
+            }
+        }
+        (ds, report)
+    }
+}
+
+fn panic_message(payload: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine call panicked (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egemm::TilingConfig;
+    use egemm_tcsim::DeviceSpec;
+
+    fn server(cfg: ServerConfig) -> Server {
+        Server::start(Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER), cfg)
+    }
+
+    #[test]
+    fn serves_a_simple_request() {
+        let s = server(ServerConfig::default());
+        let c = s.client();
+        let a = Matrix::<f32>::random_uniform(8, 8, 1);
+        let b = Matrix::<f32>::random_uniform(8, 8, 2);
+        let out = c.call(GemmRequest::gemm(a, b)).expect("served");
+        assert_eq!((out.d.rows(), out.d.cols()), (8, 8));
+        assert_eq!(out.batched_with, 1);
+        assert!(out.total_ns >= out.queue_ns);
+        let stats = s.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.engine_calls, 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn validation_rejects_shape_mismatch_and_nan() {
+        let s = server(ServerConfig::default());
+        let c = s.client();
+        let err = c
+            .call(GemmRequest::gemm(Matrix::zeros(4, 5), Matrix::zeros(4, 4)))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Invalid(_)), "{err}");
+
+        let mut a = Matrix::<f32>::zeros(2, 2);
+        a.set(1, 1, f32::NAN);
+        let err = c
+            .call(GemmRequest::gemm(a, Matrix::zeros(2, 2)))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServeError::Invalid(ref m) if m.contains("non-finite")),
+            "{err}"
+        );
+        assert_eq!(s.stats().rejected_invalid, 2);
+        s.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let s = server(ServerConfig::default());
+        let c = s.client();
+        s.shutdown();
+        let a = Matrix::<f32>::random_uniform(4, 4, 1);
+        let b = Matrix::<f32>::random_uniform(4, 4, 2);
+        assert_eq!(
+            c.call(GemmRequest::gemm(a, b)).unwrap_err(),
+            ServeError::Shutdown
+        );
+    }
+
+    #[test]
+    fn bucket_key_distinguishes_content_and_scheme() {
+        use egemm::EmulationScheme;
+        let a = Matrix::<f32>::random_uniform(4, 6, 1);
+        let b1 = Matrix::<f32>::random_uniform(6, 5, 2);
+        let b2 = Matrix::<f32>::random_uniform(6, 5, 3);
+        let r1 = GemmRequest::gemm(a.clone(), b1.clone());
+        let r1b = GemmRequest::gemm(a.clone(), b1.clone());
+        let r2 = GemmRequest::gemm(a.clone(), b2);
+        let r3 = GemmRequest::gemm(a, b1).with_scheme(EmulationScheme::Markidis);
+        assert_eq!(bucket_key(&r1), bucket_key(&r1b));
+        assert_ne!(bucket_key(&r1), bucket_key(&r2), "content must separate");
+        assert_ne!(bucket_key(&r1), bucket_key(&r3), "scheme must separate");
+    }
+}

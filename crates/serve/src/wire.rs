@@ -1,0 +1,796 @@
+//! Zero-dependency wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. The JSON codec is
+//! hand-rolled (this repo takes no external dependencies) around a
+//! small [`Value`] tree; it is *not* a general-purpose JSON library —
+//! it supports exactly what the protocol and the bench artifacts need:
+//! objects, arrays, strings with escapes, `f64` numbers, booleans,
+//! null.
+//!
+//! `f32` matrix elements cross the wire bit-exactly: each is widened to
+//! `f64` (exact), printed with Rust's shortest-roundtrip formatter, and
+//! parsed back to `f64` then narrowed to `f32` — an identity for every
+//! finite value. Non-finite values are carried as the strings `"NaN"`,
+//! `"Infinity"`, `"-Infinity"` (JSON has no literals for them); the
+//! server's validation policy decides whether they are accepted.
+//!
+//! Request object (client → server):
+//!
+//! ```json
+//! {"id": 1, "kind": "gemm", "m": 2, "k": 3, "n": 2,
+//!  "a": [..m*k row-major..], "b": [..k*n..], "c": [..m*n.., optional],
+//!  "scheme": "egemm_tc", "deadline_ms": 50, "slices": 4}
+//! ```
+//!
+//! `kind` is `"gemm"`, `"split_k"` (with optional `"slices"`, `0` =
+//! auto), or `"stats"` (no other fields; answers a counters snapshot).
+//! `scheme` is `"egemm_tc"` (default), `"markidis"`, `"markidis4"`, or
+//! `"tc_half"`. Response object (server → client):
+//!
+//! ```json
+//! {"id": 1, "ok": true, "m": 2, "n": 2, "d": [..m*n..],
+//!  "batched_with": 3, "queue_ns": 120, "total_ns": 45000}
+//! {"id": 1, "ok": false, "error": {"code": "busy", "message": "..."}}
+//! ```
+//!
+//! An `ok` response carries `"report"` (the engine `GemmReport` as
+//! JSON) when tracing is enabled, and a `"stats"` request answers
+//! `{"id":..,"ok":true,"stats":{..ServeStats..}}`.
+
+use crate::request::{GemmRequest, JobKind, ServeError, ServeOutput};
+use crate::stats::ServeStats;
+use egemm::EmulationScheme;
+use egemm_matrix::Matrix;
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload; a peer announcing more is
+/// answered with an error and disconnected rather than allocated for.
+pub const MAX_FRAME: usize = 64 << 20;
+
+// ---------------------------------------------------------------------------
+// JSON value tree
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Object keys keep insertion order (lookup is a
+/// linear scan — protocol objects are small).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (`None` for missing keys and non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as usize),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Set or replace a field on an object (no-op on non-objects).
+    pub fn set(&mut self, key: &str, value: Value) {
+        if let Value::Obj(fields) = self {
+            match fields.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = value,
+                None => fields.push((key.to_string(), value)),
+            }
+        }
+    }
+
+    /// Serialize back to JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(x) => write_num(*x, out),
+            Value::Str(s) => write_str(s, out),
+            Value::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_num(x: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !x.is_finite() {
+        // Callers encode non-finite payload values as strings; a
+        // non-finite *number* slipping in here still must not emit
+        // invalid JSON.
+        out.push_str("null");
+    } else {
+        // Shortest-roundtrip formatting: exact for every f64 (and so
+        // for every widened f32), prints integral values without a
+        // fraction, and keeps the sign of -0.0.
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one JSON document (rejects trailing garbage).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Value::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key is not a string at offset {pos}"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b't') => parse_lit(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|()| Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at offset {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("invalid number {text:?} at offset {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // Surrogates are not reassembled; the protocol
+                        // never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always well-formed).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` on clean EOF at a frame boundary; an
+/// error for oversized frames or mid-frame EOF.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Matrix and scheme codecs
+// ---------------------------------------------------------------------------
+
+fn encode_f32(x: f32) -> Value {
+    if x.is_finite() {
+        Value::Num(f64::from(x))
+    } else if x.is_nan() {
+        Value::Str("NaN".into())
+    } else if x > 0.0 {
+        Value::Str("Infinity".into())
+    } else {
+        Value::Str("-Infinity".into())
+    }
+}
+
+fn decode_f32(v: &Value) -> Result<f32, String> {
+    match v {
+        Value::Num(x) => Ok(*x as f32),
+        Value::Str(s) => match s.as_str() {
+            "NaN" => Ok(f32::NAN),
+            "Infinity" => Ok(f32::INFINITY),
+            "-Infinity" => Ok(f32::NEG_INFINITY),
+            _ => Err(format!("expected a number, got the string {s:?}")),
+        },
+        _ => Err("expected a number".into()),
+    }
+}
+
+/// Row-major flat encoding of a matrix.
+pub fn encode_matrix(m: &Matrix<f32>) -> Value {
+    Value::Arr(m.as_slice().iter().copied().map(encode_f32).collect())
+}
+
+/// Decode a `rows x cols` matrix from its flat row-major array.
+pub fn decode_matrix(
+    v: &Value,
+    rows: usize,
+    cols: usize,
+    name: &str,
+) -> Result<Matrix<f32>, String> {
+    let Value::Arr(items) = v else {
+        return Err(format!("{name} is not an array"));
+    };
+    if items.len() != rows * cols {
+        return Err(format!(
+            "{name} has {} elements, expected {rows}x{cols} = {}",
+            items.len(),
+            rows * cols
+        ));
+    }
+    let data = items
+        .iter()
+        .map(decode_f32)
+        .collect::<Result<Vec<f32>, String>>()
+        .map_err(|e| format!("{name}: {e}"))?;
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Wire name of an emulation scheme.
+pub fn scheme_name(scheme: EmulationScheme) -> &'static str {
+    match scheme {
+        EmulationScheme::EgemmTc => "egemm_tc",
+        EmulationScheme::Markidis => "markidis",
+        EmulationScheme::MarkidisFourTerm => "markidis4",
+        EmulationScheme::TcHalf => "tc_half",
+    }
+}
+
+/// Parse a wire scheme name.
+pub fn scheme_from_name(name: &str) -> Result<EmulationScheme, String> {
+    match name {
+        "egemm_tc" => Ok(EmulationScheme::EgemmTc),
+        "markidis" => Ok(EmulationScheme::Markidis),
+        "markidis4" => Ok(EmulationScheme::MarkidisFourTerm),
+        "tc_half" => Ok(EmulationScheme::TcHalf),
+        other => Err(format!(
+            "unknown scheme {other:?} (expected egemm_tc, markidis, markidis4, or tc_half)"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+/// A decoded client frame.
+pub enum WireRequest {
+    /// A compute job to submit to the server.
+    Job { id: u64, req: GemmRequest },
+    /// A counters-snapshot query, answered inline by the connection
+    /// handler.
+    Stats { id: u64 },
+}
+
+/// Encode a job request frame (the loadgen client side).
+pub fn encode_request(id: u64, req: &GemmRequest) -> String {
+    let shape = req.shape();
+    let mut obj = Value::Obj(vec![
+        ("id".into(), Value::Num(id as f64)),
+        (
+            "kind".into(),
+            Value::Str(
+                match req.kind {
+                    JobKind::Gemm => "gemm",
+                    JobKind::SplitK { .. } => "split_k",
+                }
+                .into(),
+            ),
+        ),
+        ("m".into(), Value::Num(shape.m as f64)),
+        ("k".into(), Value::Num(shape.k as f64)),
+        ("n".into(), Value::Num(shape.n as f64)),
+        ("scheme".into(), Value::Str(scheme_name(req.scheme).into())),
+        ("a".into(), encode_matrix(&req.a)),
+        ("b".into(), encode_matrix(&req.b)),
+    ]);
+    if let Some(c) = &req.c {
+        obj.set("c", encode_matrix(c));
+    }
+    if let JobKind::SplitK { slices } = req.kind {
+        obj.set("slices", Value::Num(slices as f64));
+    }
+    if let Some(d) = req.deadline {
+        obj.set("deadline_ms", Value::Num(d.as_secs_f64() * 1e3));
+    }
+    obj.to_json()
+}
+
+/// Encode a stats-query frame.
+pub fn encode_stats_request(id: u64) -> String {
+    Value::Obj(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("kind".into(), Value::Str("stats".into())),
+    ])
+    .to_json()
+}
+
+/// Decode one client frame into a [`WireRequest`].
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+    let v = parse(text)?;
+    let id = v
+        .get("id")
+        .and_then(Value::as_f64)
+        .map(|x| x as u64)
+        .unwrap_or(0);
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("missing \"kind\"")?;
+    if kind == "stats" {
+        return Ok(WireRequest::Stats { id });
+    }
+    let dim = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_usize)
+            .ok_or(format!("missing or invalid \"{key}\""))
+    };
+    let (m, k, n) = (dim("m")?, dim("k")?, dim("n")?);
+    let a = decode_matrix(v.get("a").ok_or("missing \"a\"")?, m, k, "a")?;
+    let b = decode_matrix(v.get("b").ok_or("missing \"b\"")?, k, n, "b")?;
+    let c = match v.get("c") {
+        Some(cv) => Some(decode_matrix(cv, m, n, "c")?),
+        None => None,
+    };
+    let scheme = match v.get("scheme") {
+        Some(s) => scheme_from_name(s.as_str().ok_or("\"scheme\" is not a string")?)?,
+        None => EmulationScheme::EgemmTc,
+    };
+    let job_kind = match kind {
+        "gemm" => JobKind::Gemm,
+        "split_k" => JobKind::SplitK {
+            slices: v.get("slices").and_then(Value::as_usize).unwrap_or(0),
+        },
+        other => return Err(format!("unknown kind {other:?}")),
+    };
+    let deadline = v
+        .get("deadline_ms")
+        .and_then(Value::as_f64)
+        .map(|ms| std::time::Duration::from_secs_f64((ms / 1e3).max(0.0)));
+    Ok(WireRequest::Job {
+        id,
+        req: GemmRequest {
+            a,
+            b,
+            c,
+            kind: job_kind,
+            scheme,
+            deadline,
+        },
+    })
+}
+
+/// Encode the response to a served job.
+pub fn encode_response(id: u64, result: &Result<ServeOutput, ServeError>) -> String {
+    match result {
+        Ok(out) => {
+            let mut obj = Value::Obj(vec![
+                ("id".into(), Value::Num(id as f64)),
+                ("ok".into(), Value::Bool(true)),
+                ("m".into(), Value::Num(out.shape.m as f64)),
+                ("n".into(), Value::Num(out.shape.n as f64)),
+                ("d".into(), encode_matrix(&out.d)),
+                ("batched_with".into(), Value::Num(out.batched_with as f64)),
+                ("queue_ns".into(), Value::Num(out.queue_ns as f64)),
+                ("total_ns".into(), Value::Num(out.total_ns as f64)),
+            ]);
+            if let Some(report) = &out.report {
+                if let Ok(r) = parse(&report.to_json()) {
+                    obj.set("report", r);
+                }
+            }
+            obj.to_json()
+        }
+        Err(e) => encode_error(id, e),
+    }
+}
+
+/// Encode an error response (also used for undecodable frames).
+pub fn encode_error(id: u64, e: &ServeError) -> String {
+    let mut err = Value::Obj(vec![
+        ("code".into(), Value::Str(e.code().into())),
+        ("message".into(), Value::Str(e.to_string())),
+    ]);
+    match e {
+        ServeError::Busy { queued } => err.set("queued", Value::Num(*queued as f64)),
+        ServeError::TimedOut { after_dispatch } => {
+            err.set("after_dispatch", Value::Bool(*after_dispatch));
+        }
+        _ => {}
+    }
+    Value::Obj(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), err),
+    ])
+    .to_json()
+}
+
+/// Encode a stats-snapshot response.
+pub fn encode_stats_response(id: u64, stats: &ServeStats) -> String {
+    let inner = parse(&stats.to_json()).expect("ServeStats::to_json is valid JSON");
+    Value::Obj(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("ok".into(), Value::Bool(true)),
+        ("stats".into(), inner),
+    ])
+    .to_json()
+}
+
+/// Decoded response on the client side.
+pub struct WireResponse {
+    pub id: u64,
+    pub result: Result<ServeOutput, ServeError>,
+}
+
+/// Decode a server response frame (the loadgen client side). Stats
+/// responses decode to an error here — the loadgen reads those with
+/// [`parse`] directly.
+pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
+    use egemm_matrix::GemmShape;
+    let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+    let v = parse(text)?;
+    let id = v
+        .get("id")
+        .and_then(Value::as_f64)
+        .map(|x| x as u64)
+        .unwrap_or(0);
+    let ok = v
+        .get("ok")
+        .and_then(Value::as_bool)
+        .ok_or("missing \"ok\"")?;
+    if !ok {
+        let err = v.get("error").ok_or("error response without \"error\"")?;
+        let code = err.get("code").and_then(Value::as_str).unwrap_or("engine");
+        let message = err
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let e = match code {
+            "busy" => ServeError::Busy {
+                queued: err.get("queued").and_then(Value::as_usize).unwrap_or(0),
+            },
+            "timeout" => ServeError::TimedOut {
+                after_dispatch: err
+                    .get("after_dispatch")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+            },
+            "invalid" => ServeError::Invalid(message),
+            "shutdown" => ServeError::Shutdown,
+            _ => ServeError::Engine(message),
+        };
+        return Ok(WireResponse { id, result: Err(e) });
+    }
+    let m = v
+        .get("m")
+        .and_then(Value::as_usize)
+        .ok_or("missing \"m\"")?;
+    let n = v
+        .get("n")
+        .and_then(Value::as_usize)
+        .ok_or("missing \"n\"")?;
+    let d = decode_matrix(v.get("d").ok_or("missing \"d\"")?, m, n, "d")?;
+    Ok(WireResponse {
+        id,
+        result: Ok(ServeOutput {
+            shape: GemmShape::new(m, n, 0),
+            d,
+            batched_with: v.get("batched_with").and_then(Value::as_usize).unwrap_or(1),
+            queue_ns: v.get("queue_ns").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+            total_ns: v.get("total_ns").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+            report: None,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_nested() {
+        let text = r#"{"a": [1, 2.5, -3e2, "x\ny", true, null], "b": {"c": []}}"#;
+        let v = parse(text).unwrap();
+        let v2 = parse(&v.to_json()).unwrap();
+        assert_eq!(v, v2);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Arr(vec![])));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}trailing").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn f32_values_roundtrip_bit_exactly() {
+        let cases = [
+            0.0f32,
+            -0.0,
+            1.0,
+            std::f32::consts::PI,
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            -1.1754944e-38,
+            1e-45, // subnormal
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ];
+        for x in cases {
+            let v = parse(&encode_f32(x).to_json()).unwrap();
+            let back = decode_f32(&v).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn matrix_roundtrip_bit_exact() {
+        let m = Matrix::<f32>::random_uniform(7, 5, 42);
+        let v = parse(&encode_matrix(&m).to_json()).unwrap();
+        let back = decode_matrix(&v, 7, 5, "m").unwrap();
+        assert_eq!(m.as_slice(), back.as_slice());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_limits() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+
+        // Oversized announced length is rejected without allocating.
+        let mut huge = std::io::Cursor::new(((MAX_FRAME + 1) as u32).to_be_bytes().to_vec());
+        assert!(read_frame(&mut huge).is_err());
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let a = Matrix::<f32>::random_uniform(3, 4, 1);
+        let b = Matrix::<f32>::random_uniform(4, 2, 2);
+        let req = GemmRequest::gemm(a.clone(), b.clone())
+            .with_deadline(std::time::Duration::from_millis(250));
+        let frame = encode_request(7, &req);
+        let WireRequest::Job { id, req: back } = decode_request(frame.as_bytes()).unwrap() else {
+            panic!("expected a job");
+        };
+        assert_eq!(id, 7);
+        assert_eq!(back.a.as_slice(), a.as_slice());
+        assert_eq!(back.b.as_slice(), b.as_slice());
+        assert_eq!(back.deadline, Some(std::time::Duration::from_millis(250)));
+        assert_eq!(back.kind, JobKind::Gemm);
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let frame = encode_error(3, &ServeError::Busy { queued: 16 });
+        let resp = decode_response(frame.as_bytes()).unwrap();
+        assert_eq!(resp.id, 3);
+        assert_eq!(resp.result.unwrap_err(), ServeError::Busy { queued: 16 });
+
+        let frame = encode_error(
+            4,
+            &ServeError::TimedOut {
+                after_dispatch: true,
+            },
+        );
+        let resp = decode_response(frame.as_bytes()).unwrap();
+        assert_eq!(
+            resp.result.unwrap_err(),
+            ServeError::TimedOut {
+                after_dispatch: true
+            }
+        );
+    }
+}

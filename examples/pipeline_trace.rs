@@ -6,9 +6,11 @@
 //! EGEMM_TRACE=1 cargo run --release -p egemm --example pipeline_trace
 //! ```
 //!
-//! Writes `pipeline_trace.json` — load it in `chrome://tracing` or
-//! <https://ui.perfetto.dev> to see split/pack/tile spans laid out per
-//! worker thread. The example then validates its own output (the CI
+//! Writes `target/pipeline_trace.json` (override with `--out PATH`) —
+//! load it in `chrome://tracing` or <https://ui.perfetto.dev> to see
+//! split/pack/tile spans laid out per worker thread. Build artifacts
+//! stay under `target/`; the repo root holds only tracked baselines.
+//! The example then validates its own output (the CI
 //! gate): the JSON must be well-formed, every pipeline phase must have
 //! recorded at least one span, and compute spans must be attributed to
 //! more than one worker thread. Any violation panics (nonzero exit).
@@ -85,9 +87,22 @@ fn main() {
     println!("warm call (cache hits on both operands):\n{warm_report}");
 
     // Chrome-trace export of the cold call — the interesting timeline.
+    // Default under target/ so the artifact never lands in the repo
+    // root; --out redirects it.
     let trace = cold_report.chrome_trace();
-    let path = "pipeline_trace.json";
-    std::fs::write(path, &trace).expect("write trace file");
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target/pipeline_trace.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create trace output directory");
+        }
+    }
+    std::fs::write(&path, &trace).expect("write trace file");
     println!(
         "wrote {path} ({} bytes) — load it in chrome://tracing or https://ui.perfetto.dev",
         trace.len()

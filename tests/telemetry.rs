@@ -69,6 +69,48 @@ proptest! {
     }
 }
 
+/// A batched call over one shared B must show the sharing in its
+/// attached report: the cache delta records exactly one split and one
+/// pack for B (every other lookup hits), at both pool sizes. This is
+/// the telemetry-side witness of the amortization the serving tier's
+/// bucketing exists to exploit.
+#[test]
+fn batched_report_shows_shared_b_prepared_once() {
+    let _g = TRACE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    for threads in [1usize, 4] {
+        let eng = engine(threads); // private runtime: counters start at zero
+        let b0 = Matrix::<f32>::random_uniform(24, 16, 7);
+        let a: Vec<Matrix<f32>> = (0..4)
+            .map(|i| Matrix::random_uniform(32, 24, 70 + i))
+            .collect();
+        let b: Vec<Matrix<f32>> = (0..4).map(|_| b0.clone()).collect();
+
+        telemetry::set_enabled(true);
+        let out = eng.gemm_batched(&a, &b);
+        telemetry::set_enabled(false);
+
+        let report = out.report.expect("tracing on must yield a batch report");
+        assert_eq!(
+            report.cache.packs, 1,
+            "shared B must pack once ({threads} thread(s)): {:?}",
+            report.cache
+        );
+        assert_eq!(
+            report.cache.splits,
+            1 + a.len() as u64,
+            "1 shared B + {} distinct A splits ({threads} thread(s)): {:?}",
+            a.len(),
+            report.cache
+        );
+        assert_eq!(
+            report.cache.hits,
+            a.len() as u64 - 1,
+            "all B lookups after the first must hit ({threads} thread(s)): {:?}",
+            report.cache
+        );
+    }
+}
+
 /// Pushing far more spans than a ring holds must neither grow the ring
 /// nor stall the recorder: the drain returns exactly `RING_CAPACITY`
 /// surviving events — the newest ones — and an exact count of drops.
