@@ -13,8 +13,8 @@
 //! what CI gates every PR on.
 
 use egemm::{
-    gemm_blocked, gemm_blocked_in, gemm_blocked_prepared, prepare_b, Egemm, EmulationScheme,
-    EngineConfig, EngineRuntime, RuntimeConfig, SplitMatrix, TilingConfig,
+    gemm_blocked, gemm_blocked_fused_in, gemm_blocked_in, gemm_blocked_prepared, prepare_b, Egemm,
+    EmulationScheme, EngineConfig, EngineRuntime, RuntimeConfig, SplitMatrix, TilingConfig,
 };
 use egemm_bench::row_streaming_gemm;
 use egemm_fp::{simd_split_available, SplitKernel};
@@ -177,6 +177,80 @@ fn bench_repeat_shared_b(shape: GemmShape, reps: usize, assert_perf: bool) -> Re
     out
 }
 
+/// Cold-call comparison of the two split-and-pack routes, both with the
+/// SIMD split kernel and no cache retention (every call does the full
+/// prepare work):
+///
+/// * **staged** — the reference route the `EngineConfig::staged` knob
+///   restores: materialize both operands' `SplitMatrix` planes, then
+///   pack per tile from the staged planes.
+/// * **fused** — split straight from the raw f32 operands into the
+///   microkernel's packed slivers; no intermediate planes are written
+///   or re-read.
+///
+/// Bit-identity is asserted before any timing claim; the speedup is the
+/// tentpole number for the fused pipeline.
+struct FusedCold {
+    shape: GemmShape,
+    staged_gflops: f64,
+    fused_gflops: f64,
+    /// Split-plane bytes the fused route avoided, per call.
+    bytes_staging_saved_per_call: u64,
+}
+
+fn bench_fused_cold(shape: GemmShape, reps: usize, assert_perf: bool) -> FusedCold {
+    let scheme = EmulationScheme::EgemmTc;
+    let split_scheme = scheme.split_scheme();
+    let a = Matrix::<f32>::random_uniform(shape.m, shape.k, 31);
+    let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 32);
+    let cfg = EngineConfig::default();
+    let rt = EngineRuntime::new(RuntimeConfig {
+        cache_bytes: 0,
+        ..RuntimeConfig::from_env()
+    });
+
+    // Bitwise identity first, outside any timed region.
+    let staged_once = {
+        let sa = SplitMatrix::split_with(&a, split_scheme, SplitKernel::Auto);
+        let sb = SplitMatrix::split_with(&b, split_scheme, SplitKernel::Auto);
+        gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, cfg)
+    };
+    let saved_before = rt.cache_stats().bytes_staging_saved;
+    let fused_once = gemm_blocked_fused_in(&rt, &a, &b, None, scheme, TK, cfg);
+    let saved_per_call = rt.cache_stats().bytes_staging_saved - saved_before;
+    assert_bits_equal("fused_cold", &fused_once, &staged_once);
+
+    let (t_staged, _) = time_reps(
+        || {
+            let sa = SplitMatrix::split_with(&a, split_scheme, SplitKernel::Auto);
+            let sb = SplitMatrix::split_with(&b, split_scheme, SplitKernel::Auto);
+            gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, cfg)
+        },
+        reps,
+    );
+    let (t_fused, _) = time_reps(
+        || gemm_blocked_fused_in(&rt, &a, &b, None, scheme, TK, cfg),
+        reps,
+    );
+
+    let gf = |t: f64| shape.flops() as f64 / t / 1e9;
+    let out = FusedCold {
+        shape,
+        staged_gflops: gf(t_staged),
+        fused_gflops: gf(t_fused),
+        bytes_staging_saved_per_call: saved_per_call,
+    };
+    if assert_perf {
+        assert!(
+            out.fused_gflops >= 1.3 * out.staged_gflops,
+            "fused cold path must be >= 1.3x staged: fused {:.2} vs staged {:.2} GF/s",
+            out.fused_gflops,
+            out.staged_gflops
+        );
+    }
+    out
+}
+
 /// SIMD vs scalar split over one large operand, bit-equality asserted
 /// over all four output planes before timing.
 struct SplitSimd {
@@ -244,6 +318,7 @@ fn main() {
         bench_shape("smoke_square", GemmShape::square(96), 1);
         bench_shape("smoke_skewed", GemmShape::new(16, 192, 160), 1);
         bench_repeat_shared_b(GemmShape::new(16, 256, 256), 1, false);
+        bench_fused_cold(GemmShape::new(16, 224, 192), 1, false);
         bench_split_simd(64, 331, 1, false);
         println!("engine_bench --smoke: all bit-equality assertions passed");
         return;
@@ -281,6 +356,18 @@ fn main() {
         GemmShape::new(64, 4096, 4096)
     };
     let repeat = bench_repeat_shared_b(repeat_shape, reps, !quick);
+    // The fused-vs-staged cold comparison uses the shape where staging
+    // overhead is proportionally largest: the per-call split-plane
+    // traffic scales with (m·k + k·n) while compute scales with m·n·k,
+    // so the staging share goes as 1/n + 1/m — the tall-skinny m = 16
+    // activation shape (one wave of fresh activations against a large
+    // weight matrix) is the regime the fusion exists for.
+    let fused_shape = if quick {
+        GemmShape::new(16, 2048, 2048)
+    } else {
+        GemmShape::new(16, 4096, 4096)
+    };
+    let fused = bench_fused_cold(fused_shape, reps, !quick);
     let (sr, sc) = if quick { (2048, 2048) } else { (4096, 4096) };
     let split = bench_split_simd(sr, sc, reps, !quick);
 
@@ -313,6 +400,17 @@ fn main() {
     );
     println!("{:<16}warm runtime cache: {}", "", repeat.cache);
     println!(
+        "{:<16}{:>8}{:>8}{:>8}{:>14.2}{:>14.2}{:>9.2}x  ({:.1} MiB staging avoided/call)",
+        "fused_cold",
+        fused.shape.m,
+        fused.shape.n,
+        fused.shape.k,
+        fused.staged_gflops,
+        fused.fused_gflops,
+        fused.fused_gflops / fused.staged_gflops,
+        fused.bytes_staging_saved_per_call as f64 / (1024.0 * 1024.0),
+    );
+    println!(
         "{:<16}{:>10} elems{:>14.1}{:>14.1}{:>9.2}x  (Melem/s, simd {})",
         "split_simd",
         split.elements,
@@ -344,7 +442,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "    \"repeat_shared_b\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"cold_gflops\": {:.3}, \"cold_simd_gflops\": {:.3}, \"warm_gflops\": {:.3}, \"warm_over_cold\": {:.3}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"splits\": {}, \"packs\": {}, \"hit_ratio\": {:.4}, \"resident_bytes\": {}}}}},\n",
+        "    \"repeat_shared_b\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"cold_gflops\": {:.3}, \"cold_simd_gflops\": {:.3}, \"warm_gflops\": {:.3}, \"warm_over_cold\": {:.3}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"splits\": {}, \"packs\": {}, \"hit_ratio\": {:.4}, \"resident_bytes\": {}, \"bytes_staging_saved\": {}}}}},\n",
         repeat.shape.m,
         repeat.shape.n,
         repeat.shape.k,
@@ -359,6 +457,17 @@ fn main() {
         repeat.cache.packs,
         repeat.cache.hit_ratio(),
         repeat.cache.bytes,
+        repeat.cache.bytes_staging_saved,
+    ));
+    json.push_str(&format!(
+        "    \"fused_cold\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"staged_gflops\": {:.3}, \"fused_gflops\": {:.3}, \"speedup\": {:.3}, \"bytes_staging_saved_per_call\": {}}},\n",
+        fused.shape.m,
+        fused.shape.n,
+        fused.shape.k,
+        fused.staged_gflops,
+        fused.fused_gflops,
+        fused.fused_gflops / fused.staged_gflops,
+        fused.bytes_staging_saved_per_call,
     ));
     json.push_str(&format!(
         "    \"split_simd\": {{\"elements\": {}, \"scalar_melems_s\": {:.3}, \"simd_melems_s\": {:.3}, \"speedup\": {:.3}, \"simd_available\": {}}}\n",

@@ -1,4 +1,4 @@
-//! Bounded LRU cache of prepared (split + packed) operands.
+//! Bounded LRU cache of prepared (split and/or fused-packed) operands.
 //!
 //! The host engine's per-call costs — the O(N²) hi/lo split and the
 //! panel pack of B — are pure functions of the operand's *contents* and
@@ -6,22 +6,30 @@
 //! typically a long-lived weight matrix, so this cache keys prepared
 //! operands by a 128-bit content fingerprint plus shape, split scheme
 //! and blocking geometry, and hands back [`Arc`]s to the immutable
-//! prepared data. A hit skips the split and the pack entirely; a miss
+//! prepared data. A hit skips the preparation entirely; a miss
 //! (including any mutation of the operand's data, which changes the
 //! fingerprint) recomputes from scratch, so caching can never change an
 //! output bit — it only decides whether the bit-identical preparation
 //! work is reused or redone.
 //!
-//! Concurrency: the map is a mutex-guarded `HashMap` of
-//! [`OnceLock`]-wrapped slots. Racing callers for the same key agree on
-//! one slot under the lock, then exactly one of them runs the expensive
-//! initialization inside `OnceLock::get_or_init` while the others
-//! block on the result — so a batch sharing one B operand splits and
-//! packs it exactly once (asserted by the cache-stats test in
-//! `crates/core/src/batched.rs`).
+//! An entry holds up to two artifacts, each attached lazily behind its
+//! own mutex: the split planes (staged pipeline, A-side reuse) and the
+//! packed B panels. The fused pipeline goes straight from raw f32 to
+//! packed panels ([`get_or_pack_fused`](PanelCache::get_or_pack_fused)),
+//! leaving the split slot empty — a fused entry's resident charge is
+//! the packed panels alone, roughly half what staged split-then-pack
+//! keeps resident, and the split-plane bytes it never materialized are
+//! tallied in [`CacheStats::bytes_staging_saved`].
 //!
-//! Eviction is LRU by total resident bytes (split planes + packed
-//! panels). Evicted entries stay alive for as long as callers hold
+//! Concurrency: the map is a mutex-guarded `HashMap` of slots. Racing
+//! callers for the same key agree on one entry under the map lock, then
+//! exactly one of them runs each expensive initialization while holding
+//! the artifact's mutex and the others block on the result — so a batch
+//! sharing one B operand prepares it exactly once (asserted by the
+//! cache-stats test in `crates/core/src/batched.rs`).
+//!
+//! Eviction is LRU by total resident bytes (whatever artifacts each
+//! entry holds). Evicted entries stay alive for as long as callers hold
 //! their `Arc`s; the cache merely drops its reference.
 
 use crate::split_matrix::SplitMatrix;
@@ -30,7 +38,7 @@ use egemm_fp::SplitScheme;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use super::pack::PackedB;
 
@@ -61,6 +69,10 @@ pub struct CacheStats {
     pub splits: u64,
     /// Full-operand B packs actually executed (not served from cache).
     pub packs: u64,
+    /// Split-plane bytes (12 per element) the fused pipeline avoided
+    /// materializing — staging traffic a staged split-then-pack would
+    /// have written and read back. Monotone.
+    pub bytes_staging_saved: u64,
 }
 
 impl CacheStats {
@@ -82,13 +94,15 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hit / {} miss / {} evict, {} split + {} pack run, {:.1} KiB resident, {:.1}% hit ratio",
+            "{} hit / {} miss / {} evict, {} split + {} pack run, {:.1} KiB resident, \
+             {:.1} KiB staging saved, {:.1}% hit ratio",
             self.hits,
             self.misses,
             self.evictions,
             self.splits,
             self.packs,
             self.bytes as f64 / 1024.0,
+            self.bytes_staging_saved as f64 / 1024.0,
             100.0 * self.hit_ratio()
         )
     }
@@ -145,36 +159,38 @@ pub(crate) struct CacheKey {
     pub scheme: SplitScheme,
 }
 
-/// One prepared operand: the split planes, plus (for B-side use) the
-/// operand's fully packed panels, attached lazily on first B-side use.
+/// One prepared operand: up to two lazily attached artifacts. The
+/// staged pipeline fills `split` (and `packed` for B-side reuse); the
+/// fused pipeline fills only `packed`, going straight from raw f32 to
+/// panel slivers. Each mutex is held across its expensive
+/// initialization so racing callers run it exactly once.
 pub(crate) struct CacheEntry {
-    pub split: Arc<SplitMatrix>,
-    /// Packed panels for B-side reuse, filled on demand. The mutex is
-    /// held across the pack so racing callers pack exactly once.
+    split: Mutex<Option<Arc<SplitMatrix>>>,
     packed: Mutex<Option<Arc<PackedB>>>,
 }
 
 impl CacheEntry {
-    pub(crate) fn new(split: SplitMatrix) -> CacheEntry {
+    fn empty() -> CacheEntry {
         CacheEntry {
-            split: Arc::new(split),
+            split: Mutex::new(None),
             packed: Mutex::new(None),
         }
     }
+}
 
-    /// Bytes of split-plane data this entry holds resident: binary16
-    /// hi/lo (2+2 bytes/element) plus the binary32 widenings (4+4).
-    fn split_bytes(&self) -> usize {
-        12 * self.split.rows() * self.split.cols()
-    }
+/// Resident bytes of split planes for an `rows x cols` operand:
+/// binary16 hi/lo (2+2 bytes/element) plus the binary32 widenings
+/// (4+4). Also the staging traffic a fused pack avoids writing.
+pub(crate) fn split_plane_bytes(rows: usize, cols: usize) -> usize {
+    12 * rows * cols
 }
 
 struct Slot {
-    entry: Arc<OnceLock<Arc<CacheEntry>>>,
+    entry: Arc<CacheEntry>,
     /// LRU stamp, refreshed on every touch.
     last_used: u64,
-    /// Bytes charged against the cache bound for this slot (split
-    /// planes, plus packed panels once attached).
+    /// Bytes charged against the cache bound for this slot (whatever
+    /// artifacts the entry holds: split planes and/or packed panels).
     charged: usize,
 }
 
@@ -191,6 +207,7 @@ pub(crate) struct PanelCache {
     bytes: AtomicU64,
     splits: AtomicU64,
     packs: AtomicU64,
+    staging_saved: AtomicU64,
 }
 
 impl PanelCache {
@@ -205,6 +222,7 @@ impl PanelCache {
             bytes: AtomicU64::new(0),
             splits: AtomicU64::new(0),
             packs: AtomicU64::new(0),
+            staging_saved: AtomicU64::new(0),
         }
     }
 
@@ -216,25 +234,29 @@ impl PanelCache {
             bytes: self.bytes.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
             packs: self.packs.load(Ordering::Relaxed),
+            bytes_staging_saved: self.staging_saved.load(Ordering::Relaxed),
         }
     }
 
-    /// Look up `key`, running `split_fn` (charged to the `splits`
-    /// counter) if no prepared entry exists. Racing callers converge on
-    /// one slot and the split runs exactly once.
-    pub(crate) fn get_or_split(
-        &self,
-        key: CacheKey,
-        split_fn: impl FnOnce() -> SplitMatrix,
-    ) -> Arc<CacheEntry> {
+    /// Tally split-plane bytes the fused pipeline avoided materializing
+    /// outside the cache (per-tile fused packs in the workers).
+    pub(crate) fn note_staging_saved(&self, bytes: u64) {
+        self.staging_saved.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Look up the entry for `key`, counting a hit if the slot already
+    /// existed (including slots whose artifacts are still being
+    /// prepared by a racing caller). With retention disabled
+    /// (`capacity_bytes == 0`) every lookup is a miss on a fresh
+    /// detached entry.
+    pub(crate) fn entry_for_key(&self, key: CacheKey) -> Arc<CacheEntry> {
         if self.capacity_bytes == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            self.splits.fetch_add(1, Ordering::Relaxed);
-            return Arc::new(CacheEntry::new(split_fn()));
+            return Arc::new(CacheEntry::empty());
         }
         let t_lookup = telemetry::span_start();
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let (slot, inserted) = {
+        let (entry, inserted) = {
             let mut map = lock_unpoisoned(&self.map);
             match map.get_mut(&key) {
                 Some(s) => {
@@ -242,16 +264,16 @@ impl PanelCache {
                     (s.entry.clone(), false)
                 }
                 None => {
-                    let cell = Arc::new(OnceLock::new());
+                    let entry = Arc::new(CacheEntry::empty());
                     map.insert(
                         key,
                         Slot {
-                            entry: cell.clone(),
+                            entry: entry.clone(),
                             last_used: stamp,
                             charged: 0,
                         },
                     );
-                    (cell, true)
+                    (entry, true)
                 }
             }
         };
@@ -261,16 +283,32 @@ impl PanelCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         telemetry::span_end(telemetry::Phase::CacheLookup, t_lookup, (!inserted) as u64);
-        let entry = slot
-            .get_or_init(|| {
-                self.splits.fetch_add(1, Ordering::Relaxed);
-                Arc::new(CacheEntry::new(split_fn()))
-            })
-            .clone();
-        if inserted {
-            self.charge(key, entry.split_bytes());
-        }
         entry
+    }
+
+    /// Return the split planes of `entry`, running `split_fn` (charged
+    /// to the `splits` counter) if none exist yet. The entry's split
+    /// mutex is held across the split so racing callers split exactly
+    /// once.
+    pub(crate) fn split_of(
+        &self,
+        key: CacheKey,
+        entry: &CacheEntry,
+        split_fn: impl FnOnce() -> SplitMatrix,
+    ) -> Arc<SplitMatrix> {
+        let mut guard = lock_unpoisoned(&entry.split);
+        if let Some(s) = guard.as_ref() {
+            return s.clone();
+        }
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        let split = Arc::new(split_fn());
+        let bytes = split_plane_bytes(split.rows(), split.cols());
+        *guard = Some(split.clone());
+        drop(guard);
+        if self.capacity_bytes > 0 {
+            self.charge(key, bytes);
+        }
+        split
     }
 
     /// Return the packed panels of `entry`, packing (charged to the
@@ -284,6 +322,43 @@ impl PanelCache {
         kc: usize,
         pack_fn: impl FnOnce() -> PackedB,
     ) -> Arc<PackedB> {
+        self.pack_impl(key, entry, kc, pack_fn, telemetry::Phase::PackB, 0)
+    }
+
+    /// Fused variant of [`get_or_pack`](PanelCache::get_or_pack):
+    /// `pack_fn` goes straight from raw f32 to packed panels, so the
+    /// span is attributed to the `fused_split_pack` phase and the
+    /// split-plane bytes a staged pipeline would have materialized for
+    /// this operand are added to `bytes_staging_saved`. The entry's
+    /// split slot stays empty — packed panels are the only resident
+    /// charge.
+    pub(crate) fn get_or_pack_fused(
+        &self,
+        key: CacheKey,
+        entry: &CacheEntry,
+        kc: usize,
+        pack_fn: impl FnOnce() -> PackedB,
+    ) -> Arc<PackedB> {
+        let saved = split_plane_bytes(key.rows, key.cols) as u64;
+        self.pack_impl(
+            key,
+            entry,
+            kc,
+            pack_fn,
+            telemetry::Phase::FusedSplitPack,
+            saved,
+        )
+    }
+
+    fn pack_impl(
+        &self,
+        key: CacheKey,
+        entry: &CacheEntry,
+        kc: usize,
+        pack_fn: impl FnOnce() -> PackedB,
+        phase: telemetry::Phase,
+        staging_saved: u64,
+    ) -> Arc<PackedB> {
         let t_lookup = telemetry::span_start();
         let mut guard = lock_unpoisoned(&entry.packed);
         if let Some(p) = guard.as_ref() {
@@ -294,10 +369,14 @@ impl PanelCache {
         }
         telemetry::span_end(telemetry::Phase::CacheLookup, t_lookup, 0);
         self.packs.fetch_add(1, Ordering::Relaxed);
+        if staging_saved > 0 {
+            self.staging_saved
+                .fetch_add(staging_saved, Ordering::Relaxed);
+        }
         let t_pack = telemetry::span_start();
         let packed = Arc::new(pack_fn());
         let new_bytes = packed.bytes();
-        telemetry::span_end(telemetry::Phase::PackB, t_pack, new_bytes as u64);
+        telemetry::span_end(phase, t_pack, new_bytes as u64);
         let old_bytes = guard.as_ref().map_or(0, |p| p.bytes());
         *guard = Some(packed.clone());
         drop(guard);
@@ -387,13 +466,23 @@ mod tests {
         assert_eq!(fingerprint(&base), h0);
     }
 
+    /// Staged lookup+split, the shape most tests exercise.
+    fn get_or_split(
+        cache: &PanelCache,
+        key: CacheKey,
+        split_fn: impl FnOnce() -> SplitMatrix,
+    ) -> Arc<SplitMatrix> {
+        let entry = cache.entry_for_key(key);
+        cache.split_of(key, &entry, split_fn)
+    }
+
     #[test]
     fn hit_miss_and_split_counting() {
         let cache = PanelCache::new(usize::MAX);
         let (mat, key) = split_of(8, 8, 1);
-        let e1 = cache.get_or_split(key, || SplitMatrix::split(&mat, SplitScheme::Round));
-        let e2 = cache.get_or_split(key, || panic!("second lookup must not split"));
-        assert!(Arc::ptr_eq(&e1.split, &e2.split));
+        let s1 = get_or_split(&cache, key, || SplitMatrix::split(&mat, SplitScheme::Round));
+        let s2 = get_or_split(&cache, key, || panic!("second lookup must not split"));
+        assert!(Arc::ptr_eq(&s1, &s2));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.splits), (1, 1, 1));
         assert_eq!(s.bytes, 12 * 64);
@@ -404,7 +493,7 @@ mod tests {
         let cache = PanelCache::new(0);
         let (mat, key) = split_of(4, 4, 2);
         for _ in 0..3 {
-            cache.get_or_split(key, || SplitMatrix::split(&mat, SplitScheme::Round));
+            get_or_split(&cache, key, || SplitMatrix::split(&mat, SplitScheme::Round));
         }
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.splits, s.bytes), (0, 3, 3, 0));
@@ -419,18 +508,18 @@ mod tests {
         let (m1, k1) = split_of(8, 8, 3);
         let (m2, k2) = split_of(8, 8, 4);
         let (m3, k3) = split_of(8, 8, 5);
-        cache.get_or_split(k1, || SplitMatrix::split(&m1, SplitScheme::Round));
-        cache.get_or_split(k2, || SplitMatrix::split(&m2, SplitScheme::Round));
+        get_or_split(&cache, k1, || SplitMatrix::split(&m1, SplitScheme::Round));
+        get_or_split(&cache, k2, || SplitMatrix::split(&m2, SplitScheme::Round));
         // Touch k1 so k2 is the LRU victim.
-        cache.get_or_split(k1, || panic!("k1 should be resident"));
-        cache.get_or_split(k3, || SplitMatrix::split(&m3, SplitScheme::Round));
+        get_or_split(&cache, k1, || panic!("k1 should be resident"));
+        get_or_split(&cache, k3, || SplitMatrix::split(&m3, SplitScheme::Round));
         let s = cache.stats();
         assert_eq!(s.evictions, 1);
         assert!(s.bytes <= 2000, "resident {} over bound", s.bytes);
         // k1 survived, k2 was evicted.
-        cache.get_or_split(k1, || panic!("k1 evicted unexpectedly"));
+        get_or_split(&cache, k1, || panic!("k1 evicted unexpectedly"));
         let before = cache.stats().splits;
-        cache.get_or_split(k2, || SplitMatrix::split(&m2, SplitScheme::Round));
+        get_or_split(&cache, k2, || SplitMatrix::split(&m2, SplitScheme::Round));
         assert_eq!(cache.stats().splits, before + 1, "k2 should re-split");
     }
 
@@ -442,16 +531,67 @@ mod tests {
         use egemm_fp::SplitScheme;
         let cache = PanelCache::new(usize::MAX);
         let (mat, key) = split_of(8, 16, 11);
-        let entry = cache.get_or_split(key, || SplitMatrix::split(&mat, SplitScheme::Round));
+        let entry = cache.entry_for_key(key);
+        let split = cache.split_of(key, &entry, || SplitMatrix::split(&mat, SplitScheme::Round));
         let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cache.get_or_pack(key, &entry, 8, || panic!("pack failure"));
         }));
         assert!(poisoned.is_err());
-        let packed = cache.get_or_pack(key, &entry, 8, || PackedB::pack(&entry.split, 8));
+        let packed = cache.get_or_pack(key, &entry, 8, || PackedB::pack(&split, 8));
         assert_eq!(packed.kc(), 8);
         // And a further lookup hits the now-resident pack.
         let again = cache.get_or_pack(key, &entry, 8, || panic!("must be resident"));
         assert!(Arc::ptr_eq(&packed, &again));
+    }
+
+    #[test]
+    fn fused_entries_charge_packed_bytes_only() {
+        // Regression for the resident-bytes accounting under the fused
+        // path: an entry prepared via get_or_pack_fused holds no split
+        // planes, so the counter must equal the packed allocation alone
+        // — after hits it must not grow, and after eviction it must
+        // return exactly to the surviving allocation.
+        use egemm_fp::SplitKernel;
+        let cache = PanelCache::new(3000);
+        let (m1, k1) = split_of(8, 16, 21);
+        let e1 = cache.entry_for_key(k1);
+        let p1 = cache.get_or_pack_fused(k1, &e1, 8, || {
+            PackedB::pack_fused(&m1, SplitScheme::Round, SplitKernel::Scalar, 8)
+        });
+        // 1 panel x 1 strip x 8x16 x 2 planes x 4 bytes — no 12-byte
+        // per-element split residency on top.
+        assert_eq!(p1.bytes(), 2 * 4 * 8 * 16);
+        assert_eq!(cache.stats().bytes, p1.bytes() as u64);
+        assert_eq!(
+            cache.stats().bytes_staging_saved,
+            split_plane_bytes(8, 16) as u64
+        );
+        // A hit reuses the allocation: resident bytes unchanged, no new
+        // staging counted (nothing was packed).
+        let e1b = cache.entry_for_key(k1);
+        let p1b = cache.get_or_pack_fused(k1, &e1b, 8, || panic!("must be resident"));
+        assert!(Arc::ptr_eq(&p1, &p1b));
+        let s = cache.stats();
+        assert_eq!(s.bytes, p1.bytes() as u64);
+        assert_eq!(s.bytes_staging_saved, split_plane_bytes(8, 16) as u64);
+        // Two more entries (1024 B each) push past the 3000-byte bound;
+        // after the eviction the counter matches the surviving
+        // allocations exactly.
+        let (m2, k2) = split_of(8, 16, 22);
+        let e2 = cache.entry_for_key(k2);
+        let p2 = cache.get_or_pack_fused(k2, &e2, 8, || {
+            PackedB::pack_fused(&m2, SplitScheme::Round, SplitKernel::Scalar, 8)
+        });
+        let (m3, k3) = split_of(8, 16, 23);
+        let e3 = cache.entry_for_key(k3);
+        let p3 = cache.get_or_pack_fused(k3, &e3, 8, || {
+            PackedB::pack_fused(&m3, SplitScheme::Round, SplitKernel::Scalar, 8)
+        });
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.bytes, (p2.bytes() + p3.bytes()) as u64);
+        assert_eq!(s.packs, 3);
+        assert_eq!(s.splits, 0, "fused path must never split");
     }
 
     #[test]
@@ -463,10 +603,12 @@ mod tests {
             bytes: 2048,
             splits: 1,
             packs: 1,
+            bytes_staging_saved: 3072,
         };
         let text = s.to_string();
         assert!(text.contains("3 hit"), "{text}");
-        assert!(text.contains("2.0 KiB"), "{text}");
+        assert!(text.contains("2.0 KiB resident"), "{text}");
+        assert!(text.contains("3.0 KiB staging saved"), "{text}");
         assert!(text.contains("75.0% hit ratio"), "{text}");
         // The idle stats line must not divide by zero.
         assert!(CacheStats::default().to_string().contains("0.0% hit ratio"));

@@ -33,10 +33,11 @@ use crate::emulation::{check, EmulationScheme};
 use crate::split_matrix::SplitMatrix;
 use crate::telemetry;
 pub use cache::fingerprint as content_fingerprint;
-use egemm_fp::SplitScheme;
+use cache::split_plane_bytes;
+use egemm_fp::{SplitKernel, SplitScheme};
 use egemm_matrix::Matrix;
 use micro::{load_acc, microkernel, store_acc, PlanePair};
-use pack::{pack_a, pack_b, PackedB, MR, NR};
+use pack::{pack_a, pack_a_fused, pack_b, pack_b_fused, PackedB, MR, NR};
 pub use runtime::{CacheStats, EngineRuntime, PreparedOperand, RuntimeConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -61,6 +62,13 @@ pub struct EngineConfig {
     /// Worker threads; `0` resolves `EGEMM_THREADS`, then
     /// `RAYON_NUM_THREADS`, then the machine's available parallelism.
     pub threads: usize,
+    /// Route the high-level entry points ([`crate::Egemm`], batched,
+    /// split-K) through the staged split-then-pack reference pipeline
+    /// instead of the fused one. The staged pipeline materializes full
+    /// [`SplitMatrix`] planes before packing — twice the staging
+    /// traffic and resident bytes — and exists as the bit-identity
+    /// oracle the fused path is property-tested against.
+    pub staged: bool,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +78,7 @@ impl Default for EngineConfig {
             nc: 256,
             kc: 256,
             threads: 0,
+            staged: false,
         }
     }
 }
@@ -129,9 +138,10 @@ pub fn gemm_blocked_in(
     execute(
         rt,
         &Plan {
-            a,
-            b,
+            a: Operand::Split(a),
+            b: Some(Operand::Split(b)),
             b_pack: None,
+            kernel: rt.split_kernel(),
             rows: None,
             k_lo: 0,
             k_hi: a.cols(),
@@ -142,6 +152,113 @@ pub fn gemm_blocked_in(
         &mut out,
     );
     out
+}
+
+/// Fused blocked emulated GEMM: both operands arrive as raw f32 and are
+/// split into their hi/lo planes *inside* the per-tile pack — no
+/// [`SplitMatrix`] is ever materialized. Bit-identical to
+/// [`gemm_blocked`] over `SplitMatrix::split_with` of the same operands
+/// (the split is elementwise, so fusing it into the pack cannot change
+/// a bit), at a fraction of the cold-path memory traffic. Executes on
+/// the process-wide [`EngineRuntime::global`] pool.
+pub fn gemm_blocked_fused(
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    c: Option<&Matrix<f32>>,
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
+    gemm_blocked_fused_in(EngineRuntime::global(), a, b, c, scheme, tk, cfg)
+}
+
+/// [`gemm_blocked_fused`] on an explicit runtime.
+pub fn gemm_blocked_fused_in(
+    rt: &EngineRuntime,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    c: Option<&Matrix<f32>>,
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
+    check_raw(a, b.rows(), b.cols(), c);
+    assert!(tk > 0, "tk must be positive");
+    rt.note_staging_saved(
+        (split_plane_bytes(a.rows(), a.cols()) + split_plane_bytes(b.rows(), b.cols())) as u64,
+    );
+    let mut out = match c {
+        Some(c0) => c0.clone(),
+        None => Matrix::zeros(a.rows(), b.cols()),
+    };
+    execute(
+        rt,
+        &Plan {
+            a: Operand::Raw(a),
+            b: Some(Operand::Raw(b)),
+            b_pack: None,
+            kernel: rt.split_kernel(),
+            rows: None,
+            k_lo: 0,
+            k_hi: a.cols(),
+            tk,
+            scheme,
+            cfg,
+        },
+        &mut out,
+    );
+    out
+}
+
+/// Fused blocked GEMM over the reduction slice `[k_lo, k_hi)`: the
+/// split-K partial product from raw f32 operands. Chunking restarts at
+/// `k_lo`, and the per-tile fused pack splits exactly the elements of
+/// the slice — bit-identical to [`gemm_blocked_range`] over the staged
+/// splits, including at chunk boundaries. Callers accounting staging
+/// savings should note them once per operand, not per slice.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked_range_fused_in(
+    rt: &EngineRuntime,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    k_lo: usize,
+    k_hi: usize,
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
+    check_raw(a, b.rows(), b.cols(), None);
+    assert!(tk > 0, "tk must be positive");
+    assert!(
+        k_lo <= k_hi && k_hi <= a.cols(),
+        "k range [{k_lo}, {k_hi}) out of bounds"
+    );
+    let mut out = Matrix::<f32>::zeros(a.rows(), b.cols());
+    execute(
+        rt,
+        &Plan {
+            a: Operand::Raw(a),
+            b: Some(Operand::Raw(b)),
+            b_pack: None,
+            kernel: rt.split_kernel(),
+            rows: None,
+            k_lo,
+            k_hi,
+            tk,
+            scheme,
+            cfg,
+        },
+        &mut out,
+    );
+    out
+}
+
+/// Raw-operand shape validation, mirroring [`check`]'s messages.
+fn check_raw(a: &Matrix<f32>, b_rows: usize, b_cols: usize, c: Option<&Matrix<f32>>) {
+    assert_eq!(a.cols(), b_rows, "inner dimensions disagree");
+    if let Some(c0) = c {
+        assert_eq!((c0.rows(), c0.cols()), (a.rows(), b_cols), "C shape");
+    }
 }
 
 /// Split `src` and pack its B panels through `rt`'s cache, for reuse as
@@ -157,6 +274,22 @@ pub fn prepare_b(
 ) -> PreparedOperand {
     assert!(tk > 0, "tk must be positive");
     rt.prepare_b(src, scheme, clamp_kc(cfg.kc, tk))
+}
+
+/// Fused variant of [`prepare_b`]: pack `src`'s B panels straight from
+/// the raw f32 data through `rt`'s cache, never materializing the split
+/// planes. The packed panels are bit-identical to what [`prepare_b`]
+/// produces — only the resident footprint (packed panels alone) and the
+/// staging traffic differ.
+pub fn prepare_b_fused(
+    rt: &EngineRuntime,
+    src: &Matrix<f32>,
+    scheme: SplitScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> PreparedOperand {
+    assert!(tk > 0, "tk must be positive");
+    rt.prepare_b_fused(src, scheme, clamp_kc(cfg.kc, tk))
 }
 
 /// Blocked emulated GEMM whose B operand was prepared by [`prepare_b`]
@@ -176,18 +309,66 @@ pub fn gemm_blocked_prepared(
     tk: usize,
     cfg: EngineConfig,
 ) -> Matrix<f32> {
-    check(a, &b.split, c, scheme);
+    assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+    assert_eq!(a.scheme, scheme.split_scheme(), "A split scheme mismatch");
+    assert_eq!(b.scheme(), scheme.split_scheme(), "B split scheme mismatch");
+    if let Some(c0) = c {
+        assert_eq!((c0.rows(), c0.cols()), (a.rows(), b.cols()), "C shape");
+    }
     assert!(tk > 0, "tk must be positive");
     let mut out = match c {
         Some(c0) => c0.clone(),
-        None => Matrix::zeros(a.rows(), b.split.cols()),
+        None => Matrix::zeros(a.rows(), b.cols()),
     };
     execute(
         rt,
         &Plan {
-            a,
-            b: &b.split,
+            a: Operand::Split(a),
+            b: None,
             b_pack: Some(&b.packed),
+            kernel: rt.split_kernel(),
+            rows: None,
+            k_lo: 0,
+            k_hi: a.cols(),
+            tk,
+            scheme,
+            cfg,
+        },
+        &mut out,
+    );
+    out
+}
+
+/// Fully fused hot path: raw f32 A packed-and-split per tile against a
+/// prepared B (staged or fused — the packed panels are bit-identical
+/// either way). No split matrix is materialized for either operand.
+///
+/// # Panics
+/// Same conditions as [`gemm_blocked_prepared`].
+pub fn gemm_blocked_prepared_fused(
+    rt: &EngineRuntime,
+    a: &Matrix<f32>,
+    b: &PreparedOperand,
+    c: Option<&Matrix<f32>>,
+    scheme: EmulationScheme,
+    tk: usize,
+    cfg: EngineConfig,
+) -> Matrix<f32> {
+    check_raw(a, b.rows(), b.cols(), c);
+    assert_eq!(b.scheme(), scheme.split_scheme(), "B split scheme mismatch");
+    assert!(tk > 0, "tk must be positive");
+    rt.note_staging_saved(split_plane_bytes(a.rows(), a.cols()) as u64);
+    let mut out = match c {
+        Some(c0) => c0.clone(),
+        None => Matrix::zeros(a.rows(), b.cols()),
+    };
+    execute(
+        rt,
+        &Plan {
+            a: Operand::Raw(a),
+            b: None,
+            b_pack: Some(&b.packed),
+            kernel: rt.split_kernel(),
             rows: None,
             k_lo: 0,
             k_hi: a.cols(),
@@ -248,9 +429,10 @@ pub fn gemm_blocked_rows_in(
     execute(
         rt,
         &Plan {
-            a,
-            b,
+            a: Operand::Split(a),
+            b: Some(Operand::Split(b)),
             b_pack: None,
+            kernel: rt.split_kernel(),
             rows: Some(rows),
             k_lo: 0,
             k_hi: a.cols(),
@@ -300,9 +482,10 @@ pub fn gemm_blocked_range_in(
     execute(
         rt,
         &Plan {
-            a,
-            b,
+            a: Operand::Split(a),
+            b: Some(Operand::Split(b)),
             b_pack: None,
+            kernel: rt.split_kernel(),
             rows: None,
             k_lo,
             k_hi,
@@ -315,14 +498,43 @@ pub fn gemm_blocked_range_in(
     out
 }
 
+/// One GEMM operand as the worker sees it: pre-split planes (staged
+/// pipeline) or the raw f32 matrix (fused pipeline — the per-tile pack
+/// splits on the fly).
+#[derive(Clone, Copy)]
+enum Operand<'a> {
+    Split(&'a SplitMatrix),
+    Raw(&'a Matrix<f32>),
+}
+
+impl Operand<'_> {
+    fn rows(&self) -> usize {
+        match self {
+            Operand::Split(s) => s.rows(),
+            Operand::Raw(m) => m.rows(),
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match self {
+            Operand::Split(s) => s.cols(),
+            Operand::Raw(m) => m.cols(),
+        }
+    }
+}
+
 /// One resolved execution: operands, row gather, k slice, chunk depth.
 struct Plan<'a> {
-    a: &'a SplitMatrix,
-    b: &'a SplitMatrix,
+    a: Operand<'a>,
+    /// The B operand; `None` exactly when `b_pack` carries the whole
+    /// operand prepacked.
+    b: Option<Operand<'a>>,
     /// Whole-operand prepacked B panels; when present, workers read
     /// slivers from here instead of packing per tile. Only set for the
     /// full-range (`k_lo == 0`), full-rows path with a matching `kc`.
     b_pack: Option<&'a PackedB>,
+    /// Split kernel for fused per-tile packs of `Raw` operands.
+    kernel: SplitKernel,
     rows: Option<&'a [usize]>,
     k_lo: usize,
     k_hi: usize,
@@ -339,7 +551,11 @@ unsafe impl Sync for SharedOut {}
 
 fn execute(rt: &EngineRuntime, plan: &Plan<'_>, out: &mut Matrix<f32>) {
     let m_out = plan.rows.map_or(plan.a.rows(), <[usize]>::len);
-    let n = plan.b.cols();
+    let (b_rows, n) = match (&plan.b, plan.b_pack) {
+        (Some(b), _) => (b.rows(), b.cols()),
+        (None, Some(p)) => (p.k(), p.n()),
+        (None, None) => unreachable!("plan must carry B or a prepacked B"),
+    };
     debug_assert_eq!((out.rows(), out.cols()), (m_out, n));
     if m_out == 0 || n == 0 || plan.k_lo >= plan.k_hi {
         return; // nothing to accumulate; out already holds C (or zeros)
@@ -354,22 +570,20 @@ fn execute(rt: &EngineRuntime, plan: &Plan<'_>, out: &mut Matrix<f32>) {
     let mc = plan.cfg.mc.max(MR);
     let nc = plan.cfg.nc.div_ceil(NR).max(1) * NR;
     if let Some(p) = plan.b_pack {
-        assert_eq!(
-            (p.k(), p.n()),
-            (plan.b.rows(), plan.b.cols()),
-            "prepacked B shape disagrees with the split operand"
-        );
+        if let Some(b) = &plan.b {
+            assert_eq!(
+                (p.k(), p.n()),
+                (b.rows(), b.cols()),
+                "prepacked B shape disagrees with the split operand"
+            );
+        }
         assert_eq!(
             p.kc(),
             kc,
             "prepacked panel depth disagrees with the blocking in effect"
         );
         assert_eq!(plan.k_lo, 0, "prepacked B requires a full k range");
-        assert_eq!(
-            plan.k_hi,
-            plan.b.rows(),
-            "prepacked B requires a full k range"
-        );
+        assert_eq!(plan.k_hi, b_rows, "prepacked B requires a full k range");
     }
     let tiles_m = m_out.div_ceil(mc);
     let tiles_n = n.div_ceil(nc);
@@ -410,18 +624,37 @@ struct WorkerCtx {
 fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedOut) {
     let terms = plan.scheme.terms();
     let k = plan.a.cols();
+    let split_scheme = plan.scheme.split_scheme();
     let (a_hi_used, a_lo_used) = (terms.iter().any(|t| !t.0), terms.iter().any(|t| t.0));
     let (b_hi_used, b_lo_used) = (terms.iter().any(|t| !t.1), terms.iter().any(|t| t.1));
     // Per-worker pack scratch, reused across tiles and panels. Planes a
-    // scheme never touches stay empty and are never indexed; B scratch
-    // is skipped entirely when the operand arrives prepacked.
+    // scheme never touches stay empty and are never indexed, except that
+    // a fused pack always emits both planes (the split computes them
+    // together; the microkernel still reads only the used ones); B
+    // scratch is skipped entirely when the operand arrives prepacked.
     let prepacked = plan.b_pack.is_some();
+    let fused_a = matches!(plan.a, Operand::Raw(_));
+    let fused_b = matches!(plan.b, Some(Operand::Raw(_)));
     let a_cap = ctx.mc.div_ceil(MR) * MR * ctx.kc;
     let b_cap = ctx.nc.div_ceil(NR) * NR * ctx.kc;
-    let mut a_hi = vec![0f32; if a_hi_used { a_cap } else { 0 }];
-    let mut a_lo = vec![0f32; if a_lo_used { a_cap } else { 0 }];
-    let mut b_hi = vec![0f32; if b_hi_used && !prepacked { b_cap } else { 0 }];
-    let mut b_lo = vec![0f32; if b_lo_used && !prepacked { b_cap } else { 0 }];
+    let mut a_hi = vec![0f32; if a_hi_used || fused_a { a_cap } else { 0 }];
+    let mut a_lo = vec![0f32; if a_lo_used || fused_a { a_cap } else { 0 }];
+    let mut b_hi = vec![
+        0f32;
+        if (b_hi_used || fused_b) && !prepacked {
+            b_cap
+        } else {
+            0
+        }
+    ];
+    let mut b_lo = vec![
+        0f32;
+        if (b_lo_used || fused_b) && !prepacked {
+            b_cap
+        } else {
+            0
+        }
+    ];
     let mut rowbuf: Vec<usize> = Vec::with_capacity(ctx.mc);
 
     // One Worker span covers this thread's whole participation (claim
@@ -456,47 +689,77 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
             let kcb = ctx.kc.min(plan.k_hi - pc);
             let a_len = row_blocks * kcb * MR;
             let b_len = strips * kcb * NR;
-            let t_pack_a = telemetry::span_start();
-            if a_hi_used {
-                pack_a(plan.a.plane(false), k, &rowbuf, pc, kcb, &mut a_hi[..a_len]);
-            }
-            if a_lo_used {
-                pack_a(plan.a.plane(true), k, &rowbuf, pc, kcb, &mut a_lo[..a_len]);
-            }
-            telemetry::span_end(
-                telemetry::Phase::PackA,
-                t_pack_a,
-                4 * (a_len * (a_hi_used as usize + a_lo_used as usize)) as u64,
-            );
-            if !prepacked {
-                let t_pack_b = telemetry::span_start();
-                if b_hi_used {
-                    pack_b(
-                        plan.b.plane(false),
-                        ctx.n,
-                        jc,
-                        ncb,
-                        pc,
-                        kcb,
-                        &mut b_hi[..b_len],
+            match plan.a {
+                Operand::Split(sa) => {
+                    let t_pack_a = telemetry::span_start();
+                    if a_hi_used {
+                        pack_a(sa.plane(false), k, &rowbuf, pc, kcb, &mut a_hi[..a_len]);
+                    }
+                    if a_lo_used {
+                        pack_a(sa.plane(true), k, &rowbuf, pc, kcb, &mut a_lo[..a_len]);
+                    }
+                    telemetry::span_end(
+                        telemetry::Phase::PackA,
+                        t_pack_a,
+                        4 * (a_len * (a_hi_used as usize + a_lo_used as usize)) as u64,
                     );
                 }
-                if b_lo_used {
-                    pack_b(
-                        plan.b.plane(true),
+                Operand::Raw(ra) => {
+                    let t_fused = telemetry::span_start();
+                    pack_a_fused(
+                        ra.as_slice(),
+                        k,
+                        &rowbuf,
+                        pc,
+                        kcb,
+                        split_scheme,
+                        plan.kernel,
+                        &mut a_hi[..a_len],
+                        &mut a_lo[..a_len],
+                    );
+                    telemetry::span_end(
+                        telemetry::Phase::FusedSplitPack,
+                        t_fused,
+                        (4 * 2 * a_len) as u64,
+                    );
+                }
+            }
+            match plan.b {
+                None => {} // prepacked: slivers are read directly below
+                Some(Operand::Split(sb)) => {
+                    let t_pack_b = telemetry::span_start();
+                    if b_hi_used {
+                        pack_b(sb.plane(false), ctx.n, jc, ncb, pc, kcb, &mut b_hi[..b_len]);
+                    }
+                    if b_lo_used {
+                        pack_b(sb.plane(true), ctx.n, jc, ncb, pc, kcb, &mut b_lo[..b_len]);
+                    }
+                    telemetry::span_end(
+                        telemetry::Phase::PackB,
+                        t_pack_b,
+                        4 * (b_len * (b_hi_used as usize + b_lo_used as usize)) as u64,
+                    );
+                }
+                Some(Operand::Raw(rb)) => {
+                    let t_fused = telemetry::span_start();
+                    pack_b_fused(
+                        rb.as_slice(),
                         ctx.n,
                         jc,
                         ncb,
                         pc,
                         kcb,
+                        split_scheme,
+                        plan.kernel,
+                        &mut b_hi[..b_len],
                         &mut b_lo[..b_len],
                     );
+                    telemetry::span_end(
+                        telemetry::Phase::FusedSplitPack,
+                        t_fused,
+                        (4 * 2 * b_len) as u64,
+                    );
                 }
-                telemetry::span_end(
-                    telemetry::Phase::PackB,
-                    t_pack_b,
-                    4 * (b_len * (b_hi_used as usize + b_lo_used as usize)) as u64,
-                );
             }
             let t_tile = telemetry::span_start();
             for sb in 0..strips {
@@ -587,6 +850,7 @@ mod tests {
             nc: 9,
             kc: 7,
             threads: 2,
+            ..Default::default()
         }
     }
 
@@ -773,6 +1037,91 @@ mod tests {
         // Same shapes, different kc (16 vs tight()'s clamped 8).
         let other = EngineConfig { kc: 16, ..tight() };
         gemm_blocked_prepared(&rt, &sa, &pb, None, scheme, 8, other);
+    }
+
+    #[test]
+    fn fused_entry_bit_identical_to_staged() {
+        for scheme in SCHEMES {
+            let a = Matrix::<f32>::random_uniform(11, 29, 61);
+            let b = Matrix::<f32>::random_uniform(29, 13, 63);
+            let sa = SplitMatrix::split(&a, scheme.split_scheme());
+            let sb = SplitMatrix::split(&b, scheme.split_scheme());
+            let c = Matrix::<f32>::random_uniform(11, 13, 65);
+            for tk in [4usize, 8] {
+                let staged = gemm_blocked(&sa, &sb, Some(&c), scheme, tk, tight());
+                let fused = gemm_blocked_fused(&a, &b, Some(&c), scheme, tk, tight());
+                for (x, y) in fused.as_slice().iter().zip(staged.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{scheme:?} tk={tk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_range_restarts_chunking_like_staged() {
+        // Split-K chunk boundaries land identically whether the slice's
+        // operand elements were split ahead of time or on the fly.
+        let scheme = EmulationScheme::EgemmTc;
+        let a = Matrix::<f32>::random_uniform(6, 37, 67);
+        let b = Matrix::<f32>::random_uniform(37, 5, 69);
+        let sa = SplitMatrix::split(&a, scheme.split_scheme());
+        let sb = SplitMatrix::split(&b, scheme.split_scheme());
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads: 2,
+            cache_bytes: 0,
+            ..Default::default()
+        });
+        for (k_lo, k_hi) in [(0usize, 37usize), (13, 30), (8, 8), (5, 37)] {
+            let staged = gemm_blocked_range(&sa, &sb, k_lo, k_hi, scheme, 8, tight());
+            let fused = gemm_blocked_range_fused_in(&rt, &a, &b, k_lo, k_hi, scheme, 8, tight());
+            for (x, y) in fused.as_slice().iter().zip(staged.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "[{k_lo}, {k_hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_prepared_path_bit_identical() {
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        for scheme in SCHEMES {
+            let a = Matrix::<f32>::random_uniform(11, 29, 71);
+            let b = Matrix::<f32>::random_uniform(29, 13, 73);
+            let sa = SplitMatrix::split(&a, scheme.split_scheme());
+            let sb = SplitMatrix::split(&b, scheme.split_scheme());
+            let c = Matrix::<f32>::random_uniform(11, 13, 75);
+            let baseline = gemm_blocked(&sa, &sb, Some(&c), scheme, 8, tight());
+            let pb = prepare_b_fused(&rt, &b, scheme.split_scheme(), 8, tight());
+            assert!(pb.split().is_none(), "fused prepare must not split");
+            let d = gemm_blocked_prepared_fused(&rt, &a, &pb, Some(&c), scheme, 8, tight());
+            for (x, y) in d.as_slice().iter().zip(baseline.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{scheme:?}");
+            }
+            // A staged-prepared B serves the fused A-side path too.
+            let pb_staged = prepare_b(&rt, &b, scheme.split_scheme(), 8, tight());
+            let d2 = gemm_blocked_prepared_fused(&rt, &a, &pb_staged, Some(&c), scheme, 8, tight());
+            for (x, y) in d2.as_slice().iter().zip(baseline.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{scheme:?} staged-prepared");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_entry_tallies_staging_saved() {
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads: 1,
+            cache_bytes: 0,
+            ..Default::default()
+        });
+        let a = Matrix::<f32>::random_uniform(8, 16, 81);
+        let b = Matrix::<f32>::random_uniform(16, 8, 83);
+        gemm_blocked_fused_in(&rt, &a, &b, None, EmulationScheme::EgemmTc, 8, tight());
+        assert_eq!(
+            rt.cache_stats().bytes_staging_saved,
+            (12 * (8 * 16 + 16 * 8)) as u64
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! of A.
 
 use crate::split_matrix::SplitMatrix;
+use egemm_fp::{split_planes_f32, split_planes_f32_strided, SplitKernel, SplitScheme};
 
 /// Microkernel output rows (register tile height).
 pub(crate) const MR: usize = 4;
@@ -86,6 +87,94 @@ pub(crate) fn pack_b(
     }
 }
 
+/// Fused split+pack of A: read raw f32 rows and emit both packed planes
+/// directly — same layout as two [`pack_a`] calls over the planes of a
+/// [`SplitMatrix`], with no split matrix materialized in between. Each
+/// real row is split straight into its column-major sliver lane (stride
+/// `MR`); padded rows are zeroed in both planes. Bit-identity with the
+/// staged pipeline holds because the split is elementwise: splitting
+/// element `(i, p)` then packing it lands the exact bits that splitting
+/// the gathered row in place produces.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_a_fused(
+    src: &[f32],
+    k: usize,
+    rows_idx: &[usize],
+    p0: usize,
+    kcb: usize,
+    scheme: SplitScheme,
+    kernel: SplitKernel,
+    hi: &mut [f32],
+    lo: &mut [f32],
+) {
+    let mcb = rows_idx.len();
+    let row_blocks = mcb.div_ceil(MR);
+    for rb in 0..row_blocks {
+        let hb = &mut hi[rb * kcb * MR..(rb + 1) * kcb * MR];
+        let lb = &mut lo[rb * kcb * MR..(rb + 1) * kcb * MR];
+        for r in 0..MR {
+            let i = rb * MR + r;
+            if i < mcb {
+                let arow = &src[rows_idx[i] * k + p0..rows_idx[i] * k + p0 + kcb];
+                if kcb > 0 {
+                    let end = (kcb - 1) * MR + r + 1;
+                    split_planes_f32_strided(
+                        kernel,
+                        scheme,
+                        arow,
+                        &mut hb[r..end],
+                        &mut lb[r..end],
+                        MR,
+                    );
+                }
+            } else {
+                for kk in 0..kcb {
+                    hb[kk * MR + r] = 0.0;
+                    lb[kk * MR + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Fused split+pack of B: read raw f32 rows and emit both packed planes
+/// directly — same layout as two [`pack_b`] calls over the planes of a
+/// [`SplitMatrix`]. Each row segment is split contiguously into its
+/// strip sliver; padding columns are zeroed in both planes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_b_fused(
+    src: &[f32],
+    n: usize,
+    j0: usize,
+    ncb: usize,
+    p0: usize,
+    kcb: usize,
+    scheme: SplitScheme,
+    kernel: SplitKernel,
+    hi: &mut [f32],
+    lo: &mut [f32],
+) {
+    let strips = ncb.div_ceil(NR);
+    for sb in 0..strips {
+        let hs = &mut hi[sb * kcb * NR..(sb + 1) * kcb * NR];
+        let ls = &mut lo[sb * kcb * NR..(sb + 1) * kcb * NR];
+        let jbase = j0 + sb * NR;
+        let cols = NR.min(ncb - sb * NR);
+        for kk in 0..kcb {
+            let brow = &src[(p0 + kk) * n + jbase..(p0 + kk) * n + jbase + cols];
+            let hd = &mut hs[kk * NR..kk * NR + NR];
+            let ld = &mut ls[kk * NR..kk * NR + NR];
+            split_planes_f32(kernel, scheme, brow, &mut hd[..cols], &mut ld[..cols]);
+            for d in hd[cols..].iter_mut() {
+                *d = 0.0;
+            }
+            for d in ld[cols..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
 /// Both planes of a whole B operand packed once for reuse across calls.
 ///
 /// Layout: `k.div_ceil(kc)` panels, each holding `n.div_ceil(NR)` strips
@@ -144,6 +233,53 @@ impl PackedB {
                 n,
                 pc,
                 kcb,
+                &mut lo[base..base + len],
+            );
+            pc += kcb;
+        }
+        PackedB {
+            n,
+            k,
+            kc,
+            strips,
+            panel_stride,
+            hi,
+            lo,
+        }
+    }
+
+    /// Fused split+pack of a raw operand with panel depth `kc`: produces
+    /// bit-for-bit the [`PackedB::pack`] of `SplitMatrix::split_with(src,
+    /// scheme, kernel)` without ever materializing the split planes.
+    pub(crate) fn pack_fused(
+        src: &egemm_matrix::Matrix<f32>,
+        scheme: SplitScheme,
+        kernel: SplitKernel,
+        kc: usize,
+    ) -> PackedB {
+        assert!(kc >= 1, "panel depth must be positive");
+        let k = src.rows();
+        let n = src.cols();
+        let strips = n.div_ceil(NR);
+        let panels = k.div_ceil(kc);
+        let panel_stride = strips * kc * NR;
+        let mut hi = vec![0f32; panels * panel_stride];
+        let mut lo = vec![0f32; panels * panel_stride];
+        let mut pc = 0usize;
+        while pc < k {
+            let kcb = kc.min(k - pc);
+            let base = (pc / kc) * panel_stride;
+            let len = strips * kcb * NR;
+            pack_b_fused(
+                src.as_slice(),
+                n,
+                0,
+                n,
+                pc,
+                kcb,
+                scheme,
+                kernel,
+                &mut hi[base..base + len],
                 &mut lo[base..base + len],
             );
             pc += kcb;
@@ -282,6 +418,111 @@ mod tests {
                     assert_eq!(got, want, "lo={lo_plane} pc={pc} sb={sb}");
                 }
                 pc += kcb;
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_fused_bit_identical_to_staged() {
+        // Ragged everything: 7 rows (MR padding), gathered out of order,
+        // panel offset 2, depth 5. Fused output must equal pack_a over
+        // each plane of the staged split, for both kernels and schemes.
+        let k = 9;
+        let src = Matrix::<f32>::random_uniform(11, k, 7);
+        let split_src: Vec<usize> = vec![10, 3, 0, 7, 1, 4, 9];
+        let (p0, kcb) = (2usize, 5usize);
+        let blocks = split_src.len().div_ceil(MR);
+        for scheme in [SplitScheme::Round, SplitScheme::Truncate] {
+            for kernel in [egemm_fp::SplitKernel::Scalar, egemm_fp::SplitKernel::Auto] {
+                let split = SplitMatrix::split_with(&src, scheme, kernel);
+                let mut want_hi = vec![-1.0f32; blocks * kcb * MR];
+                let mut want_lo = vec![-1.0f32; blocks * kcb * MR];
+                pack_a(split.plane(false), k, &split_src, p0, kcb, &mut want_hi);
+                pack_a(split.plane(true), k, &split_src, p0, kcb, &mut want_lo);
+                let mut hi = vec![-1.0f32; blocks * kcb * MR];
+                let mut lo = vec![-1.0f32; blocks * kcb * MR];
+                pack_a_fused(
+                    src.as_slice(),
+                    k,
+                    &split_src,
+                    p0,
+                    kcb,
+                    scheme,
+                    kernel,
+                    &mut hi,
+                    &mut lo,
+                );
+                assert_eq!(
+                    (hi, lo),
+                    (want_hi, want_lo),
+                    "scheme={scheme:?} kernel={kernel:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_fused_bit_identical_to_staged() {
+        // Column range spans a full strip plus a ragged one; panel
+        // offset 1 of depth 3 inside a k=6 operand.
+        let n = 21;
+        let src = Matrix::<f32>::random_uniform(6, n, 13);
+        let (j0, ncb, p0, kcb) = (0usize, n, 1usize, 3usize);
+        let strips = ncb.div_ceil(NR);
+        for scheme in [SplitScheme::Round, SplitScheme::Truncate] {
+            for kernel in [egemm_fp::SplitKernel::Scalar, egemm_fp::SplitKernel::Auto] {
+                let split = SplitMatrix::split_with(&src, scheme, kernel);
+                let mut want_hi = vec![-1.0f32; strips * kcb * NR];
+                let mut want_lo = vec![-1.0f32; strips * kcb * NR];
+                pack_b(split.plane(false), n, j0, ncb, p0, kcb, &mut want_hi);
+                pack_b(split.plane(true), n, j0, ncb, p0, kcb, &mut want_lo);
+                let mut hi = vec![-1.0f32; strips * kcb * NR];
+                let mut lo = vec![-1.0f32; strips * kcb * NR];
+                pack_b_fused(
+                    src.as_slice(),
+                    n,
+                    j0,
+                    ncb,
+                    p0,
+                    kcb,
+                    scheme,
+                    kernel,
+                    &mut hi,
+                    &mut lo,
+                );
+                assert_eq!(
+                    (hi, lo),
+                    (want_hi, want_lo),
+                    "scheme={scheme:?} kernel={kernel:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_b_fused_bit_identical_to_staged() {
+        // Same ragged shape as the sliver test: final panel depth 7,
+        // final strip ragged. The fused whole-operand pack must be
+        // byte-for-byte the staged split-then-pack.
+        let (k, n, kc) = (23usize, 37usize, 8usize);
+        let src = Matrix::<f32>::random_uniform(k, n, 42);
+        for scheme in [SplitScheme::Round, SplitScheme::Truncate] {
+            for kernel in [egemm_fp::SplitKernel::Scalar, egemm_fp::SplitKernel::Auto] {
+                let split = SplitMatrix::split_with(&src, scheme, kernel);
+                let staged = PackedB::pack(&split, kc);
+                let fused = PackedB::pack_fused(&src, scheme, kernel, kc);
+                assert_eq!(
+                    fused.hi, staged.hi,
+                    "hi scheme={scheme:?} kernel={kernel:?}"
+                );
+                assert_eq!(
+                    fused.lo, staged.lo,
+                    "lo scheme={scheme:?} kernel={kernel:?}"
+                );
+                assert_eq!(
+                    (fused.k(), fused.n(), fused.kc(), fused.bytes()),
+                    (staged.k(), staged.n(), staged.kc(), staged.bytes())
+                );
             }
         }
     }

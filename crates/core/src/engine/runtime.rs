@@ -25,7 +25,7 @@
 //! thread that executes it), and the cache only decides whether
 //! bit-identical preparation work is reused or redone.
 
-use super::cache::{fingerprint, lock_unpoisoned, CacheEntry, CacheKey, PanelCache};
+use super::cache::{fingerprint, lock_unpoisoned, CacheKey, PanelCache};
 use super::pack::PackedB;
 use crate::split_matrix::SplitMatrix;
 use crate::telemetry;
@@ -36,6 +36,16 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError, TryLockError};
 
 pub use super::cache::CacheStats;
+
+/// Cache key of `src` under `scheme`: content fingerprint + shape.
+fn key_of(src: &Matrix<f32>, scheme: SplitScheme) -> CacheKey {
+    CacheKey {
+        fp: fingerprint(src.as_slice()),
+        rows: src.rows(),
+        cols: src.cols(),
+        scheme,
+    }
+}
 
 /// Wait on a condvar, recovering the guard if another holder panicked
 /// (see [`lock_unpoisoned`] for why the data stays consistent).
@@ -137,20 +147,26 @@ impl RuntimeConfig {
     }
 }
 
-/// A split (and, for B-side operands, packed) matrix handed back by
+/// A packed (and, on the staged pipeline, split) matrix handed back by
 /// [`crate::Egemm::prepare`] for zero-lookup reuse across calls. The
 /// handle pins its data: it stays valid even after cache eviction.
+///
+/// The fused pipeline prepares the packed panels straight from the raw
+/// f32 operand, so `split` is `None` there — the handle pins roughly
+/// half the bytes a staged preparation would.
 #[derive(Clone)]
 pub struct PreparedOperand {
-    pub(crate) split: Arc<SplitMatrix>,
+    pub(crate) split: Option<Arc<SplitMatrix>>,
     pub(crate) packed: Arc<PackedB>,
     pub(crate) scheme: SplitScheme,
 }
 
 impl PreparedOperand {
-    /// The split planes (shared with the cache).
-    pub fn split(&self) -> &SplitMatrix {
-        &self.split
+    /// The split planes (shared with the cache), if the operand was
+    /// prepared through the staged pipeline. Fused preparations never
+    /// materialize them.
+    pub fn split(&self) -> Option<&SplitMatrix> {
+        self.split.as_deref()
     }
 
     /// The split scheme the operand was prepared with.
@@ -158,18 +174,31 @@ impl PreparedOperand {
         self.scheme
     }
 
-    /// Resident bytes this handle pins (split planes + packed panels).
+    /// Reduction depth (B rows) of the prepared operand.
+    pub fn rows(&self) -> usize {
+        self.packed.k()
+    }
+
+    /// Output columns (B columns) of the prepared operand.
+    pub fn cols(&self) -> usize {
+        self.packed.n()
+    }
+
+    /// Resident bytes this handle pins (packed panels, plus split
+    /// planes when staged).
     pub fn bytes(&self) -> usize {
-        12 * self.split.rows() * self.split.cols() + self.packed.bytes()
+        let split = self.split.as_ref().map_or(0, |s| 12 * s.rows() * s.cols());
+        split + self.packed.bytes()
     }
 }
 
 impl std::fmt::Debug for PreparedOperand {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PreparedOperand")
-            .field("rows", &self.split.rows())
-            .field("cols", &self.split.cols())
+            .field("rows", &self.rows())
+            .field("cols", &self.cols())
             .field("scheme", &self.scheme)
+            .field("fused", &self.split.is_none())
             .field("bytes", &self.bytes())
             .finish()
     }
@@ -236,44 +265,63 @@ impl EngineRuntime {
     /// Split `src` through the cache: a content-fingerprint hit returns
     /// the resident planes without touching the O(N²) split.
     pub(crate) fn split_cached(&self, src: &Matrix<f32>, scheme: SplitScheme) -> Arc<SplitMatrix> {
-        let key = CacheKey {
-            fp: fingerprint(src.as_slice()),
-            rows: src.rows(),
-            cols: src.cols(),
-            scheme,
-        };
-        self.entry_for(key, src, scheme).split.clone()
+        let key = key_of(src, scheme);
+        let entry = self.cache.entry_for_key(key);
+        self.cache.split_of(key, &entry, || {
+            SplitMatrix::split_with(src, scheme, self.split_kernel)
+        })
     }
 
     /// Split `src` and pack its B panels for blocking depth `kc`
-    /// (already clamped to the chunk grid), both through the cache.
+    /// (already clamped to the chunk grid), both through the cache —
+    /// the staged reference pipeline.
     pub(crate) fn prepare_b(
         &self,
         src: &Matrix<f32>,
         scheme: SplitScheme,
         kc: usize,
     ) -> PreparedOperand {
-        let key = CacheKey {
-            fp: fingerprint(src.as_slice()),
-            rows: src.rows(),
-            cols: src.cols(),
-            scheme,
-        };
-        let entry = self.entry_for(key, src, scheme);
+        let key = key_of(src, scheme);
+        let entry = self.cache.entry_for_key(key);
+        let split = self.cache.split_of(key, &entry, || {
+            SplitMatrix::split_with(src, scheme, self.split_kernel)
+        });
         let packed = self
             .cache
-            .get_or_pack(key, &entry, kc, || PackedB::pack(&entry.split, kc));
+            .get_or_pack(key, &entry, kc, || PackedB::pack(&split, kc));
         PreparedOperand {
-            split: entry.split.clone(),
+            split: Some(split),
             packed,
             scheme,
         }
     }
 
-    fn entry_for(&self, key: CacheKey, src: &Matrix<f32>, scheme: SplitScheme) -> Arc<CacheEntry> {
-        self.cache.get_or_split(key, || {
-            SplitMatrix::split_with(src, scheme, self.split_kernel)
-        })
+    /// Pack `src`'s B panels straight from the raw f32 data for
+    /// blocking depth `kc`, through the cache, never materializing the
+    /// split planes. Bit-identical to [`prepare_b`](Self::prepare_b) at
+    /// half the resident bytes.
+    pub(crate) fn prepare_b_fused(
+        &self,
+        src: &Matrix<f32>,
+        scheme: SplitScheme,
+        kc: usize,
+    ) -> PreparedOperand {
+        let key = key_of(src, scheme);
+        let entry = self.cache.entry_for_key(key);
+        let packed = self.cache.get_or_pack_fused(key, &entry, kc, || {
+            PackedB::pack_fused(src, scheme, self.split_kernel, kc)
+        });
+        PreparedOperand {
+            split: None,
+            packed,
+            scheme,
+        }
+    }
+
+    /// Tally split-plane bytes the fused path avoided materializing
+    /// outside the cache (per-tile fused packs inside the workers).
+    pub(crate) fn note_staging_saved(&self, bytes: u64) {
+        self.cache.note_staging_saved(bytes);
     }
 
     /// Run `f` on `workers` threads: the caller plus `workers - 1` pool

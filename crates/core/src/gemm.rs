@@ -118,18 +118,33 @@ impl Egemm {
         window.map(|(t0, c0)| GemmReport::collect(label, t0, c0, self.runtime.cache_stats()))
     }
 
-    /// Split and pack `b` for reuse as the right-hand operand of
-    /// [`Egemm::gemm_prepared`]. Both the O(N²) split and the panel pack
-    /// run at most once per distinct content; the handle afterwards
-    /// skips even the cache lookup (and survives cache eviction).
+    /// Pack `b` for reuse as the right-hand operand of
+    /// [`Egemm::gemm_prepared`]. The preparation runs at most once per
+    /// distinct content; the handle afterwards skips even the cache
+    /// lookup (and survives cache eviction). On the default fused
+    /// pipeline the panels are packed straight from the raw f32 data —
+    /// no split matrix is materialized; set
+    /// [`crate::EngineConfig::staged`] to route through the staged
+    /// split-then-pack reference instead (bit-identical panels, twice
+    /// the staging traffic and residency).
     pub fn prepare(&self, b: &Matrix<f32>) -> PreparedOperand {
-        engine::prepare_b(
-            &self.runtime,
-            b,
-            self.scheme.split_scheme(),
-            TilingConfig::TC.k,
-            self.opts.engine,
-        )
+        if self.opts.engine.staged {
+            engine::prepare_b(
+                &self.runtime,
+                b,
+                self.scheme.split_scheme(),
+                TilingConfig::TC.k,
+                self.opts.engine,
+            )
+        } else {
+            engine::prepare_b_fused(
+                &self.runtime,
+                b,
+                self.scheme.split_scheme(),
+                TilingConfig::TC.k,
+                self.opts.engine,
+            )
+        }
     }
 
     /// `D = A·B (+ C)` with a prepared B operand: bit-identical to
@@ -150,19 +165,31 @@ impl Egemm {
             self.scheme.split_scheme(),
             "operand was prepared under a different split scheme"
         );
-        assert_eq!(a.cols(), b.split().rows(), "inner dimensions disagree");
-        let shape = GemmShape::new(a.rows(), b.split().cols(), a.cols());
+        assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+        let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
         let window = self.trace_begin();
-        let sa = self.runtime.split_cached(a, self.scheme.split_scheme());
-        let d = engine::gemm_blocked_prepared(
-            &self.runtime,
-            &sa,
-            b,
-            c,
-            self.scheme,
-            TilingConfig::TC.k,
-            self.opts.engine,
-        );
+        let d = if self.opts.engine.staged {
+            let sa = self.runtime.split_cached(a, self.scheme.split_scheme());
+            engine::gemm_blocked_prepared(
+                &self.runtime,
+                &sa,
+                b,
+                c,
+                self.scheme,
+                TilingConfig::TC.k,
+                self.opts.engine,
+            )
+        } else {
+            engine::gemm_blocked_prepared_fused(
+                &self.runtime,
+                a,
+                b,
+                c,
+                self.scheme,
+                TilingConfig::TC.k,
+                self.opts.engine,
+            )
+        };
         let report = self.trace_end(
             window,
             format!("gemm_prepared {}x{}x{}", shape.m, shape.n, shape.k),
@@ -190,29 +217,52 @@ impl Egemm {
         assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
         let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
         let window = self.trace_begin();
-        // CUDA-core phase: O(N^2) data split (§3.2), through the
-        // runtime's prepared-operand cache — a content hit on either
-        // operand skips its split (and B's pack) entirely.
+        // CUDA-core phase analogue: operand preparation through the
+        // runtime's prepared-operand cache — a content hit on B skips
+        // its pack entirely. The default fused pipeline packs B straight
+        // from the raw f32 data and splits A per tile inside the
+        // workers' pack; the staged knob restores the §3.2-literal
+        // O(N^2) up-front split of both operands (the bit-identity
+        // reference).
         let scheme = self.scheme.split_scheme();
-        let sa = self.runtime.split_cached(a, scheme);
-        let pb = engine::prepare_b(
-            &self.runtime,
-            b,
-            scheme,
-            TilingConfig::TC.k,
-            self.opts.engine,
-        );
-        // Tensor-core phase: O(N^3) tiled emulated GEMM on the blocked
-        // engine, with this instance's blocking/threading config.
-        let d = engine::gemm_blocked_prepared(
-            &self.runtime,
-            &sa,
-            &pb,
-            c,
-            self.scheme,
-            TilingConfig::TC.k,
-            self.opts.engine,
-        );
+        let d = if self.opts.engine.staged {
+            let sa = self.runtime.split_cached(a, scheme);
+            let pb = engine::prepare_b(
+                &self.runtime,
+                b,
+                scheme,
+                TilingConfig::TC.k,
+                self.opts.engine,
+            );
+            // Tensor-core phase: O(N^3) tiled emulated GEMM on the
+            // blocked engine, with this instance's blocking config.
+            engine::gemm_blocked_prepared(
+                &self.runtime,
+                &sa,
+                &pb,
+                c,
+                self.scheme,
+                TilingConfig::TC.k,
+                self.opts.engine,
+            )
+        } else {
+            let pb = engine::prepare_b_fused(
+                &self.runtime,
+                b,
+                scheme,
+                TilingConfig::TC.k,
+                self.opts.engine,
+            );
+            engine::gemm_blocked_prepared_fused(
+                &self.runtime,
+                a,
+                &pb,
+                c,
+                self.scheme,
+                TilingConfig::TC.k,
+                self.opts.engine,
+            )
+        };
         let report = self.trace_end(window, format!("gemm {}x{}x{}", shape.m, shape.n, shape.k));
         let timing = self.time(shape);
         GemmOutput {

@@ -61,9 +61,11 @@ pub use emulation::{
     emulated_gemm, emulated_gemm_entrywise, emulated_gemm_rows, emulated_gemm_tk, EmulationScheme,
 };
 pub use engine::{
-    content_fingerprint, gemm_blocked, gemm_blocked_in, gemm_blocked_prepared, gemm_blocked_range,
-    gemm_blocked_range_in, gemm_blocked_rows, gemm_blocked_rows_in, prepare_b, CacheStats,
-    EngineConfig, EngineRuntime, PreparedOperand, RuntimeConfig,
+    content_fingerprint, gemm_blocked, gemm_blocked_fused, gemm_blocked_fused_in, gemm_blocked_in,
+    gemm_blocked_prepared, gemm_blocked_prepared_fused, gemm_blocked_range,
+    gemm_blocked_range_fused_in, gemm_blocked_range_in, gemm_blocked_rows, gemm_blocked_rows_in,
+    prepare_b, prepare_b_fused, CacheStats, EngineConfig, EngineRuntime, PreparedOperand,
+    RuntimeConfig,
 };
 pub use errbound::{crossover_k, dot_error_bound};
 pub use gemm::{Egemm, GemmOutput, KernelOpts};

@@ -76,14 +76,7 @@ impl Egemm {
         };
         assert!(s >= 1 && s <= shape.k, "slice count out of range");
         let window = self.trace_begin();
-        // Operand splits go through the runtime cache: repeated split-K
-        // calls over the same data (or operands shared with the fused
-        // path) skip the O(N²) split. The per-slice engine runs can't
-        // use a prepacked B — their k grids start mid-operand — so only
-        // the split planes are shared.
         let rt = self.runtime();
-        let sa = rt.split_cached(a, self.scheme.split_scheme());
-        let sb = rt.split_cached(b, self.scheme.split_scheme());
 
         // Slice boundaries: contiguous, ascending, sizes within 1.
         let bounds: Vec<(usize, usize)> = (0..s)
@@ -95,23 +88,51 @@ impl Egemm {
             .collect();
         // Partials, computed in parallel over slices; each slice runs the
         // blocked engine over its k range (chunking restarts at the slice
-        // start, like a fused kernel over the slice alone).
+        // start, like a fused kernel over the slice alone). Neither path
+        // can use a prepacked B — the per-slice k grids start mid-operand.
         let tk = TilingConfig::TC.k;
-        let partials: Vec<Matrix<f32>> = bounds
-            .par_iter()
-            .map(|&(lo, hi)| {
-                engine::gemm_blocked_range_in(
-                    rt,
-                    &sa,
-                    &sb,
-                    lo,
-                    hi,
-                    self.scheme,
-                    tk,
-                    self.opts.engine,
-                )
-            })
-            .collect();
+        let partials: Vec<Matrix<f32>> = if self.opts.engine.staged {
+            // Staged reference: split both operands up front through the
+            // runtime cache, then stream the staged planes per slice.
+            let sa = rt.split_cached(a, self.scheme.split_scheme());
+            let sb = rt.split_cached(b, self.scheme.split_scheme());
+            bounds
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    engine::gemm_blocked_range_in(
+                        rt,
+                        &sa,
+                        &sb,
+                        lo,
+                        hi,
+                        self.scheme,
+                        tk,
+                        self.opts.engine,
+                    )
+                })
+                .collect()
+        } else {
+            // Fused: every slice splits straight from the raw operands
+            // into packed slivers, so no whole-operand split planes are
+            // ever materialized — note the avoided staging once for the
+            // pair (12 bytes per element of resident SplitMatrix).
+            rt.note_staging_saved((12 * (a.rows() * a.cols() + b.rows() * b.cols())) as u64);
+            bounds
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    engine::gemm_blocked_range_fused_in(
+                        rt,
+                        a,
+                        b,
+                        lo,
+                        hi,
+                        self.scheme,
+                        tk,
+                        self.opts.engine,
+                    )
+                })
+                .collect()
+        };
         // Ascending-slice reduction, in f32 like the device's epilogue.
         let mut d = Matrix::<f32>::zeros(shape.m, shape.n);
         for p in &partials {

@@ -113,14 +113,15 @@ impl GemmReport {
         }
         s.push_str("},\"cache\":{");
         s.push_str(&format!(
-            "\"hits\":{},\"misses\":{},\"evictions\":{},\"splits\":{},\"packs\":{},\"hit_ratio\":{:.4},\"resident_bytes\":{}",
+            "\"hits\":{},\"misses\":{},\"evictions\":{},\"splits\":{},\"packs\":{},\"hit_ratio\":{:.4},\"resident_bytes\":{},\"bytes_staging_saved\":{}",
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
             self.cache.splits,
             self.cache.packs,
             self.cache.hit_ratio(),
-            self.cache.bytes
+            self.cache.bytes,
+            self.cache.bytes_staging_saved
         ));
         s.push_str("},\"workers\":[");
         for (i, w) in self.workers.iter().enumerate() {
@@ -143,11 +144,17 @@ impl GemmReport {
     /// or <https://ui.perfetto.dev>. Each recording thread becomes one
     /// named track (`pid` 1, `tid` = worker id); every span is a
     /// complete (`"ph":"X"`) event with microsecond `ts`/`dur` and its
-    /// detail word under `args`.
+    /// detail word under `args`. A counter (`"ph":"C"`) track records
+    /// the staging bytes the fused split-and-pack pipeline avoided
+    /// during the call.
     pub fn chrome_trace(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        let mut first = true;
+        s.push_str(&format!(
+            "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"bytes_staging_saved\",\"ts\":0,\"args\":{{\"bytes_staging_saved\":{}}}}}",
+            self.cache.bytes_staging_saved
+        ));
+        let mut first = false;
         for lane in &self.lanes {
             if lane.events.is_empty() {
                 continue;
@@ -243,6 +250,10 @@ mod tests {
         assert!(t.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
         assert!(t.contains("\"ph\":\"M\""), "{t}");
         assert!(t.contains("\"ph\":\"X\""), "{t}");
+        assert!(
+            t.contains("\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"bytes_staging_saved\""),
+            "{t}"
+        );
         assert!(t.contains("\"tid\":3"), "{t}");
         assert!(t.contains("\"name\":\"tile\""), "{t}");
         assert!(t.ends_with("]}"));

@@ -100,11 +100,16 @@ pub enum Phase {
     /// One worker's whole participation in one call (detail: tiles
     /// claimed).
     Worker = 7,
+    /// Fused split+pack of a raw operand directly into panel slivers —
+    /// per-tile in the worker or whole-operand through the cache
+    /// (detail: bytes packed). Replaces a Split followed by a
+    /// PackA/PackB on the fused path.
+    FusedSplitPack = 8,
 }
 
 impl Phase {
     /// Number of phases (array-aggregation bound).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every phase, in discriminant order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -116,6 +121,7 @@ impl Phase {
         Phase::Dispatch,
         Phase::Park,
         Phase::Worker,
+        Phase::FusedSplitPack,
     ];
 
     /// Stable lowercase name used by every exporter.
@@ -129,6 +135,7 @@ impl Phase {
             Phase::Dispatch => "dispatch",
             Phase::Park => "park",
             Phase::Worker => "worker",
+            Phase::FusedSplitPack => "fused_split_pack",
         }
     }
 

@@ -22,7 +22,8 @@ pub struct GemmReport {
     pub phase_ns: [u64; Phase::COUNT],
     /// Span count per [`Phase`].
     pub phase_counts: [u64; Phase::COUNT],
-    /// Bytes written into packed panels (pack-A + pack-B span details).
+    /// Bytes written into packed panels (pack-A + pack-B +
+    /// fused-split-pack span details).
     pub bytes_packed: u64,
     /// Cache counter deltas over the call (`bytes` is the resident
     /// total after the call, not a delta).
@@ -78,7 +79,9 @@ impl GemmReport {
                 phase_ns[i] += ev.dur_ns;
                 phase_counts[i] += 1;
                 match ev.phase {
-                    Phase::PackA | Phase::PackB => bytes_packed += ev.detail,
+                    Phase::PackA | Phase::PackB | Phase::FusedSplitPack => {
+                        bytes_packed += ev.detail
+                    }
                     Phase::Worker => {
                         tiles += ev.detail;
                         busy_ns += ev.dur_ns;
@@ -120,6 +123,8 @@ impl GemmReport {
                 bytes: cache_after.bytes,
                 splits: cache_after.splits - cache_before.splits,
                 packs: cache_after.packs - cache_before.packs,
+                bytes_staging_saved: cache_after.bytes_staging_saved
+                    - cache_before.bytes_staging_saved,
             },
             workers,
             imbalance,

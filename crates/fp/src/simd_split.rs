@@ -118,6 +118,100 @@ pub fn split_planes_scalar(
     }
 }
 
+/// Split `xs` into only the binary32 widened planes — the pair the GEMM
+/// microkernel actually reads. This is the fused split+pack primitive:
+/// packing routines call it on raw operand rows to emit term slivers
+/// directly, skipping the binary16 encodings (and the whole
+/// `SplitMatrix` staging buffer) that [`split_planes`] materializes.
+///
+/// Bit-identical to the `hi_f32`/`lo_f32` planes of [`split_planes`] on
+/// the same input, regardless of `kernel` or CPU features: the split is
+/// elementwise, so which segment of an operand a call covers can never
+/// change a lane's result.
+pub fn split_planes_f32(
+    kernel: SplitKernel,
+    scheme: SplitScheme,
+    xs: &[f32],
+    hi_f32: &mut [f32],
+    lo_f32: &mut [f32],
+) {
+    assert_eq!(xs.len(), hi_f32.len(), "hi_f32 plane length mismatch");
+    assert_eq!(xs.len(), lo_f32.len(), "lo_f32 plane length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if kernel == SplitKernel::Auto && simd_split_available() {
+        SIMD_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: AVX2 + F16C support just verified.
+        unsafe { x86::split_planes_f32_f16c(scheme, xs, hi_f32, lo_f32) };
+        return;
+    }
+    let _ = kernel;
+    SCALAR_CALLS.fetch_add(1, Ordering::Relaxed);
+    split_planes_f32_scalar(scheme, xs, hi_f32, lo_f32);
+}
+
+/// Scalar reference for [`split_planes_f32`].
+pub fn split_planes_f32_scalar(
+    scheme: SplitScheme,
+    xs: &[f32],
+    hi_f32: &mut [f32],
+    lo_f32: &mut [f32],
+) {
+    for (i, &x) in xs.iter().enumerate() {
+        let s = scheme.split(x);
+        hi_f32[i] = s.hi.to_f32();
+        lo_f32[i] = s.lo.to_f32();
+    }
+}
+
+/// [`split_planes_f32`] with a scatter stride: element `i` of `xs` lands
+/// at `hi_f32[i * stride]` / `lo_f32[i * stride]`. This writes the
+/// column-major `kcb x MR` A slivers the microkernel consumes (one call
+/// per register-tile row, `stride = MR`) without a transpose pass.
+///
+/// The output slices must each hold at least `(xs.len() - 1) * stride + 1`
+/// elements; positions between the written lanes are left untouched.
+pub fn split_planes_f32_strided(
+    kernel: SplitKernel,
+    scheme: SplitScheme,
+    xs: &[f32],
+    hi_f32: &mut [f32],
+    lo_f32: &mut [f32],
+    stride: usize,
+) {
+    assert!(stride >= 1, "stride must be positive");
+    if xs.is_empty() {
+        return;
+    }
+    let need = (xs.len() - 1) * stride + 1;
+    assert!(hi_f32.len() >= need, "hi_f32 plane length mismatch");
+    assert!(lo_f32.len() >= need, "lo_f32 plane length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if kernel == SplitKernel::Auto && simd_split_available() {
+        SIMD_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: AVX2 + F16C support just verified.
+        unsafe { x86::split_planes_f32_strided_f16c(scheme, xs, hi_f32, lo_f32, stride) };
+        return;
+    }
+    let _ = kernel;
+    SCALAR_CALLS.fetch_add(1, Ordering::Relaxed);
+    split_planes_f32_strided_scalar(scheme, xs, hi_f32, lo_f32, stride);
+}
+
+/// Scalar reference for [`split_planes_f32_strided`].
+pub fn split_planes_f32_strided_scalar(
+    scheme: SplitScheme,
+    xs: &[f32],
+    hi_f32: &mut [f32],
+    lo_f32: &mut [f32],
+    stride: usize,
+) {
+    for (i, &x) in xs.iter().enumerate() {
+        let s = scheme.split(x);
+        hi_f32[i * stride] = s.hi.to_f32();
+        lo_f32[i * stride] = s.lo.to_f32();
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     use super::*;
@@ -196,6 +290,110 @@ mod x86 {
             _mm_storeu_si128(lo.as_mut_ptr().add(i) as *mut __m128i, l_bits);
             _mm256_storeu_ps(hi_f32.as_mut_ptr().add(i), h);
             _mm256_storeu_ps(lo_f32.as_mut_ptr().add(i), l);
+        }
+    }
+
+    /// Fused-path split: binary32 planes only, same per-lane pipeline as
+    /// [`split_lanes`] minus the binary16 stores.
+    ///
+    /// # Safety
+    /// Caller must verify AVX2 and F16C support; slice lengths are
+    /// checked by the public wrapper.
+    #[target_feature(enable = "avx2,f16c")]
+    pub(super) unsafe fn split_planes_f32_f16c(
+        scheme: SplitScheme,
+        xs: &[f32],
+        hi_f32: &mut [f32],
+        lo_f32: &mut [f32],
+    ) {
+        match scheme {
+            SplitScheme::Round => f32_lanes::<{ _MM_FROUND_TO_NEAREST_INT }>(xs, hi_f32, lo_f32),
+            SplitScheme::Truncate => f32_lanes::<{ _MM_FROUND_TO_ZERO }>(xs, hi_f32, lo_f32),
+        }
+        let tail = xs.len() - xs.len() % 8;
+        split_planes_f32_scalar(
+            scheme,
+            &xs[tail..],
+            &mut hi_f32[tail..],
+            &mut lo_f32[tail..],
+        );
+    }
+
+    #[target_feature(enable = "avx2,f16c")]
+    unsafe fn f32_lanes<const IMM: i32>(xs: &[f32], hi_f32: &mut [f32], lo_f32: &mut [f32]) {
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let f16_max = _mm256_set1_ps(65504.0);
+        for i in (0..xs.len() / 8).map(|b| b * 8) {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            let h = _mm256_cvtph_ps(_mm256_cvtps_ph::<IMM>(x));
+            let finite = _mm256_cmp_ps::<_CMP_LE_OQ>(_mm256_andnot_ps(sign_mask, h), f16_max);
+            let residual = _mm256_and_ps(_mm256_sub_ps(x, h), finite);
+            let l = _mm256_cvtph_ps(_mm256_cvtps_ph::<IMM>(residual));
+            _mm256_storeu_ps(hi_f32.as_mut_ptr().add(i), h);
+            _mm256_storeu_ps(lo_f32.as_mut_ptr().add(i), l);
+        }
+    }
+
+    /// Strided fused-path split: the vector pipeline computes 8 lanes,
+    /// then scatters them `stride` elements apart through stack
+    /// staging buffers (there is no efficient f32 scatter below
+    /// AVX-512, and the panel slivers are small enough that the copies
+    /// stay in L1).
+    ///
+    /// # Safety
+    /// Caller must verify AVX2 and F16C support; the public wrapper
+    /// checked that both outputs hold `(len - 1) * stride + 1` elements.
+    #[target_feature(enable = "avx2,f16c")]
+    pub(super) unsafe fn split_planes_f32_strided_f16c(
+        scheme: SplitScheme,
+        xs: &[f32],
+        hi_f32: &mut [f32],
+        lo_f32: &mut [f32],
+        stride: usize,
+    ) {
+        match scheme {
+            SplitScheme::Round => {
+                strided_lanes::<{ _MM_FROUND_TO_NEAREST_INT }>(xs, hi_f32, lo_f32, stride)
+            }
+            SplitScheme::Truncate => {
+                strided_lanes::<{ _MM_FROUND_TO_ZERO }>(xs, hi_f32, lo_f32, stride)
+            }
+        }
+        let tail = xs.len() - xs.len() % 8;
+        if tail < xs.len() {
+            split_planes_f32_strided_scalar(
+                scheme,
+                &xs[tail..],
+                &mut hi_f32[tail * stride..],
+                &mut lo_f32[tail * stride..],
+                stride,
+            );
+        }
+    }
+
+    #[target_feature(enable = "avx2,f16c")]
+    unsafe fn strided_lanes<const IMM: i32>(
+        xs: &[f32],
+        hi_f32: &mut [f32],
+        lo_f32: &mut [f32],
+        stride: usize,
+    ) {
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let f16_max = _mm256_set1_ps(65504.0);
+        let mut hbuf = [0f32; 8];
+        let mut lbuf = [0f32; 8];
+        for i in (0..xs.len() / 8).map(|b| b * 8) {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            let h = _mm256_cvtph_ps(_mm256_cvtps_ph::<IMM>(x));
+            let finite = _mm256_cmp_ps::<_CMP_LE_OQ>(_mm256_andnot_ps(sign_mask, h), f16_max);
+            let residual = _mm256_and_ps(_mm256_sub_ps(x, h), finite);
+            let l = _mm256_cvtph_ps(_mm256_cvtps_ph::<IMM>(residual));
+            _mm256_storeu_ps(hbuf.as_mut_ptr(), h);
+            _mm256_storeu_ps(lbuf.as_mut_ptr(), l);
+            for (j, (&hv, &lv)) in hbuf.iter().zip(lbuf.iter()).enumerate() {
+                hi_f32[(i + j) * stride] = hv;
+                lo_f32[(i + j) * stride] = lv;
+            }
         }
     }
 }
@@ -392,6 +590,141 @@ mod tests {
         // lands in whichever path this machine dispatches.
         assert!(scalar1 > scalar0);
         assert!(simd1 + scalar1 >= simd0 + scalar0 + 2);
+    }
+
+    /// The fused-path f32-only split must produce exactly the
+    /// `hi_f32`/`lo_f32` planes of the full split, on every adversarial
+    /// input, for both schemes and both dispatch paths.
+    fn assert_f32_paths_identical(scheme: SplitScheme, xs: &[f32]) {
+        let n = xs.len();
+        let mut want_hi = vec![Half::ZERO; n];
+        let mut want_lo = vec![Half::ZERO; n];
+        let mut want_hf = vec![0f32; n];
+        let mut want_lf = vec![0f32; n];
+        split_planes_scalar(
+            scheme,
+            xs,
+            &mut want_hi,
+            &mut want_lo,
+            &mut want_hf,
+            &mut want_lf,
+        );
+        for kernel in [SplitKernel::Auto, SplitKernel::Scalar] {
+            let mut hf = vec![0f32; n];
+            let mut lf = vec![0f32; n];
+            split_planes_f32(kernel, scheme, xs, &mut hf, &mut lf);
+            for i in 0..n {
+                assert_eq!(
+                    hf[i].to_bits(),
+                    want_hf[i].to_bits(),
+                    "{scheme:?} {kernel:?} hi_f32 diverges for input {:#010x}",
+                    xs[i].to_bits()
+                );
+                assert_eq!(
+                    lf[i].to_bits(),
+                    want_lf[i].to_bits(),
+                    "{scheme:?} {kernel:?} lo_f32 diverges for input {:#010x}",
+                    xs[i].to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_only_split_bit_identical_to_full_split() {
+        let xs = adversarial_inputs();
+        assert_f32_paths_identical(SplitScheme::Round, &xs);
+        assert_f32_paths_identical(SplitScheme::Truncate, &xs);
+    }
+
+    #[test]
+    fn f32_only_split_ragged_tails_every_length() {
+        let base = adversarial_inputs();
+        for len in 0..=17usize {
+            assert_f32_paths_identical(SplitScheme::Round, &base[100..100 + len]);
+        }
+    }
+
+    #[test]
+    fn strided_split_matches_contiguous_at_every_stride() {
+        // Strides cover the degenerate contiguous case, the engine's MR,
+        // and an odd stride; lengths cover empty, tails, and multi-block.
+        let base = adversarial_inputs();
+        for scheme in [SplitScheme::Round, SplitScheme::Truncate] {
+            for len in [0usize, 1, 7, 8, 9, 16, 23, 64] {
+                let xs = &base[200..200 + len];
+                let mut want_hf = vec![0f32; len];
+                let mut want_lf = vec![0f32; len];
+                split_planes_f32(SplitKernel::Scalar, scheme, xs, &mut want_hf, &mut want_lf);
+                for stride in [1usize, 3, 4] {
+                    for kernel in [SplitKernel::Auto, SplitKernel::Scalar] {
+                        let cap = if len == 0 { 0 } else { (len - 1) * stride + 1 };
+                        // Poison the gaps so an out-of-lane write shows.
+                        let mut hf = vec![f32::NAN; cap];
+                        let mut lf = vec![f32::NAN; cap];
+                        split_planes_f32_strided(kernel, scheme, xs, &mut hf, &mut lf, stride);
+                        for i in 0..len {
+                            assert_eq!(
+                                hf[i * stride].to_bits(),
+                                want_hf[i].to_bits(),
+                                "{scheme:?} {kernel:?} stride={stride} hi lane {i}"
+                            );
+                            assert_eq!(
+                                lf[i * stride].to_bits(),
+                                want_lf[i].to_bits(),
+                                "{scheme:?} {kernel:?} stride={stride} lo lane {i}"
+                            );
+                        }
+                        // Gap positions (non-multiples of the stride)
+                        // stay untouched.
+                        for pos in 0..cap {
+                            if pos % stride != 0 {
+                                assert!(hf[pos].is_nan(), "hi gap clobbered at {pos}");
+                                assert!(lf[pos].is_nan(), "lo gap clobbered at {pos}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_split_counters_advance() {
+        let (simd0, scalar0) = split_dispatch_counts();
+        let xs = [0.5f32; 16];
+        let mut hf = vec![0f32; 16];
+        let mut lf = vec![0f32; 16];
+        split_planes_f32(SplitKernel::Auto, SplitScheme::Round, &xs, &mut hf, &mut lf);
+        let mut hs = vec![0f32; 16 * 4];
+        let mut ls = vec![0f32; 16 * 4];
+        split_planes_f32_strided(
+            SplitKernel::Scalar,
+            SplitScheme::Round,
+            &xs,
+            &mut hs,
+            &mut ls,
+            4,
+        );
+        let (simd1, scalar1) = split_dispatch_counts();
+        assert!(scalar1 > scalar0);
+        assert!(simd1 + scalar1 >= simd0 + scalar0 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi_f32 plane length mismatch")]
+    fn strided_outputs_too_short_rejected() {
+        let xs = [1.0f32; 4];
+        let mut hf = vec![0f32; 9]; // needs (4-1)*4+1 = 13
+        let mut lf = vec![0f32; 13];
+        split_planes_f32_strided(
+            SplitKernel::Auto,
+            SplitScheme::Round,
+            &xs,
+            &mut hf,
+            &mut lf,
+            4,
+        );
     }
 
     #[test]

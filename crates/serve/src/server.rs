@@ -49,6 +49,17 @@ pub(crate) struct ServerInner {
     stats: StatsInner,
 }
 
+impl ServerInner {
+    /// Serve counters plus the engine-side staging savings: the fused
+    /// split-and-pack counter lives on the shared engine runtime, so the
+    /// snapshot folds it in here rather than double-counting per request.
+    fn stats_snapshot(&self) -> ServeStats {
+        let mut s = self.stats.snapshot();
+        s.bytes_staging_saved = self.engine.runtime().cache_stats().bytes_staging_saved;
+        s
+    }
+}
+
 /// A running serving instance: one scheduler thread over one shared
 /// [`Egemm`] (and therefore one persistent runtime: pool + cache).
 /// Dropping the server performs a graceful shutdown — every admitted
@@ -89,7 +100,7 @@ impl Server {
 
     /// Snapshot of the serving counters.
     pub fn stats(&self) -> ServeStats {
-        self.inner.stats.snapshot()
+        self.inner.stats_snapshot()
     }
 
     /// Graceful shutdown: stop admitting, drain everything already
@@ -159,7 +170,7 @@ impl Client {
 
     /// Snapshot of the serving counters.
     pub fn stats(&self) -> ServeStats {
-        self.inner.stats.snapshot()
+        self.inner.stats_snapshot()
     }
 }
 
@@ -445,6 +456,15 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.engine_calls, 1);
+        // The default engine runs the fused split-and-pack pipeline, and
+        // its avoided-staging counter surfaces through the serve stats
+        // (and therefore the in-band "stats" wire reply).
+        assert!(
+            stats.bytes_staging_saved > 0,
+            "fused engine should report staging savings: {stats:?}"
+        );
+        let j = stats.to_json();
+        assert!(j.contains("\"bytes_staging_saved\":"), "{j}");
         s.shutdown();
     }
 

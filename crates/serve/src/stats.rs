@@ -101,6 +101,7 @@ impl StatsInner {
             engine_calls: self.engine_calls.load(Ordering::Relaxed),
             dispatched: self.dispatched.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            bytes_staging_saved: 0,
             p50_ns,
             p99_ns,
         }
@@ -146,6 +147,12 @@ pub struct ServeStats {
     pub dispatched: u64,
     /// Requests that shared an engine call with at least one other.
     pub coalesced: u64,
+    /// Split-plane staging bytes the engine's fused split-and-pack
+    /// pipeline avoided, summed over the server's lifetime. Read from
+    /// the shared engine runtime at snapshot time (not a serve-side
+    /// counter), so it covers every dispatch through this server's
+    /// engine.
+    pub bytes_staging_saved: u64,
     /// Median admission-to-response latency over the retained window.
     pub p50_ns: u64,
     /// 99th-percentile latency over the retained window.
@@ -169,7 +176,7 @@ impl ServeStats {
             "{{\"submitted\":{},\"admitted\":{},\"rejected_busy\":{},\"rejected_invalid\":{},\
              \"timed_out_before\":{},\"timed_out_after\":{},\"completed\":{},\
              \"engine_failures\":{},\"engine_calls\":{},\"dispatched\":{},\"coalesced\":{},\
-             \"batched_ratio\":{:.4},\"p50_ns\":{},\"p99_ns\":{}}}",
+             \"batched_ratio\":{:.4},\"bytes_staging_saved\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
             self.submitted,
             self.admitted,
             self.rejected_busy,
@@ -182,6 +189,7 @@ impl ServeStats {
             self.dispatched,
             self.coalesced,
             self.batched_ratio(),
+            self.bytes_staging_saved,
             self.p50_ns,
             self.p99_ns,
         )
@@ -193,7 +201,8 @@ impl std::fmt::Display for ServeStats {
         write!(
             f,
             "{} submitted: {} ok, {} busy, {} invalid, {} expired ({} late), {} engine-failed; \
-             {} engine call(s) for {} dispatched ({:.2}x batched); p50 {:.3} ms, p99 {:.3} ms",
+             {} engine call(s) for {} dispatched ({:.2}x batched); \
+             {:.1} KiB staging saved; p50 {:.3} ms, p99 {:.3} ms",
             self.submitted,
             self.completed,
             self.rejected_busy,
@@ -204,6 +213,7 @@ impl std::fmt::Display for ServeStats {
             self.engine_calls,
             self.dispatched,
             self.batched_ratio(),
+            self.bytes_staging_saved as f64 / 1024.0,
             self.p50_ns as f64 / 1e6,
             self.p99_ns as f64 / 1e6,
         )

@@ -9,8 +9,9 @@
 //! non-multiples of every tile size, m << n and m >> n.
 
 use egemm::{
-    emulated_gemm_entrywise, emulated_gemm_rows, gemm_blocked, gemm_blocked_range, Egemm,
-    EmulationScheme, EngineConfig, EngineRuntime, RuntimeConfig, SplitMatrix, TilingConfig,
+    emulated_gemm_entrywise, emulated_gemm_rows, gemm_blocked, gemm_blocked_fused,
+    gemm_blocked_range, gemm_blocked_range_fused_in, Egemm, EmulationScheme, EngineConfig,
+    EngineRuntime, KernelOpts, RuntimeConfig, SplitMatrix, TilingConfig,
 };
 use egemm_fp::SplitKernel;
 use egemm_matrix::Matrix;
@@ -96,7 +97,7 @@ proptest! {
         let (sa, sb) = split_pair(m, k, n, scheme, seed);
         let c = Matrix::<f32>::random_uniform(m, n, seed + 2);
         let c_opt = if with_c { Some(&c) } else { None };
-        let cfg = EngineConfig { mc, nc, kc, threads };
+        let cfg = EngineConfig { mc, nc, kc, threads, ..Default::default() };
         let d = gemm_blocked(&sa, &sb, c_opt, scheme, tk, cfg);
         for i in 0..m {
             for j in 0..n {
@@ -126,13 +127,115 @@ proptest! {
         let (sa, sb) = split_pair(m, k, n, scheme, seed);
         let k_lo = (cut_num * k / 8).min(k - 1);
         let k_hi = k;
-        let cfg = EngineConfig { mc: 3, nc: 5, kc: 9, threads: 2 };
+        let cfg = EngineConfig { mc: 3, nc: 5, kc: 9, threads: 2, ..Default::default() };
         let d = gemm_blocked_range(&sa, &sb, k_lo, k_hi, scheme, tk, cfg);
         for i in 0..m {
             for j in 0..n {
                 let want = entrywise_tk(&sa, &sb, None, scheme, tk, k_lo, k_hi, i, j);
                 prop_assert_eq!(d.get(i, j).to_bits(), want.to_bits());
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The fused split-and-pack pipeline is bit-identical to the staged
+    /// split-then-pack reference: random (non-tile-multiple) shapes, all
+    /// four schemes (covering both split schemes), pool sizes 1 and 4,
+    /// full products and split-K slices starting mid-operand.
+    #[test]
+    fn fused_pipeline_bit_identical_to_staged(
+        m in 1usize..24,
+        k in 2usize..48,
+        n in 1usize..28,
+        scheme_idx in 0usize..4,
+        threads_idx in 0usize..2,
+        cut_num in 0usize..8,
+        tk_idx in 0usize..3,
+        seed in 0u64..1000,
+        with_c in proptest::strategy::any::<bool>(),
+    ) {
+        let scheme = SCHEMES[scheme_idx];
+        let tk = [4usize, 8, 16][tk_idx];
+        let threads = [1usize, 4][threads_idx];
+        let a = Matrix::<f32>::random_uniform(m, k, seed);
+        let b = Matrix::<f32>::random_uniform(k, n, seed + 1);
+        let c = Matrix::<f32>::random_uniform(m, n, seed + 2);
+        let c_opt = if with_c { Some(&c) } else { None };
+        let sa = SplitMatrix::split(&a, scheme.split_scheme());
+        let sb = SplitMatrix::split(&b, scheme.split_scheme());
+        let cfg = EngineConfig { mc: 5, nc: 9, kc: 12, threads, ..Default::default() };
+
+        // Full product: fused raw-operand entry vs the staged engine.
+        let want = gemm_blocked(&sa, &sb, c_opt, scheme, tk, cfg);
+        let got = gemm_blocked_fused(&a, &b, c_opt, scheme, tk, cfg);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "fused full product diverged ({:?}, tk={}, threads={})",
+                scheme, tk, threads
+            );
+        }
+
+        // Split-K slice: chunking restarts at k_lo on both paths.
+        let k_lo = (cut_num * k / 8).min(k - 1);
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads,
+            cache_bytes: 0,
+            ..Default::default()
+        });
+        let want_r = gemm_blocked_range(&sa, &sb, k_lo, k, scheme, tk, cfg);
+        let got_r = gemm_blocked_range_fused_in(&rt, &a, &b, k_lo, k, scheme, tk, cfg);
+        for (x, y) in got_r.as_slice().iter().zip(want_r.as_slice()) {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "fused slice diverged ({:?}, tk={}, k_lo={})",
+                scheme, tk, k_lo
+            );
+        }
+    }
+
+    /// The `EngineConfig::staged` knob routes the whole public API
+    /// (gemm, prepared handles, split-K) through the staged reference,
+    /// and both routes agree bitwise at pool sizes 1 and 4.
+    #[test]
+    fn staged_knob_agrees_with_fused_default(
+        m in 1usize..16,
+        k in 2usize..32,
+        n in 1usize..16,
+        scheme_idx in 0usize..4,
+        slices in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let scheme = SCHEMES[scheme_idx];
+        let a = Matrix::<f32>::random_uniform(m, k, seed);
+        let b = Matrix::<f32>::random_uniform(k, n, seed + 1);
+        for threads in [1usize, 4] {
+            let rc = RuntimeConfig { threads, ..Default::default() };
+            let fused = egemm_on(scheme, rc);
+            let staged = egemm_on(scheme, rc).with_opts(KernelOpts {
+                engine: EngineConfig { staged: true, ..Default::default() },
+                ..Default::default()
+            });
+            let df = fused.gemm(&a, &b).d;
+            let ds = staged.gemm(&a, &b).d;
+            prop_assert_eq!(df.as_slice(), ds.as_slice(), "gemm (threads={})", threads);
+
+            let pf = fused.prepare(&b);
+            let ps = staged.prepare(&b);
+            prop_assert!(pf.split().is_none(), "fused prepare must not stage planes");
+            prop_assert!(ps.split().is_some(), "staged prepare must retain planes");
+            let dpf = fused.gemm_prepared(&a, &pf, None).d;
+            let dps = staged.gemm_prepared(&a, &ps, None).d;
+            prop_assert_eq!(dpf.as_slice(), df.as_slice(), "fused prepared (threads={})", threads);
+            prop_assert_eq!(dps.as_slice(), df.as_slice(), "staged prepared (threads={})", threads);
+
+            let s = slices.min(k);
+            let skf = fused.gemm_split_k(&a, &b, s).d;
+            let sks = staged.gemm_split_k(&a, &b, s).d;
+            prop_assert_eq!(skf.as_slice(), sks.as_slice(), "split-k s={} (threads={})", s, threads);
         }
     }
 }
@@ -257,6 +360,7 @@ fn adversarial_shapes_bit_identical() {
                     nc: 9,
                     kc: 12,
                     threads: 2,
+                    ..Default::default()
                 };
                 let d = gemm_blocked(&sa, &sb, None, scheme, tk, cfg);
                 for i in 0..m {

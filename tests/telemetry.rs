@@ -70,9 +70,10 @@ proptest! {
 }
 
 /// A batched call over one shared B must show the sharing in its
-/// attached report: the cache delta records exactly one split and one
-/// pack for B (every other lookup hits), at both pool sizes. This is
-/// the telemetry-side witness of the amortization the serving tier's
+/// attached report: the cache delta records exactly one fused pack for
+/// B (every other lookup hits) and zero splits — the fused pipeline
+/// stages no split planes — at both pool sizes. This is the
+/// telemetry-side witness of the amortization the serving tier's
 /// bucketing exists to exploit.
 #[test]
 fn batched_report_shows_shared_b_prepared_once() {
@@ -96,10 +97,8 @@ fn batched_report_shows_shared_b_prepared_once() {
             report.cache
         );
         assert_eq!(
-            report.cache.splits,
-            1 + a.len() as u64,
-            "1 shared B + {} distinct A splits ({threads} thread(s)): {:?}",
-            a.len(),
+            report.cache.splits, 0,
+            "fused pipeline must not stage splits ({threads} thread(s)): {:?}",
             report.cache
         );
         assert_eq!(
@@ -107,6 +106,20 @@ fn batched_report_shows_shared_b_prepared_once() {
             a.len() as u64 - 1,
             "all B lookups after the first must hit ({threads} thread(s)): {:?}",
             report.cache
+        );
+        // The fused pipeline records where the staging went: split
+        // planes avoided for the one packed B plus each raw A operand.
+        assert_eq!(
+            report.cache.bytes_staging_saved,
+            (12 * (24 * 16) + a.len() * 12 * (32 * 24)) as u64,
+            "({threads} thread(s)): {:?}",
+            report.cache
+        );
+        // And the fused-split-pack phase fired (B's whole-operand pack
+        // plus per-tile A packs inside the workers).
+        assert!(
+            report.phase_count(Phase::FusedSplitPack) >= 1,
+            "no fused_split_pack spans ({threads} thread(s))"
         );
     }
 }
