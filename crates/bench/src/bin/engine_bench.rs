@@ -10,11 +10,15 @@
 //! reference **before** timing — the speedups are pure execution
 //! engineering, not numerics. `--smoke` runs only those bit-equality
 //! assertions on small shapes (no timing thresholds, no JSON), which is
-//! what CI gates every PR on.
+//! what CI gates every PR on. `--sweep-smoke` runs the worker-count
+//! sweep at 1 and 4 workers and asserts 4 beats 1 whenever the machine
+//! has at least 2 cores (bit-identity across pool sizes is asserted
+//! either way).
 
 use egemm::{
-    gemm_blocked, gemm_blocked_fused_in, gemm_blocked_in, gemm_blocked_prepared, prepare_b, Egemm,
-    EmulationScheme, EngineConfig, EngineRuntime, RuntimeConfig, SplitMatrix, TilingConfig,
+    gemm_blocked, gemm_blocked_fused_in, gemm_blocked_in, gemm_blocked_prepared, prepare_b,
+    telemetry, Egemm, EmulationScheme, EngineConfig, EngineRuntime, GemmReport, RuntimeConfig,
+    SplitMatrix, TilingConfig,
 };
 use egemm_bench::row_streaming_gemm;
 use egemm_fp::{simd_split_available, SplitKernel};
@@ -23,6 +27,12 @@ use egemm_tcsim::DeviceSpec;
 use std::time::Instant;
 
 const TK: usize = 8; // HMMA.1688 reduction depth, the EGEMM-TC kernel's
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -54,6 +64,9 @@ fn assert_bits_equal(label: &str, got: &Matrix<f32>, want: &Matrix<f32>) {
 struct Row {
     label: &'static str,
     shape: GemmShape,
+    /// Worker count the blocked run resolved to (per-entry, so sweeps
+    /// and env overrides stay attributable in the baseline file).
+    threads: usize,
     naive_gflops: f64,
     blocked_gflops: f64,
 }
@@ -73,6 +86,7 @@ fn bench_shape(label: &'static str, shape: GemmShape, reps: usize) -> Row {
     Row {
         label,
         shape,
+        threads: cfg.resolved_threads(),
         naive_gflops: gf(t_naive),
         blocked_gflops: gf(t_blocked),
     }
@@ -89,6 +103,7 @@ fn bench_shape(label: &'static str, shape: GemmShape, reps: usize) -> Row {
 ///   operands fingerprint-hit and B's panels arrive prepacked.
 struct RepeatSharedB {
     shape: GemmShape,
+    threads: usize,
     cold_gflops: f64,
     cold_simd_gflops: f64,
     warm_gflops: f64,
@@ -161,6 +176,7 @@ fn bench_repeat_shared_b(shape: GemmShape, reps: usize, assert_perf: bool) -> Re
     let gf = |t: f64| shape.flops() as f64 / t / 1e9;
     let out = RepeatSharedB {
         shape,
+        threads: warm_rt.default_threads(),
         cold_gflops: gf(t_cold),
         cold_simd_gflops: gf(t_cold_simd),
         warm_gflops: gf(t_warm),
@@ -192,6 +208,7 @@ fn bench_repeat_shared_b(shape: GemmShape, reps: usize, assert_perf: bool) -> Re
 /// tentpole number for the fused pipeline.
 struct FusedCold {
     shape: GemmShape,
+    threads: usize,
     staged_gflops: f64,
     fused_gflops: f64,
     /// Split-plane bytes the fused route avoided, per call.
@@ -236,6 +253,7 @@ fn bench_fused_cold(shape: GemmShape, reps: usize, assert_perf: bool) -> FusedCo
     let gf = |t: f64| shape.flops() as f64 / t / 1e9;
     let out = FusedCold {
         shape,
+        threads: rt.default_threads(),
         staged_gflops: gf(t_staged),
         fused_gflops: gf(t_fused),
         bytes_staging_saved_per_call: saved_per_call,
@@ -298,9 +316,131 @@ fn bench_split_simd(rows: usize, cols: usize, reps: usize, assert_perf: bool) ->
     out
 }
 
+/// One worker count's measurement in the thread sweep.
+struct SweepPoint {
+    workers: usize,
+    gflops: f64,
+    /// Max worker busy-time over mean (1.0 = perfect balance), from the
+    /// telemetry report over the timed repetitions.
+    imbalance: f64,
+    steals: u64,
+    tiles_stolen: u64,
+    /// Fraction of all claimed tiles that arrived via a steal.
+    steal_ratio: f64,
+    panels_packed: u64,
+    panel_reuse_hits: u64,
+}
+
+/// Worker-count sweep over one shape: same operands, same split planes,
+/// only `EngineConfig::threads` varies. Every pool size is bit-checked
+/// against the 1-worker output before timing — the scheduler moves
+/// tiles between workers but must never change what any tile computes.
+/// Scheduler counters (steals, panel-store reuse) and the telemetry
+/// imbalance come from a fresh zero-cache runtime per point, so the
+/// deltas cover exactly the timed repetitions.
+fn bench_thread_sweep(shape: GemmShape, reps: usize, workers: &[usize]) -> Vec<SweepPoint> {
+    let scheme = EmulationScheme::EgemmTc;
+    let a = Matrix::<f32>::random_uniform(shape.m, shape.k, 41);
+    let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 42);
+    let sa = SplitMatrix::split(&a, scheme.split_scheme());
+    let sb = SplitMatrix::split(&b, scheme.split_scheme());
+    let base = EngineConfig::default();
+    let tiles_per_call = (shape.m.div_ceil(base.mc) * shape.n.div_ceil(base.nc)) as u64;
+
+    let reference = {
+        let rt = EngineRuntime::new(RuntimeConfig {
+            cache_bytes: 0,
+            ..RuntimeConfig::from_env()
+        });
+        let cfg = EngineConfig { threads: 1, ..base };
+        gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, cfg)
+    };
+
+    workers
+        .iter()
+        .map(|&w| {
+            let rt = EngineRuntime::new(RuntimeConfig {
+                cache_bytes: 0,
+                ..RuntimeConfig::from_env()
+            });
+            let cfg = EngineConfig { threads: w, ..base };
+            // Bit-identity before any timing claim.
+            let once = gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, cfg);
+            assert_bits_equal(&format!("thread_sweep workers={w}"), &once, &reference);
+
+            // Timed reps run with telemetry off (span recording would
+            // tax exactly the contended claim path under test); the
+            // scheduler counters are always-on runtime atomics, so
+            // their deltas still cover the timed calls.
+            let sched0 = rt.sched_stats();
+            let (t, _) = time_reps(
+                || gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, cfg),
+                reps,
+            );
+            let sched = rt.sched_stats().delta_since(&sched0);
+
+            // One extra untimed call with telemetry on, for the
+            // per-worker busy-time imbalance ratio.
+            telemetry::set_enabled(true);
+            let _ = telemetry::drain();
+            let cache0 = rt.cache_stats();
+            let start_ns = telemetry::now_ns();
+            let _ = gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, cfg);
+            let report = GemmReport::collect(
+                format!("sweep workers={w}"),
+                start_ns,
+                cache0,
+                rt.cache_stats(),
+                sched0,
+                rt.sched_stats(),
+            );
+            telemetry::set_enabled(false);
+
+            SweepPoint {
+                workers: w,
+                gflops: shape.flops() as f64 / t / 1e9,
+                imbalance: report.imbalance,
+                steals: sched.steals,
+                tiles_stolen: sched.tiles_stolen,
+                steal_ratio: sched.tiles_stolen as f64 / (tiles_per_call * reps as u64) as f64,
+                panels_packed: sched.panels_packed,
+                panel_reuse_hits: sched.panel_reuse_hits,
+            }
+        })
+        .collect()
+}
+
+fn print_sweep(shape: GemmShape, points: &[SweepPoint]) {
+    println!(
+        "thread sweep    {}x{}x{} (available parallelism: {})",
+        shape.m,
+        shape.n,
+        shape.k,
+        available_parallelism()
+    );
+    println!(
+        "{:<16}{:>8}{:>14}{:>12}{:>12}{:>14}",
+        "", "workers", "GF/s", "imbalance", "steals", "panel reuse"
+    );
+    for p in points {
+        println!(
+            "{:<16}{:>8}{:>14.2}{:>12.3}{:>6} ({:>3} t){:>8}/{} packed",
+            "",
+            p.workers,
+            p.gflops,
+            p.imbalance,
+            p.steals,
+            p.tiles_stolen,
+            p.panel_reuse_hits,
+            p.panels_packed,
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let sweep_smoke = args.iter().any(|a| a == "--sweep-smoke");
     let quick = args.iter().any(|a| a == "--quick");
     // Default stays the tracked baseline at the repo root; --out
     // redirects (e.g. under target/) without touching it.
@@ -321,6 +461,41 @@ fn main() {
         bench_fused_cold(GemmShape::new(16, 224, 192), 1, false);
         bench_split_simd(64, 331, 1, false);
         println!("engine_bench --smoke: all bit-equality assertions passed");
+        return;
+    }
+
+    if sweep_smoke {
+        // CI gate for the work-stealing scheduler: 4 workers must beat
+        // 1 worker on the large square shape. Bit-identity across pool
+        // sizes is asserted unconditionally inside the sweep; the
+        // speedup assertion only fires when the machine actually has
+        // cores to scale onto (shared runners have >= 2; a 1-core box
+        // can only report, not prove).
+        let shape = GemmShape::square(1024);
+        let points = bench_thread_sweep(shape, 3, &[1, 4]);
+        print_sweep(shape, &points);
+        let avail = available_parallelism();
+        if avail >= 2 {
+            assert!(
+                points[1].gflops > points[0].gflops,
+                "4 workers must out-run 1 worker on {avail} cores: \
+                 {:.2} vs {:.2} GF/s",
+                points[1].gflops,
+                points[0].gflops
+            );
+            println!(
+                "engine_bench --sweep-smoke: 4 workers {:.2} GF/s > 1 worker {:.2} GF/s \
+                 ({:.2}x on {avail} cores)",
+                points[1].gflops,
+                points[0].gflops,
+                points[1].gflops / points[0].gflops
+            );
+        } else {
+            println!(
+                "engine_bench --sweep-smoke: bit-identity held across pool sizes; \
+                 speedup assertion skipped (1 core available)"
+            );
+        }
         return;
     }
 
@@ -370,6 +545,14 @@ fn main() {
     let fused = bench_fused_cold(fused_shape, reps, !quick);
     let (sr, sc) = if quick { (2048, 2048) } else { (4096, 4096) };
     let split = bench_split_simd(sr, sc, reps, !quick);
+    // Worker-count scaling on the square shape: 1/2/4/8-worker GFLOPS,
+    // imbalance, steal traffic, and panel-store reuse.
+    let sweep_shape = if quick {
+        GemmShape::square(512)
+    } else {
+        GemmShape::square(1024)
+    };
+    let sweep = bench_thread_sweep(sweep_shape, reps, &[1, 2, 4, 8]);
 
     println!(
         "{:<16}{:>8}{:>8}{:>8}{:>14}{:>14}{:>10}",
@@ -423,29 +606,28 @@ fn main() {
             "unavailable"
         },
     );
+    print_sweep(sweep_shape, &sweep);
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"threads\": {},\n  \"entries\": {{\n",
-        EngineConfig::default().resolved_threads()
-    ));
+    let mut json = String::from("{\n  \"entries\": {\n");
     for r in &rows {
         json.push_str(&format!(
-            "    \"{}\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3}}},\n",
+            "    \"{}\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"threads\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3}}},\n",
             r.label,
             r.shape.m,
             r.shape.n,
             r.shape.k,
+            r.threads,
             r.naive_gflops,
             r.blocked_gflops,
             r.blocked_gflops / r.naive_gflops,
         ));
     }
     json.push_str(&format!(
-        "    \"repeat_shared_b\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"cold_gflops\": {:.3}, \"cold_simd_gflops\": {:.3}, \"warm_gflops\": {:.3}, \"warm_over_cold\": {:.3}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"splits\": {}, \"packs\": {}, \"hit_ratio\": {:.4}, \"resident_bytes\": {}, \"bytes_staging_saved\": {}}}}},\n",
+        "    \"repeat_shared_b\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"threads\": {}, \"cold_gflops\": {:.3}, \"cold_simd_gflops\": {:.3}, \"warm_gflops\": {:.3}, \"warm_over_cold\": {:.3}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"splits\": {}, \"packs\": {}, \"hit_ratio\": {:.4}, \"resident_bytes\": {}, \"bytes_staging_saved\": {}}}}},\n",
         repeat.shape.m,
         repeat.shape.n,
         repeat.shape.k,
+        repeat.threads,
         repeat.cold_gflops,
         repeat.cold_simd_gflops,
         repeat.warm_gflops,
@@ -460,10 +642,11 @@ fn main() {
         repeat.cache.bytes_staging_saved,
     ));
     json.push_str(&format!(
-        "    \"fused_cold\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"staged_gflops\": {:.3}, \"fused_gflops\": {:.3}, \"speedup\": {:.3}, \"bytes_staging_saved_per_call\": {}}},\n",
+        "    \"fused_cold\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"threads\": {}, \"staged_gflops\": {:.3}, \"fused_gflops\": {:.3}, \"speedup\": {:.3}, \"bytes_staging_saved_per_call\": {}}},\n",
         fused.shape.m,
         fused.shape.n,
         fused.shape.k,
+        fused.threads,
         fused.staged_gflops,
         fused.fused_gflops,
         fused.fused_gflops / fused.staged_gflops,
@@ -477,7 +660,29 @@ fn main() {
         split.simd_melems / split.scalar_melems,
         simd_split_available(),
     ));
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"thread_sweep\": {{\n    \"m\": {}, \"n\": {}, \"k\": {}, \"available_parallelism\": {},\n    \"points\": [\n",
+        sweep_shape.m,
+        sweep_shape.n,
+        sweep_shape.k,
+        available_parallelism(),
+    ));
+    for (i, p) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"workers\": {}, \"gflops\": {:.3}, \"imbalance\": {:.3}, \"steals\": {}, \"tiles_stolen\": {}, \"steal_ratio\": {:.4}, \"panels_packed\": {}, \"panel_reuse_hits\": {}}}{}\n",
+            p.workers,
+            p.gflops,
+            p.imbalance,
+            p.steals,
+            p.tiles_stolen,
+            p.steal_ratio,
+            p.panels_packed,
+            p.panel_reuse_hits,
+            if i + 1 < sweep.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).expect("create output directory");

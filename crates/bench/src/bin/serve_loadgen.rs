@@ -3,16 +3,17 @@
 //! Modes:
 //!
 //! - `--smoke [--out PATH]` — the CI gate. Phase A starts a server plus
-//!   TCP frontend and fires a concurrent mixed-shape shared-B burst:
-//!   every request must get a response (zero drops), the batched ratio
-//!   must exceed 1.0, and a sample of responses is checked bit-identical
-//!   to direct cold `Egemm::gemm` calls. Phase B shrinks the queue to
+//!   TCP frontend and fires a concurrent mixed-shape shared-B burst,
+//!   once with a 1-worker engine and once with a 4-worker engine: every
+//!   request must get a response (zero drops), the batched ratio must
+//!   exceed 1.0, and a sample of responses is checked bit-identical to
+//!   direct cold `Egemm::gemm` calls. Phase B shrinks the queue to
 //!   force the backpressure paths: at least one `busy` rejection and one
 //!   deadline `timeout` must be observed, again with zero dropped
 //!   responses, and both server and frontend must shut down cleanly.
-//!   Records a `serve_throughput` entry (req/s, batched ratio, p99) into
-//!   `BENCH_engine.json` (or `--out PATH`), preserving the entries the
-//!   engine benchmark wrote.
+//!   Records a `serve_throughput` entry (req/s, batched ratio, p99 per
+//!   engine worker count) into `BENCH_engine.json` (or `--out PATH`),
+//!   preserving the entries the engine benchmark wrote.
 //! - `--serve ADDR` — run a standalone server until killed.
 //! - `--connect ADDR [--requests N]` — fire a burst at a running server
 //!   and print the outcome.
@@ -113,11 +114,12 @@ fn stat(v: &wire::Value, key: &str) -> f64 {
     v.get(key).and_then(wire::Value::as_f64).unwrap_or(0.0)
 }
 
-/// Phase A: mixed-shape shared-B throughput burst. Returns the numbers
-/// recorded into `BENCH_engine.json`.
-fn smoke_throughput() -> (f64, f64, f64) {
+/// Phase A: mixed-shape shared-B throughput burst against an engine
+/// with the given worker count. Returns the numbers recorded into
+/// `BENCH_engine.json`.
+fn smoke_throughput(threads: usize) -> (f64, f64, f64) {
     let server = Server::start(
-        engine(4),
+        engine(threads),
         ServerConfig {
             queue_cap: 64,
             batch_window: Duration::from_millis(5),
@@ -191,8 +193,8 @@ fn smoke_throughput() -> (f64, f64, f64) {
     let req_s = total.ok as f64 / elapsed;
     let p99_ms = stat(&stats, "p99_ns") / 1e6;
     println!(
-        "phase A: {} requests on {connections} connections in {elapsed:.3} s \
-         -> {req_s:.1} req/s, batched ratio {ratio:.2}x, p99 {p99_ms:.2} ms",
+        "phase A ({threads} engine worker(s)): {} requests on {connections} connections \
+         in {elapsed:.3} s -> {req_s:.1} req/s, batched ratio {ratio:.2}x, p99 {p99_ms:.2} ms",
         total.ok
     );
     (req_s, ratio, p99_ms)
@@ -288,17 +290,24 @@ fn pretty(v: &wire::Value, depth: usize, out: &mut String) {
 
 /// Insert/replace the `serve_throughput` entry in the benchmark
 /// baseline file, preserving everything the engine benchmark recorded.
-fn record(path: &str, req_s: f64, ratio: f64, p99_ms: f64) {
+/// One sub-object per engine worker count.
+fn record(path: &str, runs: &[(usize, (f64, f64, f64))]) {
     let mut root = match std::fs::read_to_string(path) {
         Ok(text) => wire::parse(&text).unwrap_or_else(|e| {
             panic!("{path} exists but is not valid JSON ({e}); refusing to overwrite")
         }),
         Err(_) => wire::Value::Obj(Vec::new()),
     };
-    let entry = wire::parse(&format!(
-        "{{\"req_s\": {req_s:.1}, \"batched_ratio\": {ratio:.3}, \"p99_ms\": {p99_ms:.3}}}"
-    ))
-    .unwrap();
+    let body: Vec<String> = runs
+        .iter()
+        .map(|&(threads, (req_s, ratio, p99_ms))| {
+            format!(
+                "\"workers_{threads}\": {{\"req_s\": {req_s:.1}, \
+                 \"batched_ratio\": {ratio:.3}, \"p99_ms\": {p99_ms:.3}}}"
+            )
+        })
+        .collect();
+    let entry = wire::parse(&format!("{{{}}}", body.join(", "))).unwrap();
     root.set("serve_throughput", entry);
     let mut text = String::new();
     pretty(&root, 0, &mut text);
@@ -344,10 +353,13 @@ fn main() {
     };
 
     if flag("--smoke") {
-        let (req_s, ratio, p99_ms) = smoke_throughput();
+        let runs: Vec<(usize, (f64, f64, f64))> = [1usize, 4]
+            .iter()
+            .map(|&w| (w, smoke_throughput(w)))
+            .collect();
         smoke_backpressure();
         let out = opt("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
-        record(&out, req_s, ratio, p99_ms);
+        record(&out, &runs);
         println!("serve_loadgen --smoke: all serving assertions passed");
     } else if let Some(addr) = opt("--serve") {
         serve_forever(&addr);

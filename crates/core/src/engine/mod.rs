@@ -7,9 +7,17 @@
 //! reduction in `kc`-deep panels whose hi/lo operand planes are packed
 //! into contiguous, cache-resident slivers, and an `MR x NR`
 //! register-tiled microkernel keeps 32 accumulators in registers for a
-//! whole panel. Workers claim macro-tiles from a shared 2D grid, so
+//! whole panel. Workers claim macro-tiles from the 2D grid through a
+//! locality-aware work-stealing scheduler ([`sched`]): each worker owns
+//! a contiguous column-major run (all row tiles of a jc column block
+//! before the next block, so the B panel it just touched stays hot) and
+//! idle workers steal half-ranges from the most-loaded victim, so
 //! skewed shapes (m = 64, n = k = 4096) parallelize across column tiles
-//! where whole-row partitioning would idle every core but four.
+//! where whole-row partitioning would idle every core but four. Cold B
+//! panels are packed cooperatively through a per-call
+//! [`pack::PanelStore`]: the first worker to reach a (jc, pc) panel
+//! packs and publishes it, every other worker reuses it — once per
+//! panel per call instead of once per tile per worker.
 //!
 //! The engine is numerically *invisible*: per output element it replays
 //! exactly the profiled Tensor-Core accumulation order — ascending k in
@@ -28,6 +36,7 @@ mod cache;
 mod micro;
 mod pack;
 pub mod runtime;
+mod sched;
 
 use crate::emulation::{check, EmulationScheme};
 use crate::split_matrix::SplitMatrix;
@@ -37,9 +46,10 @@ use cache::split_plane_bytes;
 use egemm_fp::{SplitKernel, SplitScheme};
 use egemm_matrix::Matrix;
 use micro::{load_acc, microkernel, store_acc, PlanePair};
-use pack::{pack_a, pack_a_fused, pack_b, pack_b_fused, PackedB, MR, NR};
+use pack::{pack_a, pack_a_fused, pack_b, pack_b_fused, PackedB, PanelStore, MR, NR};
 pub use runtime::{CacheStats, EngineRuntime, PreparedOperand, RuntimeConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub use sched::SchedStats;
+use sched::{Claim, TileScheduler};
 
 /// Cache-blocking and threading parameters of the execution engine.
 ///
@@ -596,7 +606,15 @@ fn execute(rt: &EngineRuntime, plan: &Plan<'_>, out: &mut Matrix<f32>) {
     .min(n_tiles)
     .max(1);
 
-    let next = AtomicUsize::new(0);
+    // Tiles are linearized column-major (t = jc_idx * tiles_m + ic_idx),
+    // so each worker's contiguous initial range walks all row tiles of
+    // one jc column block before advancing — the packed B panel it
+    // shares through the store stays hot across the whole run.
+    let sched = TileScheduler::new(n_tiles, threads);
+    // Cooperative B-panel store: present whenever B must be packed this
+    // call (absent on the prepacked path, which reads slivers directly).
+    let panels = (plan.k_hi - plan.k_lo).div_ceil(kc);
+    let store = plan.b.as_ref().map(|_| PanelStore::new(tiles_n, panels));
     let shared = SharedOut(out.as_mut_slice().as_mut_ptr());
     let ctx = WorkerCtx {
         m_out,
@@ -604,10 +622,11 @@ fn execute(rt: &EngineRuntime, plan: &Plan<'_>, out: &mut Matrix<f32>) {
         mc,
         nc,
         kc,
-        tiles_n,
-        n_tiles,
+        tiles_m,
     };
-    rt.run_parallel(threads, &|| worker(&ctx, plan, &next, &shared));
+    rt.run_parallel(threads, &|| {
+        worker(&ctx, plan, &sched, store.as_ref(), rt, &shared)
+    });
 }
 
 /// Geometry shared by all workers of one execution.
@@ -617,45 +636,35 @@ struct WorkerCtx {
     mc: usize,
     nc: usize,
     kc: usize,
-    tiles_n: usize,
-    n_tiles: usize,
+    tiles_m: usize,
 }
 
-fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedOut) {
+fn worker(
+    ctx: &WorkerCtx,
+    plan: &Plan<'_>,
+    sched: &TileScheduler,
+    store: Option<&PanelStore>,
+    rt: &EngineRuntime,
+    shared: &SharedOut,
+) {
     let terms = plan.scheme.terms();
     let k = plan.a.cols();
     let split_scheme = plan.scheme.split_scheme();
     let (a_hi_used, a_lo_used) = (terms.iter().any(|t| !t.0), terms.iter().any(|t| t.0));
     let (b_hi_used, b_lo_used) = (terms.iter().any(|t| !t.1), terms.iter().any(|t| t.1));
-    // Per-worker pack scratch, reused across tiles and panels. Planes a
-    // scheme never touches stay empty and are never indexed, except that
-    // a fused pack always emits both planes (the split computes them
-    // together; the microkernel still reads only the used ones); B
-    // scratch is skipped entirely when the operand arrives prepacked.
-    let prepacked = plan.b_pack.is_some();
+    // Per-worker A pack scratch, reused across tiles and panels. Planes
+    // a scheme never touches stay empty and are never indexed, except
+    // that a fused pack always emits both planes (the split computes
+    // them together; the microkernel still reads only the used ones).
+    // B panels come from the shared cooperative store (or the prepacked
+    // operand), never from per-worker scratch.
     let fused_a = matches!(plan.a, Operand::Raw(_));
-    let fused_b = matches!(plan.b, Some(Operand::Raw(_)));
     let a_cap = ctx.mc.div_ceil(MR) * MR * ctx.kc;
-    let b_cap = ctx.nc.div_ceil(NR) * NR * ctx.kc;
     let mut a_hi = vec![0f32; if a_hi_used || fused_a { a_cap } else { 0 }];
     let mut a_lo = vec![0f32; if a_lo_used || fused_a { a_cap } else { 0 }];
-    let mut b_hi = vec![
-        0f32;
-        if (b_hi_used || fused_b) && !prepacked {
-            b_cap
-        } else {
-            0
-        }
-    ];
-    let mut b_lo = vec![
-        0f32;
-        if (b_lo_used || fused_b) && !prepacked {
-            b_cap
-        } else {
-            0
-        }
-    ];
     let mut rowbuf: Vec<usize> = Vec::with_capacity(ctx.mc);
+    let counters = rt.sched_counters();
+    let me = sched.join();
 
     // One Worker span covers this thread's whole participation (claim
     // loop entry to exhaustion); nested spans time each pack and each
@@ -664,13 +673,21 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
     let t_worker = telemetry::span_start();
     let mut tiles_claimed = 0u64;
     loop {
-        let t = next.fetch_add(1, Ordering::Relaxed);
-        if t >= ctx.n_tiles {
-            break;
-        }
+        let t_claim = telemetry::span_start();
+        let t = match sched.next(me) {
+            Claim::Done => break,
+            Claim::Local(t) => t,
+            Claim::Stolen { tile, batch } => {
+                counters.note_steal(batch as u64);
+                telemetry::span_end(telemetry::Phase::Steal, t_claim, batch as u64);
+                tile
+            }
+        };
         tiles_claimed += 1;
-        let ic = (t / ctx.tiles_n) * ctx.mc;
-        let jc = (t % ctx.tiles_n) * ctx.nc;
+        let ic_idx = t % ctx.tiles_m;
+        let jc_idx = t / ctx.tiles_m;
+        let ic = ic_idx * ctx.mc;
+        let jc = jc_idx * ctx.nc;
         let mcb = ctx.mc.min(ctx.m_out - ic);
         let ncb = ctx.nc.min(ctx.n - jc);
         rowbuf.clear();
@@ -724,43 +741,66 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
                     );
                 }
             }
-            match plan.b {
-                None => {} // prepacked: slivers are read directly below
-                Some(Operand::Split(sb)) => {
-                    let t_pack_b = telemetry::span_start();
-                    if b_hi_used {
-                        pack_b(sb.plane(false), ctx.n, jc, ncb, pc, kcb, &mut b_hi[..b_len]);
+            // B panels go through the cooperative store: the first
+            // worker to reach (jc, pc) packs and publishes it, everyone
+            // else reuses the published planes — the packed bytes are a
+            // pure function of (operand, jc, pc, blocking), so which
+            // worker packs cannot change a bit.
+            let b_planes: Option<(&[f32], &[f32])> = match &plan.b {
+                None => None, // prepacked: slivers are read directly below
+                Some(op) => {
+                    let store = store.expect("a plan with a B operand has a panel store");
+                    let pc_idx = (pc - plan.k_lo) / ctx.kc;
+                    let t_pack = telemetry::span_start();
+                    let (bh, bl, packed_here) = store.acquire(jc_idx, pc_idx, |hi, lo| match *op {
+                        Operand::Split(sb) => {
+                            if b_hi_used {
+                                hi.resize(b_len, 0.0);
+                                pack_b(sb.plane(false), ctx.n, jc, ncb, pc, kcb, hi);
+                            }
+                            if b_lo_used {
+                                lo.resize(b_len, 0.0);
+                                pack_b(sb.plane(true), ctx.n, jc, ncb, pc, kcb, lo);
+                            }
+                        }
+                        Operand::Raw(rb) => {
+                            hi.resize(b_len, 0.0);
+                            lo.resize(b_len, 0.0);
+                            pack_b_fused(
+                                rb.as_slice(),
+                                ctx.n,
+                                jc,
+                                ncb,
+                                pc,
+                                kcb,
+                                split_scheme,
+                                plan.kernel,
+                                hi,
+                                lo,
+                            );
+                        }
+                    });
+                    if packed_here {
+                        counters.note_panel_packed();
+                        match op {
+                            Operand::Split(_) => telemetry::span_end(
+                                telemetry::Phase::PackB,
+                                t_pack,
+                                4 * (b_len * (b_hi_used as usize + b_lo_used as usize)) as u64,
+                            ),
+                            Operand::Raw(_) => telemetry::span_end(
+                                telemetry::Phase::FusedSplitPack,
+                                t_pack,
+                                (4 * 2 * b_len) as u64,
+                            ),
+                        }
+                    } else {
+                        counters.note_panel_reused();
+                        telemetry::span_end(telemetry::Phase::PanelWait, t_pack, pc_idx as u64);
                     }
-                    if b_lo_used {
-                        pack_b(sb.plane(true), ctx.n, jc, ncb, pc, kcb, &mut b_lo[..b_len]);
-                    }
-                    telemetry::span_end(
-                        telemetry::Phase::PackB,
-                        t_pack_b,
-                        4 * (b_len * (b_hi_used as usize + b_lo_used as usize)) as u64,
-                    );
+                    Some((bh, bl))
                 }
-                Some(Operand::Raw(rb)) => {
-                    let t_fused = telemetry::span_start();
-                    pack_b_fused(
-                        rb.as_slice(),
-                        ctx.n,
-                        jc,
-                        ncb,
-                        pc,
-                        kcb,
-                        split_scheme,
-                        plan.kernel,
-                        &mut b_hi[..b_len],
-                        &mut b_lo[..b_len],
-                    );
-                    telemetry::span_end(
-                        telemetry::Phase::FusedSplitPack,
-                        t_fused,
-                        (4 * 2 * b_len) as u64,
-                    );
-                }
-            }
+            };
             let t_tile = telemetry::span_start();
             for sb in 0..strips {
                 // Prepacked slivers are bit-identical to what pack_b
@@ -774,10 +814,13 @@ fn worker(ctx: &WorkerCtx, plan: &Plan<'_>, next: &AtomicUsize, shared: &SharedO
                         hi: p.sliver(false, pc / ctx.kc, kcb, jc / NR + sb),
                         lo: p.sliver(true, pc / ctx.kc, kcb, jc / NR + sb),
                     },
-                    None => PlanePair {
-                        hi: sliver(&b_hi, sb, kcb * NR),
-                        lo: sliver(&b_lo, sb, kcb * NR),
-                    },
+                    None => {
+                        let (bh, bl) = b_planes.expect("store-packed planes present");
+                        PlanePair {
+                            hi: sliver(bh, sb, kcb * NR),
+                            lo: sliver(bl, sb, kcb * NR),
+                        }
+                    }
                 };
                 let j0 = jc + sb * NR;
                 let cols = NR.min(ncb - sb * NR);

@@ -19,6 +19,8 @@
 
 use crate::split_matrix::SplitMatrix;
 use egemm_fp::{split_planes_f32, split_planes_f32_strided, SplitKernel, SplitScheme};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Microkernel output rows (register tile height).
 pub(crate) const MR: usize = 4;
@@ -170,6 +172,102 @@ pub(crate) fn pack_b_fused(
             }
             for d in ld[cols..].iter_mut() {
                 *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Publication states of one [`PanelStore`] slot.
+const SLOT_EMPTY: u8 = 0;
+const SLOT_PACKING: u8 = 1;
+const SLOT_READY: u8 = 2;
+
+/// One cooperative (jc, pc) panel: an EMPTY → PACKING → READY state
+/// machine over lazily-allocated hi/lo buffers. The worker that wins the
+/// EMPTY → PACKING CAS is the slot's sole writer until its release store
+/// of READY publishes the buffers; the acquire load that observes READY
+/// is what makes the reads of every other worker sound.
+struct PanelSlot {
+    state: AtomicU8,
+    hi: UnsafeCell<Vec<f32>>,
+    lo: UnsafeCell<Vec<f32>>,
+}
+
+// SAFETY: the state machine above enforces single-writer / post-publish
+// readers on the UnsafeCell contents.
+unsafe impl Sync for PanelSlot {}
+
+/// Cooperative shared store of packed B panels for one engine call: one
+/// slot per (jc column block, k panel). The first worker to need a panel
+/// packs and publishes it; every other worker waits for READY instead of
+/// re-packing — so cold-path B packing is done exactly once per (jc, pc)
+/// per call and parallelizes across workers instead of duplicating
+/// O(workers) times. Bit-identity is unaffected: the packed bytes are a
+/// pure function of (operand, jc, pc, blocking), independent of which
+/// worker packs.
+pub(crate) struct PanelStore {
+    slots: Vec<PanelSlot>,
+    /// k panels per jc block (slot index = `jc_idx * panels + pc_idx`).
+    panels: usize,
+}
+
+impl PanelStore {
+    pub(crate) fn new(jc_blocks: usize, panels: usize) -> PanelStore {
+        let mut slots = Vec::with_capacity(jc_blocks * panels);
+        for _ in 0..jc_blocks * panels {
+            slots.push(PanelSlot {
+                state: AtomicU8::new(SLOT_EMPTY),
+                hi: UnsafeCell::new(Vec::new()),
+                lo: UnsafeCell::new(Vec::new()),
+            });
+        }
+        PanelStore { slots, panels }
+    }
+
+    /// The packed hi/lo planes of panel (`jc_idx`, `pc_idx`), packing
+    /// them via `pack` if the calling worker arrives first. Returns the
+    /// published planes (a plane an operand never uses stays empty) and
+    /// whether this call did the packing.
+    pub(crate) fn acquire(
+        &self,
+        jc_idx: usize,
+        pc_idx: usize,
+        pack: impl FnOnce(&mut Vec<f32>, &mut Vec<f32>),
+    ) -> (&[f32], &[f32], bool) {
+        let slot = &self.slots[jc_idx * self.panels + pc_idx];
+        match slot.state.compare_exchange(
+            SLOT_EMPTY,
+            SLOT_PACKING,
+            Ordering::Acquire,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                // SAFETY: winning the CAS makes this worker the slot's
+                // sole writer until the READY store below.
+                let (hi, lo) = unsafe { (&mut *slot.hi.get(), &mut *slot.lo.get()) };
+                pack(hi, lo);
+                slot.state.store(SLOT_READY, Ordering::Release);
+                // SAFETY: READY published; the buffers are frozen.
+                unsafe { (&*slot.hi.get(), &*slot.lo.get(), true) }
+            }
+            Err(mut s) => {
+                // Another worker is packing this panel; packing is
+                // bounded work, so spin briefly and yield the core so a
+                // descheduled packer can finish (essential when workers
+                // outnumber cores).
+                let mut spins = 0u32;
+                while s != SLOT_READY {
+                    spins += 1;
+                    if spins.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                    s = slot.state.load(Ordering::Acquire);
+                }
+                // SAFETY: acquire of READY synchronizes with the
+                // packer's release store; the buffers are frozen.
+                unsafe { (&*slot.hi.get(), &*slot.lo.get(), false) }
             }
         }
     }
@@ -525,6 +623,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn panel_store_packs_once_and_publishes_to_all() {
+        use std::sync::atomic::AtomicUsize;
+        let store = PanelStore::new(2, 3);
+        let packs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for jc_idx in 0..2 {
+                        for pc_idx in 0..3 {
+                            let (hi, lo, packed) = store.acquire(jc_idx, pc_idx, |hi, lo| {
+                                hi.resize(4, (jc_idx * 3 + pc_idx) as f32);
+                                lo.resize(4, -1.0);
+                            });
+                            if packed {
+                                packs.fetch_add(1, Ordering::Relaxed);
+                            }
+                            assert_eq!(hi, vec![(jc_idx * 3 + pc_idx) as f32; 4]);
+                            assert_eq!(lo, vec![-1.0f32; 4]);
+                        }
+                    }
+                });
+            }
+        });
+        // 6 slots, each packed by exactly one thread.
+        assert_eq!(packs.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn panel_store_keeps_unused_plane_empty() {
+        let store = PanelStore::new(1, 1);
+        let (hi, lo, packed) = store.acquire(0, 0, |hi, _lo| hi.resize(2, 7.0));
+        assert!(packed);
+        assert_eq!(hi, &[7.0, 7.0]);
+        assert!(lo.is_empty());
     }
 
     #[test]

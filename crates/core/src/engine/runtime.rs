@@ -27,6 +27,7 @@
 
 use super::cache::{fingerprint, lock_unpoisoned, CacheKey, PanelCache};
 use super::pack::PackedB;
+use super::sched::{SchedCounters, SchedStats};
 use crate::split_matrix::SplitMatrix;
 use crate::telemetry;
 use egemm_fp::{SplitKernel, SplitScheme};
@@ -85,44 +86,59 @@ impl RuntimeConfig {
     ///
     /// Pool-width fallback order:
     ///
-    /// 1. `EGEMM_THREADS` — used when set to a positive integer;
-    /// 2. `RAYON_NUM_THREADS` — consulted next, same parsing rule;
+    /// 1. `EGEMM_THREADS` — used as-is when set to a positive integer
+    ///    (an explicit opt-in, allowed to oversubscribe the machine);
+    /// 2. `RAYON_NUM_THREADS` — consulted next, same parsing rule, but
+    ///    clamped to the machine's available parallelism (it usually
+    ///    describes a rayon pool, not ours);
     /// 3. the machine's available parallelism (at least 1).
     ///
     /// A variable that is set but does not parse as a positive integer
     /// (garbage, negative, or `0` — zero means "unset" only for
     /// [`super::EngineConfig::threads`], never here) is *skipped*, and a
-    /// one-time warning is printed to stderr so the silent fall-through
-    /// is visible. The same rule applies to `EGEMM_CACHE_BYTES` (cache
-    /// byte bound), except there an explicit `0` is meaningful — it
-    /// disables retention — so only unparsable values warn and fall back
-    /// to the 256 MiB default.
+    /// one-time warning naming the worker count the fall-through
+    /// resolved to is printed to stderr. The same rule applies to
+    /// `EGEMM_CACHE_BYTES` (cache byte bound), except there an explicit
+    /// `0` is meaningful — it disables retention — so only unparsable
+    /// values warn and fall back to the 256 MiB default.
     pub fn from_env() -> RuntimeConfig {
         static WARN_THREADS: Once = Once::new();
         static WARN_CACHE: Once = Once::new();
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let mut threads = 0usize;
+        let mut ignored: Option<(&str, String)> = None;
         for var in ["EGEMM_THREADS", "RAYON_NUM_THREADS"] {
             let Ok(raw) = std::env::var(var) else {
                 continue;
             };
             match raw.trim().parse::<usize>() {
                 Ok(t) if t > 0 => {
-                    threads = t;
+                    threads = if var == "EGEMM_THREADS" {
+                        t
+                    } else {
+                        t.min(avail)
+                    };
                     break;
                 }
-                _ => WARN_THREADS.call_once(|| {
-                    eprintln!(
-                        "egemm: ignoring {var}={raw:?} (not a positive integer); \
-                         falling back to the next source \
-                         (EGEMM_THREADS, then RAYON_NUM_THREADS, then available parallelism)"
-                    );
-                }),
+                _ => {
+                    if ignored.is_none() {
+                        ignored = Some((var, raw));
+                    }
+                }
             }
         }
         if threads == 0 {
-            threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
+            threads = avail;
+        }
+        if let Some((var, raw)) = ignored {
+            WARN_THREADS.call_once(|| {
+                eprintln!(
+                    "egemm: ignoring {var}={raw:?} (not a positive integer); \
+                     resolved worker count: {threads}"
+                );
+            });
         }
         let cache_bytes = match std::env::var("EGEMM_CACHE_BYTES") {
             Ok(raw) => match raw.trim().parse::<usize>() {
@@ -210,6 +226,7 @@ pub struct EngineRuntime {
     default_threads: usize,
     split_kernel: SplitKernel,
     cache: PanelCache,
+    sched: SchedCounters,
     pool: Pool,
 }
 
@@ -219,6 +236,7 @@ impl std::fmt::Debug for EngineRuntime {
             .field("default_threads", &self.default_threads)
             .field("split_kernel", &self.split_kernel)
             .field("cache_stats", &self.cache.stats())
+            .field("sched_stats", &self.sched.snapshot())
             .finish()
     }
 }
@@ -234,6 +252,7 @@ impl EngineRuntime {
             default_threads: cfg.threads.max(1),
             split_kernel: cfg.split_kernel,
             cache: PanelCache::new(cfg.cache_bytes),
+            sched: SchedCounters::default(),
             pool: Pool::new(),
         })
     }
@@ -260,6 +279,18 @@ impl EngineRuntime {
     /// plus how many splits and packs actually executed).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Lifetime scheduler counters: steals, tiles moved by steals, and
+    /// cooperative panel-store packs vs. reuse hits. All monotone; take
+    /// deltas ([`SchedStats::delta_since`]) for per-call views.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.snapshot()
+    }
+
+    /// The atomic counters workers update during a dispatch.
+    pub(crate) fn sched_counters(&self) -> &SchedCounters {
+        &self.sched
     }
 
     /// Split `src` through the cache: a content-fingerprint hit returns

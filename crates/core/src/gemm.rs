@@ -102,20 +102,33 @@ impl Egemm {
     /// Open a per-call trace window: `None` (zero further cost) unless
     /// tracing is on. Drains stale ring events so the closing
     /// [`GemmReport`] covers exactly this call's spans.
-    pub(crate) fn trace_begin(&self) -> Option<(u64, engine::CacheStats)> {
+    pub(crate) fn trace_begin(&self) -> Option<(u64, engine::CacheStats, engine::SchedStats)> {
         telemetry::enabled().then(|| {
             telemetry::drain();
-            (telemetry::now_ns(), self.runtime.cache_stats())
+            (
+                telemetry::now_ns(),
+                self.runtime.cache_stats(),
+                self.runtime.sched_stats(),
+            )
         })
     }
 
     /// Close a trace window opened by [`Egemm::trace_begin`].
     pub(crate) fn trace_end(
         &self,
-        window: Option<(u64, engine::CacheStats)>,
+        window: Option<(u64, engine::CacheStats, engine::SchedStats)>,
         label: String,
     ) -> Option<GemmReport> {
-        window.map(|(t0, c0)| GemmReport::collect(label, t0, c0, self.runtime.cache_stats()))
+        window.map(|(t0, c0, s0)| {
+            GemmReport::collect(
+                label,
+                t0,
+                c0,
+                self.runtime.cache_stats(),
+                s0,
+                self.runtime.sched_stats(),
+            )
+        })
     }
 
     /// Pack `b` for reuse as the right-hand operand of

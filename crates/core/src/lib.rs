@@ -65,7 +65,7 @@ pub use engine::{
     gemm_blocked_prepared, gemm_blocked_prepared_fused, gemm_blocked_range,
     gemm_blocked_range_fused_in, gemm_blocked_range_in, gemm_blocked_rows, gemm_blocked_rows_in,
     prepare_b, prepare_b_fused, CacheStats, EngineConfig, EngineRuntime, PreparedOperand,
-    RuntimeConfig,
+    RuntimeConfig, SchedStats,
 };
 pub use errbound::{crossover_k, dot_error_bound};
 pub use gemm::{Egemm, GemmOutput, KernelOpts};

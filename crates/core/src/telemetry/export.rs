@@ -45,6 +45,7 @@ impl fmt::Display for GemmReport {
             self.bytes_packed as f64 / (1024.0 * 1024.0),
             self.cache
         )?;
+        writeln!(f, "  sched {}", self.sched)?;
         for w in &self.workers {
             writeln!(
                 f,
@@ -123,6 +124,14 @@ impl GemmReport {
             self.cache.bytes,
             self.cache.bytes_staging_saved
         ));
+        s.push_str("},\"sched\":{");
+        s.push_str(&format!(
+            "\"steals\":{},\"tiles_stolen\":{},\"panels_packed\":{},\"panel_reuse_hits\":{}",
+            self.sched.steals,
+            self.sched.tiles_stolen,
+            self.sched.panels_packed,
+            self.sched.panel_reuse_hits
+        ));
         s.push_str("},\"workers\":[");
         for (i, w) in self.workers.iter().enumerate() {
             if i > 0 {
@@ -144,15 +153,24 @@ impl GemmReport {
     /// or <https://ui.perfetto.dev>. Each recording thread becomes one
     /// named track (`pid` 1, `tid` = worker id); every span is a
     /// complete (`"ph":"X"`) event with microsecond `ts`/`dur` and its
-    /// detail word under `args`. A counter (`"ph":"C"`) track records
-    /// the staging bytes the fused split-and-pack pipeline avoided
-    /// during the call.
+    /// detail word under `args`. Counter (`"ph":"C"`) tracks record the
+    /// staging bytes the fused split-and-pack pipeline avoided during
+    /// the call, the tiles moved by work-stealing, and the shared
+    /// B panels reused instead of re-packed.
     pub fn chrome_trace(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         s.push_str(&format!(
             "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"bytes_staging_saved\",\"ts\":0,\"args\":{{\"bytes_staging_saved\":{}}}}}",
             self.cache.bytes_staging_saved
+        ));
+        s.push_str(&format!(
+            ",{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"tiles_stolen\",\"ts\":0,\"args\":{{\"tiles_stolen\":{}}}}}",
+            self.sched.tiles_stolen
+        ));
+        s.push_str(&format!(
+            ",{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"panel_reuse_hits\",\"ts\":0,\"args\":{{\"panel_reuse_hits\":{}}}}}",
+            self.sched.panel_reuse_hits
         ));
         let mut first = false;
         for lane in &self.lanes {
@@ -191,7 +209,7 @@ mod tests {
     use super::super::report::{GemmReport, WorkerLane};
     use super::super::ring::{Lane, TraceEvent};
     use super::super::Phase;
-    use crate::engine::CacheStats;
+    use crate::engine::{CacheStats, SchedStats};
 
     fn sample() -> GemmReport {
         let mut phase_ns = [0u64; Phase::COUNT];
@@ -205,6 +223,12 @@ mod tests {
             phase_counts,
             bytes_packed: 128,
             cache: CacheStats::default(),
+            sched: SchedStats {
+                steals: 2,
+                tiles_stolen: 5,
+                panels_packed: 4,
+                panel_reuse_hits: 9,
+            },
             workers: vec![WorkerLane {
                 worker: 3,
                 name: "w#3".into(),
@@ -242,6 +266,19 @@ mod tests {
             j.contains("\"tile\":{\"count\":2,\"total_ns\":5000}"),
             "{j}"
         );
+        assert!(
+            j.contains(
+                "\"sched\":{\"steals\":2,\"tiles_stolen\":5,\
+                 \"panels_packed\":4,\"panel_reuse_hits\":9}"
+            ),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn display_mentions_sched_counters() {
+        let text = sample().to_string();
+        assert!(text.contains("sched 2 steal(s) moving 5 tile(s)"), "{text}");
     }
 
     #[test]
@@ -252,6 +289,14 @@ mod tests {
         assert!(t.contains("\"ph\":\"X\""), "{t}");
         assert!(
             t.contains("\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"bytes_staging_saved\""),
+            "{t}"
+        );
+        assert!(
+            t.contains("\"name\":\"tiles_stolen\",\"ts\":0,\"args\":{\"tiles_stolen\":5}"),
+            "{t}"
+        );
+        assert!(
+            t.contains("\"name\":\"panel_reuse_hits\",\"ts\":0,\"args\":{\"panel_reuse_hits\":9}"),
             "{t}"
         );
         assert!(t.contains("\"tid\":3"), "{t}");

@@ -105,11 +105,17 @@ pub enum Phase {
     /// (detail: bytes packed). Replaces a Split followed by a
     /// PackA/PackB on the fused path.
     FusedSplitPack = 8,
+    /// An idle worker's victim search ending in a successful steal of a
+    /// contiguous tile range (detail: tiles transferred).
+    Steal = 9,
+    /// Time spent waiting on another worker's in-flight pack of a
+    /// shared B panel (detail: k-panel index within the column block).
+    PanelWait = 10,
 }
 
 impl Phase {
     /// Number of phases (array-aggregation bound).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every phase, in discriminant order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -122,6 +128,8 @@ impl Phase {
         Phase::Park,
         Phase::Worker,
         Phase::FusedSplitPack,
+        Phase::Steal,
+        Phase::PanelWait,
     ];
 
     /// Stable lowercase name used by every exporter.
@@ -136,6 +144,8 @@ impl Phase {
             Phase::Park => "park",
             Phase::Worker => "worker",
             Phase::FusedSplitPack => "fused_split_pack",
+            Phase::Steal => "steal",
+            Phase::PanelWait => "panel_wait",
         }
     }
 

@@ -1,6 +1,6 @@
 //! Per-call aggregation of drained trace events.
 
-use crate::engine::CacheStats;
+use crate::engine::{CacheStats, SchedStats};
 
 use super::ring::Lane;
 use super::Phase;
@@ -28,6 +28,9 @@ pub struct GemmReport {
     /// Cache counter deltas over the call (`bytes` is the resident
     /// total after the call, not a delta).
     pub cache: CacheStats,
+    /// Scheduler counter deltas over the call: steals, tiles moved by
+    /// steals, and cooperative panel-store packs vs. reuse hits.
+    pub sched: SchedStats,
     /// Per-worker activity, one entry per thread that recorded events.
     pub workers: Vec<WorkerLane>,
     /// Max worker busy-time over mean worker busy-time; 1.0 is perfect
@@ -56,13 +59,16 @@ pub struct WorkerLane {
 impl GemmReport {
     /// Drain every trace ring and fold the events recorded since
     /// `start_ns` (a [`super::now_ns`] taken before the call) into a
-    /// report. `cache_before`/`cache_after` bracket the call; the
-    /// report stores their monotone-counter deltas.
+    /// report. `cache_before`/`cache_after` and
+    /// `sched_before`/`sched_after` bracket the call; the report stores
+    /// their monotone-counter deltas.
     pub fn collect(
         label: impl Into<String>,
         start_ns: u64,
         cache_before: CacheStats,
         cache_after: CacheStats,
+        sched_before: SchedStats,
+        sched_after: SchedStats,
     ) -> GemmReport {
         let lanes = super::drain();
         let mut phase_ns = [0u64; Phase::COUNT];
@@ -126,6 +132,7 @@ impl GemmReport {
                 bytes_staging_saved: cache_after.bytes_staging_saved
                     - cache_before.bytes_staging_saved,
             },
+            sched: sched_after.delta_since(&sched_before),
             workers,
             imbalance,
             dropped_events,

@@ -50,12 +50,18 @@ pub(crate) struct ServerInner {
 }
 
 impl ServerInner {
-    /// Serve counters plus the engine-side staging savings: the fused
-    /// split-and-pack counter lives on the shared engine runtime, so the
-    /// snapshot folds it in here rather than double-counting per request.
+    /// Serve counters plus the engine-side counters that live on the
+    /// shared runtime: fused-pipeline staging savings and the
+    /// work-stealing scheduler's steal / panel-reuse totals. Folding
+    /// them in at snapshot time covers every dispatch through this
+    /// server's engine without double-counting per request.
     fn stats_snapshot(&self) -> ServeStats {
         let mut s = self.stats.snapshot();
-        s.bytes_staging_saved = self.engine.runtime().cache_stats().bytes_staging_saved;
+        let rt = self.engine.runtime();
+        s.bytes_staging_saved = rt.cache_stats().bytes_staging_saved;
+        let sched = rt.sched_stats();
+        s.tiles_stolen = sched.tiles_stolen;
+        s.panel_reuse_hits = sched.panel_reuse_hits;
         s
     }
 }
@@ -465,6 +471,9 @@ mod tests {
         );
         let j = stats.to_json();
         assert!(j.contains("\"bytes_staging_saved\":"), "{j}");
+        // Scheduler counters surface the same way (runtime snapshot).
+        assert!(j.contains("\"tiles_stolen\":"), "{j}");
+        assert!(j.contains("\"panel_reuse_hits\":"), "{j}");
         s.shutdown();
     }
 

@@ -102,6 +102,8 @@ impl StatsInner {
             dispatched: self.dispatched.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             bytes_staging_saved: 0,
+            tiles_stolen: 0,
+            panel_reuse_hits: 0,
             p50_ns,
             p99_ns,
         }
@@ -153,6 +155,14 @@ pub struct ServeStats {
     /// counter), so it covers every dispatch through this server's
     /// engine.
     pub bytes_staging_saved: u64,
+    /// Tiles moved between engine workers by work-stealing, summed over
+    /// the server's lifetime (read from the shared engine runtime at
+    /// snapshot time, like `bytes_staging_saved`).
+    pub tiles_stolen: u64,
+    /// B panels served from the engine's cooperative panel store
+    /// instead of being re-packed per tile, summed over the server's
+    /// lifetime (same runtime-snapshot sourcing).
+    pub panel_reuse_hits: u64,
     /// Median admission-to-response latency over the retained window.
     pub p50_ns: u64,
     /// 99th-percentile latency over the retained window.
@@ -176,7 +186,8 @@ impl ServeStats {
             "{{\"submitted\":{},\"admitted\":{},\"rejected_busy\":{},\"rejected_invalid\":{},\
              \"timed_out_before\":{},\"timed_out_after\":{},\"completed\":{},\
              \"engine_failures\":{},\"engine_calls\":{},\"dispatched\":{},\"coalesced\":{},\
-             \"batched_ratio\":{:.4},\"bytes_staging_saved\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+             \"batched_ratio\":{:.4},\"bytes_staging_saved\":{},\"tiles_stolen\":{},\
+             \"panel_reuse_hits\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
             self.submitted,
             self.admitted,
             self.rejected_busy,
@@ -190,6 +201,8 @@ impl ServeStats {
             self.coalesced,
             self.batched_ratio(),
             self.bytes_staging_saved,
+            self.tiles_stolen,
+            self.panel_reuse_hits,
             self.p50_ns,
             self.p99_ns,
         )
@@ -202,7 +215,8 @@ impl std::fmt::Display for ServeStats {
             f,
             "{} submitted: {} ok, {} busy, {} invalid, {} expired ({} late), {} engine-failed; \
              {} engine call(s) for {} dispatched ({:.2}x batched); \
-             {:.1} KiB staging saved; p50 {:.3} ms, p99 {:.3} ms",
+             {:.1} KiB staging saved; {} tile(s) stolen, {} panel(s) reused; \
+             p50 {:.3} ms, p99 {:.3} ms",
             self.submitted,
             self.completed,
             self.rejected_busy,
@@ -214,6 +228,8 @@ impl std::fmt::Display for ServeStats {
             self.dispatched,
             self.batched_ratio(),
             self.bytes_staging_saved as f64 / 1024.0,
+            self.tiles_stolen,
+            self.panel_reuse_hits,
             self.p50_ns as f64 / 1e6,
             self.p99_ns as f64 / 1e6,
         )

@@ -9,9 +9,10 @@
 //! non-multiples of every tile size, m << n and m >> n.
 
 use egemm::{
-    emulated_gemm_entrywise, emulated_gemm_rows, gemm_blocked, gemm_blocked_fused,
-    gemm_blocked_range, gemm_blocked_range_fused_in, Egemm, EmulationScheme, EngineConfig,
-    EngineRuntime, KernelOpts, RuntimeConfig, SplitMatrix, TilingConfig,
+    emulated_gemm_entrywise, emulated_gemm_rows, gemm_blocked, gemm_blocked_fused, gemm_blocked_in,
+    gemm_blocked_prepared, gemm_blocked_range, gemm_blocked_range_fused_in, prepare_b, Egemm,
+    EmulationScheme, EngineConfig, EngineRuntime, KernelOpts, RuntimeConfig, SplitMatrix,
+    TilingConfig,
 };
 use egemm_fp::SplitKernel;
 use egemm_matrix::Matrix;
@@ -304,6 +305,100 @@ proptest! {
             }
             let s = eg.runtime().cache_stats();
             prop_assert!(s.hits >= 2, "warm call must hit both operands: {:?}", s);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Work-stealing pool sizes 2/4/8 under deliberately tiny blocking
+    /// (many tiles per worker, so idle workers must steal, and every
+    /// jc column's B panel is contended through the cooperative store)
+    /// agree bitwise with the 1-worker output across the staged, fused,
+    /// prepared-B, and split-K paths.
+    #[test]
+    fn pool_sizes_bit_identical_under_tiny_blocking(
+        m in 1usize..32,
+        k in 2usize..40,
+        n in 1usize..36,
+        scheme_idx in 0usize..4,
+        cut_num in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let scheme = SCHEMES[scheme_idx];
+        let tk = 8usize;
+        let a = Matrix::<f32>::random_uniform(m, k, seed);
+        let b = Matrix::<f32>::random_uniform(k, n, seed + 1);
+        let sa = SplitMatrix::split(&a, scheme.split_scheme());
+        let sb = SplitMatrix::split(&b, scheme.split_scheme());
+        let cfg_for =
+            |threads: usize| EngineConfig { mc: 5, nc: 9, kc: 7, threads, ..Default::default() };
+        let k_lo = (cut_num * k / 8).min(k - 1);
+        let bits = |d: &Matrix<f32>| d.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+
+        let want = bits(&gemm_blocked(&sa, &sb, None, scheme, tk, cfg_for(1)));
+        let want_range = bits(&gemm_blocked_range(&sa, &sb, k_lo, k, scheme, tk, cfg_for(1)));
+
+        for threads in [2usize, 4, 8] {
+            let cfg = cfg_for(threads);
+            let staged = bits(&gemm_blocked(&sa, &sb, None, scheme, tk, cfg));
+            prop_assert_eq!(&staged, &want, "staged diverged (threads={})", threads);
+
+            let fused = bits(&gemm_blocked_fused(&a, &b, None, scheme, tk, cfg));
+            prop_assert_eq!(&fused, &want, "fused diverged (threads={})", threads);
+
+            let rt = EngineRuntime::new(RuntimeConfig {
+                threads,
+                cache_bytes: 0,
+                ..Default::default()
+            });
+            let pb = prepare_b(&rt, &b, scheme.split_scheme(), tk, cfg);
+            let prepared = bits(&gemm_blocked_prepared(&rt, &sa, &pb, None, scheme, tk, cfg));
+            prop_assert_eq!(&prepared, &want, "prepared-B diverged (threads={})", threads);
+
+            let ranged = bits(&gemm_blocked_range(&sa, &sb, k_lo, k, scheme, tk, cfg));
+            prop_assert_eq!(&ranged, &want_range, "split-K diverged (threads={})", threads);
+        }
+    }
+}
+
+#[test]
+fn panel_store_packs_each_panel_exactly_once_per_call() {
+    // The cooperative panel store's contract: per engine call, each
+    // (jc, pc) B panel is packed by exactly one worker and every other
+    // (tile, pc) visit reuses the published copy. mc=5 / nc=16 / kc=8
+    // with tk=8 are already legal (no clamping), so a 23x29x31 product
+    // has a 5x2 tile grid over 4 k-panels: 2*4 = 8 packs and
+    // 5*2*4 - 8 = 32 reuse hits per cold call, at every pool size.
+    let scheme = EmulationScheme::EgemmTc;
+    let tk = 8usize;
+    let (sa, sb) = split_pair(23, 29, 31, scheme, 55);
+    for threads in [1usize, 2, 4] {
+        let rt = EngineRuntime::new(RuntimeConfig {
+            threads,
+            cache_bytes: 0,
+            ..Default::default()
+        });
+        let cfg = EngineConfig {
+            mc: 5,
+            nc: 16,
+            kc: 8,
+            threads,
+            ..Default::default()
+        };
+        for call in 0..2 {
+            let before = rt.sched_stats();
+            let _ = gemm_blocked_in(&rt, &sa, &sb, None, scheme, tk, cfg);
+            let d = rt.sched_stats().delta_since(&before);
+            assert_eq!(
+                d.panels_packed, 8,
+                "threads={threads} call={call}: each (jc,pc) slot must pack exactly once"
+            );
+            assert_eq!(
+                d.panel_reuse_hits, 32,
+                "threads={threads} call={call}: remaining row tiles must reuse"
+            );
         }
     }
 }
