@@ -11,9 +11,17 @@
 //!   force the backpressure paths: at least one `busy` rejection and one
 //!   deadline `timeout` must be observed, again with zero dropped
 //!   responses, and both server and frontend must shut down cleanly.
-//!   Records a `serve_throughput` entry (req/s, batched ratio, p99 per
-//!   engine worker count) into `BENCH_engine.json` (or `--out PATH`),
-//!   preserving the entries the engine benchmark wrote.
+//!   Records a `serve_throughput` entry (req/s, batched ratio, p50,
+//!   p99, deadline misses, and busy rejects per engine worker count)
+//!   into `BENCH_engine.json` (or `--out PATH`), preserving the entries
+//!   the engine benchmark wrote.
+//! - `--metrics-smoke [--out PATH]` — the metrics-plane CI gate: enables
+//!   the 1-in-1 numerical-health probe, drives a shared-B burst through
+//!   the TCP frontend, scrapes the `METRICS` verb, asserts the
+//!   exposition carries nonzero engine, serve, and numerical-health
+//!   series, and writes the raw exposition text to
+//!   `target/metrics_exposition.txt` (or `--out PATH`) for the CI
+//!   re-parse step.
 //! - `--serve ADDR` — run a standalone server until killed.
 //! - `--connect ADDR [--requests N]` — fire a burst at a running server
 //!   and print the outcome.
@@ -114,10 +122,21 @@ fn stat(v: &wire::Value, key: &str) -> f64 {
     v.get(key).and_then(wire::Value::as_f64).unwrap_or(0.0)
 }
 
+/// One phase-A run's numbers, recorded into `BENCH_engine.json`.
+#[derive(Debug, Clone, Copy)]
+struct RunStats {
+    req_s: f64,
+    batched_ratio: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    deadline_misses: u64,
+    busy_rejects: u64,
+}
+
 /// Phase A: mixed-shape shared-B throughput burst against an engine
 /// with the given worker count. Returns the numbers recorded into
 /// `BENCH_engine.json`.
-fn smoke_throughput(threads: usize) -> (f64, f64, f64) {
+fn smoke_throughput(threads: usize) -> RunStats {
     let server = Server::start(
         engine(threads),
         ServerConfig {
@@ -191,13 +210,26 @@ fn smoke_throughput(threads: usize) -> (f64, f64, f64) {
         stat(&stats, "dispatched"),
     );
     let req_s = total.ok as f64 / elapsed;
+    let p50_ms = stat(&stats, "p50_ns") / 1e6;
     let p99_ms = stat(&stats, "p99_ns") / 1e6;
+    let deadline_misses =
+        (stat(&stats, "timed_out_before") + stat(&stats, "timed_out_after")) as u64;
+    let busy_rejects = stat(&stats, "rejected_busy") as u64;
     println!(
         "phase A ({threads} engine worker(s)): {} requests on {connections} connections \
-         in {elapsed:.3} s -> {req_s:.1} req/s, batched ratio {ratio:.2}x, p99 {p99_ms:.2} ms",
+         in {elapsed:.3} s -> {req_s:.1} req/s, batched ratio {ratio:.2}x, \
+         p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms, \
+         {deadline_misses} deadline miss(es), {busy_rejects} busy reject(s)",
         total.ok
     );
-    (req_s, ratio, p99_ms)
+    RunStats {
+        req_s,
+        batched_ratio: ratio,
+        p50_ms,
+        p99_ms,
+        deadline_misses,
+        busy_rejects,
+    }
 }
 
 /// Phase B: backpressure. A tiny queue plus a long batch window force
@@ -264,6 +296,127 @@ fn smoke_backpressure() {
     );
 }
 
+/// Fetch the Prometheus-style exposition over the `METRICS` verb.
+fn fetch_metrics(addr: std::net::SocketAddr) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect for metrics");
+    wire::write_frame(&mut conn, wire::encode_metrics_request(0).as_bytes())
+        .expect("write metrics request");
+    let frame = wire::read_frame(&mut conn)
+        .expect("read metrics frame")
+        .expect("metrics response");
+    let v = wire::parse(std::str::from_utf8(&frame).expect("utf-8")).expect("metrics json");
+    v.get("metrics")
+        .and_then(wire::Value::as_str)
+        .expect("metrics payload")
+        .to_string()
+}
+
+/// Value of one exposition series (exact name match, comments skipped).
+fn series_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| l.rsplit_once(' '))
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+/// Metrics-plane smoke: probe every GEMM, drive a burst over TCP,
+/// scrape the `METRICS` verb, assert the exposition carries the series
+/// CI validates, and save the raw text for the re-parse step.
+fn metrics_smoke(out_path: &str) {
+    // Probe every call so the burst below is guaranteed to feed the
+    // numerical-health histogram, and trace so collected reports feed
+    // the per-phase duration counters.
+    egemm::set_probe_rate(1);
+    egemm::telemetry::set_enabled(true);
+
+    let server = Server::start(
+        engine(2),
+        ServerConfig {
+            queue_cap: 64,
+            batch_window: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+    let tcp = TcpServer::bind("127.0.0.1:0", server.client()).expect("bind frontend");
+    let addr = tcp.local_addr();
+
+    let shape = GemmShape::new(48, 48, 48);
+    let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 77);
+    let handles: Vec<_> = (0..4u64)
+        .map(|c| {
+            let requests: Vec<GemmRequest> = (0..4u64)
+                .map(|r| {
+                    GemmRequest::gemm(
+                        Matrix::random_uniform(shape.m, shape.k, c * 10 + r + 1),
+                        b.clone(),
+                    )
+                })
+                .collect();
+            let verify = vec![None; requests.len()];
+            std::thread::spawn(move || run_connection(addr, &requests, &verify))
+        })
+        .collect();
+    let mut total = Outcome::default();
+    for h in handles {
+        total.absorb(h.join().expect("connection thread"));
+    }
+    assert_eq!(
+        total.ok, total.sent,
+        "metrics smoke had failures: {total:?}"
+    );
+
+    // Every served response must carry a nonzero request id (ids start
+    // at 1; 0 means untracked).
+    let probe_req = GemmRequest::gemm(Matrix::random_uniform(shape.m, shape.k, 99), b.clone());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    wire::write_frame(&mut conn, wire::encode_request(1, &probe_req).as_bytes()).unwrap();
+    let frame = wire::read_frame(&mut conn).unwrap().expect("response");
+    let served = wire::decode_response(&frame)
+        .unwrap()
+        .result
+        .expect("served");
+    assert!(
+        served.request_id > 0,
+        "served responses must carry a request id"
+    );
+    drop(conn); // the frontend joins handlers at shutdown; close first
+
+    let exposition = fetch_metrics(addr);
+    tcp.shutdown();
+    server.shutdown();
+
+    let require_positive = |name: &str| {
+        let v = series_value(&exposition, name)
+            .unwrap_or_else(|| panic!("exposition is missing {name}:\n{exposition}"));
+        assert!(v > 0.0, "{name} must be positive, got {v}");
+        v
+    };
+    require_positive("egemm_gemm_calls_total");
+    require_positive("egemm_serve_requests_total");
+    require_positive("egemm_serve_completed_total");
+    require_positive("egemm_numerical_health_count");
+    require_positive("egemm_numerical_health_probes_total");
+    assert_eq!(
+        series_value(&exposition, "egemm_bound_violations_total").unwrap_or(0.0),
+        0.0,
+        "a healthy burst must not trip the bound-violation counter"
+    );
+
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(out_path, &exposition).expect("write exposition");
+    println!(
+        "serve_loadgen --metrics-smoke: {} series scraped, exposition saved to {out_path}",
+        exposition
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count()
+    );
+}
+
 /// Render a [`wire::Value`] the way the engine benchmark formats
 /// `BENCH_engine.json`: top-level and second-level objects multi-line,
 /// everything deeper compact.
@@ -291,7 +444,7 @@ fn pretty(v: &wire::Value, depth: usize, out: &mut String) {
 /// Insert/replace the `serve_throughput` entry in the benchmark
 /// baseline file, preserving everything the engine benchmark recorded.
 /// One sub-object per engine worker count.
-fn record(path: &str, runs: &[(usize, (f64, f64, f64))]) {
+fn record(path: &str, runs: &[(usize, RunStats)]) {
     let mut root = match std::fs::read_to_string(path) {
         Ok(text) => wire::parse(&text).unwrap_or_else(|e| {
             panic!("{path} exists but is not valid JSON ({e}); refusing to overwrite")
@@ -300,10 +453,12 @@ fn record(path: &str, runs: &[(usize, (f64, f64, f64))]) {
     };
     let body: Vec<String> = runs
         .iter()
-        .map(|&(threads, (req_s, ratio, p99_ms))| {
+        .map(|&(threads, r)| {
             format!(
-                "\"workers_{threads}\": {{\"req_s\": {req_s:.1}, \
-                 \"batched_ratio\": {ratio:.3}, \"p99_ms\": {p99_ms:.3}}}"
+                "\"workers_{threads}\": {{\"req_s\": {:.1}, \
+                 \"batched_ratio\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"deadline_misses\": {}, \"busy_rejects\": {}}}",
+                r.req_s, r.batched_ratio, r.p50_ms, r.p99_ms, r.deadline_misses, r.busy_rejects
             )
         })
         .collect();
@@ -353,7 +508,7 @@ fn main() {
     };
 
     if flag("--smoke") {
-        let runs: Vec<(usize, (f64, f64, f64))> = [1usize, 4]
+        let runs: Vec<(usize, RunStats)> = [1usize, 4]
             .iter()
             .map(|&w| (w, smoke_throughput(w)))
             .collect();
@@ -361,13 +516,19 @@ fn main() {
         let out = opt("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
         record(&out, &runs);
         println!("serve_loadgen --smoke: all serving assertions passed");
+    } else if flag("--metrics-smoke") {
+        let out = opt("--out").unwrap_or_else(|| "target/metrics_exposition.txt".to_string());
+        metrics_smoke(&out);
     } else if let Some(addr) = opt("--serve") {
         serve_forever(&addr);
     } else if let Some(addr) = opt("--connect") {
         let n = opt("--requests").and_then(|s| s.parse().ok()).unwrap_or(16);
         connect_burst(&addr, n);
     } else {
-        eprintln!("usage: serve_loadgen --smoke [--out PATH] | --serve ADDR | --connect ADDR [--requests N]");
+        eprintln!(
+            "usage: serve_loadgen --smoke [--out PATH] | --metrics-smoke [--out PATH] \
+             | --serve ADDR | --connect ADDR [--requests N]"
+        );
         std::process::exit(2);
     }
 }

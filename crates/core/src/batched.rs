@@ -12,7 +12,7 @@ use crate::config::TilingConfig;
 use crate::engine;
 use crate::gemm::Egemm;
 use crate::kernel::build_kernel;
-use crate::telemetry::GemmReport;
+use crate::telemetry::{probe, GemmReport};
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_tcsim::{kernel_time, KernelTiming};
 use rayon::prelude::*;
@@ -53,6 +53,7 @@ impl Egemm {
         // the default fused pipeline B packs straight from raw f32 and
         // A splits per tile inside the workers; the staged knob restores
         // up-front splits of every operand.
+        let mwin = Egemm::metrics_begin();
         let window = self.trace_begin();
         let tk = TilingConfig::TC.k;
         let scheme = self.scheme.split_scheme();
@@ -111,6 +112,13 @@ impl Egemm {
                 a.len()
             ),
         );
+        Egemm::metrics_end(mwin, shape, a.len() as u64);
+        // Sampled numerical-health check on one batch member (the raw
+        // A/B pairs are in hand here, unlike the prepared paths).
+        if probe::probe_rate() > 0 {
+            let i = probe::pick(a.len());
+            probe::maybe_probe(self.scheme, &a[i], &b[i], None, &d[i]);
+        }
         BatchedOutput {
             d,
             timing: self.time_batched(shape, a.len()),

@@ -28,6 +28,7 @@
 use super::cache::{fingerprint, lock_unpoisoned, CacheKey, PanelCache};
 use super::pack::PackedB;
 use super::sched::{SchedCounters, SchedStats};
+use crate::envcfg::{self, EnvNum};
 use crate::split_matrix::SplitMatrix;
 use crate::telemetry;
 use egemm_fp::{SplitKernel, SplitScheme};
@@ -110,11 +111,9 @@ impl RuntimeConfig {
         let mut threads = 0usize;
         let mut ignored: Option<(&str, String)> = None;
         for var in ["EGEMM_THREADS", "RAYON_NUM_THREADS"] {
-            let Ok(raw) = std::env::var(var) else {
-                continue;
-            };
-            match raw.trim().parse::<usize>() {
-                Ok(t) if t > 0 => {
+            match envcfg::read_usize(var) {
+                EnvNum::Unset => {}
+                EnvNum::Parsed(t, _) if t > 0 => {
                     threads = if var == "EGEMM_THREADS" {
                         t
                     } else {
@@ -122,7 +121,7 @@ impl RuntimeConfig {
                     };
                     break;
                 }
-                _ => {
+                EnvNum::Parsed(_, raw) | EnvNum::Garbage(raw) => {
                     if ignored.is_none() {
                         ignored = Some((var, raw));
                     }
@@ -133,27 +132,25 @@ impl RuntimeConfig {
             threads = avail;
         }
         if let Some((var, raw)) = ignored {
-            WARN_THREADS.call_once(|| {
-                eprintln!(
+            envcfg::warn_once(&WARN_THREADS, || {
+                format!(
                     "egemm: ignoring {var}={raw:?} (not a positive integer); \
                      resolved worker count: {threads}"
-                );
+                )
             });
         }
-        let cache_bytes = match std::env::var("EGEMM_CACHE_BYTES") {
-            Ok(raw) => match raw.trim().parse::<usize>() {
-                Ok(b) => b,
-                Err(_) => {
-                    WARN_CACHE.call_once(|| {
-                        eprintln!(
-                            "egemm: ignoring EGEMM_CACHE_BYTES={raw:?} (not an integer); \
-                             using the {DEFAULT_CACHE_BYTES}-byte default"
-                        );
-                    });
-                    DEFAULT_CACHE_BYTES
-                }
-            },
-            Err(_) => DEFAULT_CACHE_BYTES,
+        let cache_bytes = match envcfg::read_usize("EGEMM_CACHE_BYTES") {
+            EnvNum::Unset => DEFAULT_CACHE_BYTES,
+            EnvNum::Parsed(b, _) => b,
+            EnvNum::Garbage(raw) => {
+                envcfg::warn_once(&WARN_CACHE, || {
+                    format!(
+                        "egemm: ignoring EGEMM_CACHE_BYTES={raw:?} (not an integer); \
+                         using the {DEFAULT_CACHE_BYTES}-byte default"
+                    )
+                });
+                DEFAULT_CACHE_BYTES
+            }
         };
         RuntimeConfig {
             threads,
@@ -246,8 +243,11 @@ impl EngineRuntime {
     /// lazily on first multi-threaded dispatch and parked between calls.
     pub fn new(cfg: RuntimeConfig) -> Arc<EngineRuntime> {
         // First runtime construction is the natural "before any engine
-        // work" point to honour EGEMM_TRACE.
+        // work" point to honour EGEMM_TRACE, EGEMM_METRICS, and
+        // EGEMM_PROBE_RATE.
         telemetry::init_from_env();
+        telemetry::metrics::init_from_env();
+        telemetry::probe::init_from_env();
         Arc::new(EngineRuntime {
             default_threads: cfg.threads.max(1),
             split_kernel: cfg.split_kernel,

@@ -82,6 +82,21 @@ pub fn dot_error_bound(scheme: EmulationScheme, k: usize, r: f64) -> f64 {
     dot_error_components(scheme, k, r).total()
 }
 
+/// [`dot_error_bound`] extended for `D = A·B + C`: when a C term with
+/// magnitude up to `c_abs` seeds the binary32 accumulator, every
+/// subsequent add can also round against it, contributing at most
+/// `gamma(adds, u32) · c_abs` on top of the product bound. Used by the
+/// numerical-health probe (`telemetry`), whose sampled elements must be
+/// judged against a bound that stays sound on the C-accumulating entry
+/// points.
+pub fn dot_error_bound_with_c(scheme: EmulationScheme, k: usize, r: f64, c_abs: f64) -> f64 {
+    let mut bound = dot_error_bound(scheme, k, r);
+    if c_abs > 0.0 {
+        bound += gamma(k * scheme.tc_instructions(), U32) * c_abs;
+    }
+    bound
+}
+
 /// The reduction depth `k*` at which the accumulation term overtakes the
 /// representation term for a scheme (inputs in `[-r, r]`); `None` if the
 /// representation term dominates over the whole queried range.
@@ -191,6 +206,19 @@ mod tests {
             k_half.is_none() || k_half.unwrap() > k_star,
             "half-precision crossover {k_half:?} vs extended {k_star}"
         );
+    }
+
+    #[test]
+    fn c_term_widens_the_bound_monotonically() {
+        let base = dot_error_bound(EmulationScheme::EgemmTc, 256, 1.0);
+        let with_zero = dot_error_bound_with_c(EmulationScheme::EgemmTc, 256, 1.0, 0.0);
+        let with_c = dot_error_bound_with_c(EmulationScheme::EgemmTc, 256, 1.0, 10.0);
+        assert_eq!(base, with_zero);
+        assert!(with_c > base);
+        // The extra term is linear in |C|.
+        let with_2c = dot_error_bound_with_c(EmulationScheme::EgemmTc, 256, 1.0, 20.0);
+        let ratio = (with_2c - base) / (with_c - base);
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::engine::{EngineRuntime, PreparedOperand};
 use crate::kernel::build_kernel;
 pub use crate::kernel::KernelOpts;
 use crate::split_matrix::SplitMatrix;
-use crate::telemetry::{self, GemmReport};
+use crate::telemetry::{self, metrics, probe, GemmReport};
 use egemm_matrix::{GemmShape, Matrix};
 use egemm_tcsim::{kernel_time, DeviceSpec, KernelTiming};
 use std::sync::Arc;
@@ -113,6 +113,21 @@ impl Egemm {
         })
     }
 
+    /// Open the aggregate-metrics window for one call: a wall-clock
+    /// start when recording is on, `None` (one relaxed load) when off.
+    pub(crate) fn metrics_begin() -> Option<std::time::Instant> {
+        metrics::enabled().then(std::time::Instant::now)
+    }
+
+    /// Close a metrics window: record the call (and its `batch`
+    /// problems) into the registry.
+    pub(crate) fn metrics_end(window: Option<std::time::Instant>, shape: GemmShape, batch: u64) {
+        if let Some(t0) = window {
+            let flops = 2 * (shape.m as u64) * (shape.n as u64) * (shape.k as u64) * batch.max(1);
+            metrics::record_gemm_call(flops, batch.max(1), t0.elapsed().as_nanos() as u64);
+        }
+    }
+
     /// Close a trace window opened by [`Egemm::trace_begin`].
     pub(crate) fn trace_end(
         &self,
@@ -180,6 +195,7 @@ impl Egemm {
         );
         assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
         let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
+        let mwin = Egemm::metrics_begin();
         let window = self.trace_begin();
         let d = if self.opts.engine.staged {
             let sa = self.runtime.split_cached(a, self.scheme.split_scheme());
@@ -207,6 +223,7 @@ impl Egemm {
             window,
             format!("gemm_prepared {}x{}x{}", shape.m, shape.n, shape.k),
         );
+        Egemm::metrics_end(mwin, shape, 1);
         GemmOutput {
             d,
             timing: self.time(shape),
@@ -229,6 +246,7 @@ impl Egemm {
     ) -> GemmOutput {
         assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
         let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
+        let mwin = Egemm::metrics_begin();
         let window = self.trace_begin();
         // CUDA-core phase analogue: operand preparation through the
         // runtime's prepared-operand cache — a content hit on B skips
@@ -277,6 +295,9 @@ impl Egemm {
             )
         };
         let report = self.trace_end(window, format!("gemm {}x{}x{}", shape.m, shape.n, shape.k));
+        Egemm::metrics_end(mwin, shape, 1);
+        // Sampled numerical-health check — reads a, b, c, d only.
+        probe::maybe_probe(self.scheme, a, b, c, &d);
         let timing = self.time(shape);
         GemmOutput {
             d,
@@ -296,6 +317,7 @@ impl Egemm {
         c: Option<&Matrix<f32>>,
     ) -> GemmOutput {
         let shape = GemmShape::new(sa.rows(), sb.cols(), sa.cols());
+        let mwin = Egemm::metrics_begin();
         let window = self.trace_begin();
         let d = engine::gemm_blocked_in(
             &self.runtime,
@@ -310,6 +332,7 @@ impl Egemm {
             window,
             format!("gemm_split {}x{}x{}", shape.m, shape.n, shape.k),
         );
+        Egemm::metrics_end(mwin, shape, 1);
         GemmOutput {
             d,
             timing: self.time(shape),

@@ -43,6 +43,7 @@ pub mod blas;
 pub mod config;
 pub mod emulation;
 pub mod engine;
+pub(crate) mod envcfg;
 pub mod errbound;
 pub mod gemm;
 pub mod kernel;
@@ -67,10 +68,10 @@ pub use engine::{
     prepare_b, prepare_b_fused, CacheStats, EngineConfig, EngineRuntime, PreparedOperand,
     RuntimeConfig, SchedStats,
 };
-pub use errbound::{crossover_k, dot_error_bound};
+pub use errbound::{crossover_k, dot_error_bound, dot_error_bound_with_c};
 pub use gemm::{Egemm, GemmOutput, KernelOpts};
 pub use kernel::{build_kernel, plane_counts, wave_reuse_ab_bytes, BYTES_PER_128B_INSTR};
 pub use sass::{generate_sass, AllocationReport, SassKernel};
 pub use split_matrix::SplitMatrix;
 pub use splitk::{choose_slices, SplitKOutput};
-pub use telemetry::GemmReport;
+pub use telemetry::{render_prometheus, set_probe_rate, GemmReport, RequestTrace};

@@ -75,6 +75,7 @@ impl Egemm {
             slices
         };
         assert!(s >= 1 && s <= shape.k, "slice count out of range");
+        let mwin = Egemm::metrics_begin();
         let window = self.trace_begin();
         let rt = self.runtime();
 
@@ -144,6 +145,7 @@ impl Egemm {
             window,
             format!("gemm_split_k {}x{}x{} s={s}", shape.m, shape.n, shape.k),
         );
+        Egemm::metrics_end(mwin, shape, 1);
         SplitKOutput {
             d,
             slices: s,

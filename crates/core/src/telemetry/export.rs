@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use super::hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
+use super::metrics::{self, SeriesValue};
 use super::report::GemmReport;
 use super::Phase;
 
@@ -95,7 +97,7 @@ impl GemmReport {
         s.push_str("{\"label\":\"");
         esc(&self.label, &mut s);
         s.push_str(&format!(
-            "\",\"wall_ns\":{},\"bytes_packed\":{},\"imbalance\":{:.4},\"dropped_events\":{}",
+            "\",\"wall_ns\":{},\"bytes_packed\":{},\"imbalance\":{:.4},\"spans_dropped\":{}",
             self.wall_ns, self.bytes_packed, self.imbalance, self.dropped_events
         ));
         s.push_str(",\"phases\":{");
@@ -144,6 +146,16 @@ impl GemmReport {
                 w.tiles, w.busy_ns
             ));
         }
+        s.push_str("],\"requests\":[");
+        for (i, r) in self.requests.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"id\":{},\"admitted_ns\":{},\"dispatched_ns\":{}}}",
+                r.id, r.admitted_ns, r.dispatched_ns
+            ));
+        }
         s.push_str("]}");
         s
     }
@@ -172,6 +184,48 @@ impl GemmReport {
             ",{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"panel_reuse_hits\",\"ts\":0,\"args\":{{\"panel_reuse_hits\":{}}}}}",
             self.sched.panel_reuse_hits
         ));
+        s.push_str(&format!(
+            ",{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"spans_dropped\",\"ts\":0,\"args\":{{\"spans_dropped\":{}}}}}",
+            self.dropped_events
+        ));
+        // Serve requests get their own track (tid 1000): one span per
+        // request covering admission -> dispatch, plus a flow arrow
+        // ("s" at dispatch, "f" on the first engine span) tying the
+        // request to the engine work that computed it.
+        if !self.requests.is_empty() {
+            const REQ_TID: u32 = 1000;
+            s.push_str(&format!(
+                ",{{\"ph\":\"M\",\"pid\":1,\"tid\":{REQ_TID},\"name\":\"thread_name\",\"args\":{{\"name\":\"serve requests\"}}}}"
+            ));
+            let engine_anchor = self
+                .lanes
+                .iter()
+                .flat_map(|l| l.events.iter().map(|e| (e.start_ns, l.worker)))
+                .min();
+            for r in &self.requests {
+                let queued = r.dispatched_ns.saturating_sub(r.admitted_ns);
+                s.push_str(&format!(
+                    ",{{\"ph\":\"X\",\"pid\":1,\"tid\":{REQ_TID},\"name\":\"request {}\",\"cat\":\"serve\",\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"request_id\":{}}}}}",
+                    r.id,
+                    r.admitted_ns as f64 / 1e3,
+                    queued as f64 / 1e3,
+                    r.id
+                ));
+                if let Some((anchor_ns, anchor_tid)) = engine_anchor {
+                    s.push_str(&format!(
+                        ",{{\"ph\":\"s\",\"pid\":1,\"tid\":{REQ_TID},\"id\":{},\"name\":\"request\",\"cat\":\"serve\",\"ts\":{:.3}}}",
+                        r.id,
+                        r.dispatched_ns as f64 / 1e3
+                    ));
+                    s.push_str(&format!(
+                        ",{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{},\"id\":{},\"name\":\"request\",\"cat\":\"serve\",\"ts\":{:.3}}}",
+                        anchor_tid,
+                        r.id,
+                        anchor_ns as f64 / 1e3
+                    ));
+                }
+            }
+        }
         let mut first = false;
         for lane in &self.lanes {
             if lane.events.is_empty() {
@@ -204,8 +258,96 @@ impl GemmReport {
     }
 }
 
+/// Split a series name into its family (metric name proper) and the
+/// embedded label body, e.g. `foo{phase="tile"}` -> (`foo`,
+/// `phase="tile"`).
+fn split_labels(series: &str) -> (&str, &str) {
+    match series.find('{') {
+        Some(i) => (&series[..i], series[i + 1..].trim_end_matches('}')),
+        None => (series, ""),
+    }
+}
+
+/// Join an embedded label body with one extra label into a `{...}`
+/// suffix (empty-body aware).
+fn label_suffix(body: &str, extra: &str) -> String {
+    match (body.is_empty(), extra.is_empty()) {
+        (true, true) => String::new(),
+        (true, false) => format!("{{{extra}}}"),
+        (false, true) => format!("{{{body}}}"),
+        (false, false) => format!("{{{body},{extra}}}"),
+    }
+}
+
+fn render_hist(out: &mut String, family: &str, labels: &str, h: &HistSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, c) in h.counts.iter().enumerate() {
+        cumulative += c;
+        // Skip interior zero-count buckets to keep the exposition
+        // readable, but always emit a bucket whose cumulative count
+        // changed plus the +Inf terminator.
+        let last = i == HIST_BUCKETS - 1;
+        if *c == 0 && !last {
+            continue;
+        }
+        let le = if last {
+            "+Inf".to_string()
+        } else {
+            LogHistogram::bucket_le(i).to_string()
+        };
+        out.push_str(&format!(
+            "{family}_bucket{} {cumulative}\n",
+            label_suffix(labels, &format!("le=\"{le}\""))
+        ));
+    }
+    out.push_str(&format!(
+        "{family}_sum{} {}\n",
+        label_suffix(labels, ""),
+        h.sum
+    ));
+    out.push_str(&format!(
+        "{family}_count{} {}\n",
+        label_suffix(labels, ""),
+        h.count
+    ));
+}
+
+/// Render every registered metric as Prometheus text exposition
+/// (version 0.0.4): `# TYPE` headers per family, counter/gauge sample
+/// lines, and `_bucket`/`_sum`/`_count` expansions for histograms
+/// (cumulative `le` edges at the log-bucket upper bounds). This is what
+/// the serve frontend's `METRICS` verb returns and `egemm-top` renders.
+pub fn render_prometheus() -> String {
+    let snap = metrics::snapshot();
+    let mut out = String::with_capacity(4096);
+    let mut last_family = String::new();
+    for (name, value) in &snap {
+        let (family, labels) = split_labels(name);
+        if family != last_family {
+            let kind = match value {
+                SeriesValue::Counter(_) => "counter",
+                SeriesValue::Gauge(_) => "gauge",
+                SeriesValue::Hist(_) => "histogram",
+            };
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+            last_family = family.to_string();
+        }
+        match value {
+            SeriesValue::Counter(v) => {
+                out.push_str(&format!("{family}{} {v}\n", label_suffix(labels, "")));
+            }
+            SeriesValue::Gauge(v) => {
+                out.push_str(&format!("{family}{} {v}\n", label_suffix(labels, "")));
+            }
+            SeriesValue::Hist(h) => render_hist(&mut out, family, labels, h),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
+    use super::super::metrics;
     use super::super::report::{GemmReport, WorkerLane};
     use super::super::ring::{Lane, TraceEvent};
     use super::super::Phase;
@@ -248,6 +390,7 @@ mod tests {
                     detail: 7,
                 }],
             }],
+            requests: vec![],
         }
     }
 
@@ -262,6 +405,8 @@ mod tests {
     fn json_escapes_label() {
         let j = sample().to_json();
         assert!(j.contains("\"label\":\"t \\\"x\\\"\""), "{j}");
+        assert!(j.contains("\"spans_dropped\":0"), "{j}");
+        assert!(j.contains("\"requests\":[]"), "{j}");
         assert!(
             j.contains("\"tile\":{\"count\":2,\"total_ns\":5000}"),
             "{j}"
@@ -301,6 +446,84 @@ mod tests {
         );
         assert!(t.contains("\"tid\":3"), "{t}");
         assert!(t.contains("\"name\":\"tile\""), "{t}");
+        assert!(
+            t.contains("\"name\":\"spans_dropped\",\"ts\":0,\"args\":{\"spans_dropped\":0}"),
+            "{t}"
+        );
         assert!(t.ends_with("]}"));
+    }
+
+    #[test]
+    fn chrome_trace_draws_request_spans_and_flow_arrows() {
+        let mut r = sample();
+        r.requests.push(super::super::report::RequestTrace {
+            id: 42,
+            admitted_ns: 500,
+            dispatched_ns: 900,
+        });
+        let t = r.chrome_trace();
+        // Request track metadata + the admission->dispatch span.
+        assert!(t.contains("\"tid\":1000,\"name\":\"thread_name\""), "{t}");
+        assert!(t.contains("\"name\":\"request 42\""), "{t}");
+        assert!(t.contains("\"args\":{\"request_id\":42}"), "{t}");
+        // Flow start at dispatch, flow finish on the engine anchor
+        // (lane tid 3, first event at ts 1.000 us).
+        assert!(t.contains("\"ph\":\"s\""), "{t}");
+        assert!(
+            t.contains("\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":3,\"id\":42"),
+            "{t}"
+        );
+        // JSON-parse sanity: balanced braces/brackets.
+        assert_eq!(
+            t.matches('{').count(),
+            t.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_kinds() {
+        metrics::counter("test_export_calls_total").add(3);
+        metrics::gauge("test_export_depth").set(7);
+        metrics::histogram("test_export_lat_ns{shape=\"tiny\"}").observe(100);
+        let text = super::render_prometheus();
+        assert!(
+            text.contains("# TYPE test_export_calls_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("test_export_calls_total 3"), "{text}");
+        assert!(text.contains("# TYPE test_export_depth gauge"), "{text}");
+        assert!(text.contains("test_export_depth 7"), "{text}");
+        assert!(
+            text.contains("# TYPE test_export_lat_ns histogram"),
+            "{text}"
+        );
+        // 100 lands in bucket [64, 127]: cumulative 1 at le=127, and the
+        // +Inf terminator plus sum/count lines carry the labels.
+        assert!(
+            text.contains("test_export_lat_ns_bucket{shape=\"tiny\",le=\"127\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_export_lat_ns_bucket{shape=\"tiny\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_export_lat_ns_sum{shape=\"tiny\"} 100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_export_lat_ns_count{shape=\"tiny\"} 1"),
+            "{text}"
+        );
+        // Every non-comment line is "<name> <integer>".
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<i64>().is_ok(), "unparsable value: {line}");
+        }
     }
 }

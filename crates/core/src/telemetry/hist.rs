@@ -1,0 +1,242 @@
+//! Fixed-bucket log-scale histograms with mergeable per-thread shards.
+//!
+//! A [`LogHistogram`] records non-negative integer samples (durations in
+//! nanoseconds, throughput in MFLOP/s, error ratios in ppm) into
+//! power-of-two buckets: bucket 0 holds exact zeros, bucket `i >= 1`
+//! holds values in `[2^(i-1), 2^i)`, and the last bucket absorbs
+//! everything at or beyond `2^(BUCKETS-2)`. The bucket layout is fixed
+//! at compile time, so recording never allocates and a snapshot is a
+//! plain array copy.
+//!
+//! Concurrency follows the trace-ring discipline: recording must never
+//! contend. Each histogram owns a small pool of cache-line-padded
+//! *shards*; a recording thread picks one shard (round-robin at first
+//! touch, sticky thereafter) and does two relaxed `fetch_add`s — one on
+//! the bucket count, one on the running sum. Nothing is lost to the
+//! sharding: [`LogHistogram::snapshot`] merges shards by addition, so
+//! total counts and sums are exactly the sums of every `observe` call
+//! regardless of thread interleaving (enforced by the shard-merge
+//! property test in `tests/telemetry.rs`).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of buckets: zeros, 46 power-of-two ranges, and an overflow
+/// bucket. `2^46` ns is about 20 hours — far beyond any per-call value
+/// this plane records.
+pub const HIST_BUCKETS: usize = 48;
+
+/// Default shard-pool width (power of two; sticky round-robin thread
+/// assignment keeps collisions rare at typical pool sizes).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// One thread-affine slab of buckets. Padded to its own cache lines so
+/// two shards never false-share.
+#[repr(align(128))]
+struct Shard {
+    counts: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free log-scale histogram (see the module docs).
+pub struct LogHistogram {
+    shards: Box<[Shard]>,
+}
+
+/// Merged point-in-time view of a [`LogHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`LogHistogram::bucket_of`]).
+    pub counts: [u64; HIST_BUCKETS],
+    /// Total samples observed.
+    pub count: u64,
+    /// Sum of every observed value (wrapping at `u64::MAX`, like any
+    /// Prometheus counter).
+    pub sum: u64,
+}
+
+impl LogHistogram {
+    /// Histogram with the default shard pool.
+    pub fn new() -> LogHistogram {
+        LogHistogram::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Histogram with an explicit shard-pool width (>= 1). Exposed so
+    /// the merge-exactness property test can sweep pool sizes.
+    pub fn with_shards(shards: usize) -> LogHistogram {
+        LogHistogram {
+            shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// The bucket a value lands in.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+    /// bucket) — the Prometheus `le` edge.
+    pub fn bucket_le(i: usize) -> u64 {
+        if i >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample: two relaxed atomic adds on this thread's
+    /// shard, nothing else.
+    pub fn observe(&self, value: u64) {
+        let shard = &self.shards[shard_index() % self.shards.len()];
+        shard.counts[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Merge every shard into one view. Concurrent `observe` calls land
+    /// either wholly in this snapshot or wholly in the next; counts and
+    /// sums are never split or double-counted.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut counts = [0u64; HIST_BUCKETS];
+        let mut sum = 0u64;
+        for shard in self.shards.iter() {
+            for (total, c) in counts.iter_mut().zip(shard.counts.iter()) {
+                *total += c.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        HistSnapshot {
+            counts,
+            count: counts.iter().sum(),
+            sum,
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("LogHistogram")
+            .field("shards", &self.shards.len())
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .finish()
+    }
+}
+
+impl HistSnapshot {
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (nearest-rank over bucket counts); 0 when empty. A coarse but
+    /// allocation-free quantile for dashboards.
+    pub fn quantile_le(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return LogHistogram::bucket_le(i);
+            }
+        }
+        LogHistogram::bucket_le(HIST_BUCKETS - 1)
+    }
+}
+
+/// The calling thread's sticky shard index: assigned round-robin from a
+/// process-wide counter on first use, constant afterwards. Shared by
+/// every histogram (the index is reduced modulo each pool's width).
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut i = s.get();
+        if i == usize::MAX {
+            i = NEXT.fetch_add(1, Ordering::Relaxed) % (1 << 16);
+            s.set(i);
+        }
+        i
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_consistent() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        // Every value is <= the le edge of its bucket, and > the edge
+        // of the bucket below.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let b = LogHistogram::bucket_of(v);
+            assert!(v <= LogHistogram::bucket_le(b), "{v}");
+            if b > 0 {
+                assert!(v > LogHistogram::bucket_le(b - 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_and_snapshot_exact() {
+        let h = LogHistogram::with_shards(4);
+        let values = [0u64, 1, 5, 5, 900, 1 << 20];
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, values.len() as u64);
+        assert_eq!(s.sum, values.iter().sum::<u64>());
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[LogHistogram::bucket_of(5)], 2);
+    }
+
+    #[test]
+    fn quantile_le_brackets_the_samples() {
+        let h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile_le(0.5) >= 50);
+        assert!(s.quantile_le(1.0) >= 100);
+        assert_eq!(HistSnapshot::default_empty_quantile(), 0);
+    }
+
+    impl HistSnapshot {
+        fn default_empty_quantile() -> u64 {
+            HistSnapshot {
+                counts: [0; HIST_BUCKETS],
+                count: 0,
+                sum: 0,
+            }
+            .quantile_le(0.99)
+        }
+    }
+}

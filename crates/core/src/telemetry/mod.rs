@@ -26,15 +26,29 @@
 //!   ratio, and exports human-readable, JSON, and Chrome `trace_event`
 //!   renderings (loadable in `chrome://tracing` / Perfetto).
 //!
+//! Alongside the per-call tracing above sits the *aggregate* plane:
+//! [`metrics`] (process-wide lock-free registry of counters, gauges,
+//! and [`hist`] log-scale histograms, scrapeable as Prometheus text via
+//! [`render_prometheus`]) and [`probe`]-backed numerical-health
+//! sampling ([`set_probe_rate`]) that validates extended precision
+//! against the `errbound` model in production.
+//!
 //! Instrumentation can never change a result bit: spans only read
-//! clocks and counters around the bit-identical hot loops (enforced by
-//! the traced-vs-untraced property test in `tests/telemetry.rs`).
+//! clocks and counters around the bit-identical hot loops, and the
+//! probe only reads inputs and outputs (enforced by the
+//! traced-vs-untraced and probed-vs-unprobed property tests in
+//! `tests/telemetry.rs`).
 
 mod export;
+pub mod hist;
+pub mod metrics;
+pub(crate) mod probe;
 mod report;
 mod ring;
 
-pub use report::{GemmReport, WorkerLane};
+pub use export::render_prometheus;
+pub use probe::{probe_rate, set_probe_rate};
+pub use report::{GemmReport, RequestTrace, WorkerLane};
 pub use ring::{Lane, TraceEvent, RING_CAPACITY};
 
 use std::sync::atomic::{AtomicBool, Ordering};

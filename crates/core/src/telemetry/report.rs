@@ -37,10 +37,30 @@ pub struct GemmReport {
     /// balance, 1.0 when no worker recorded busy time.
     pub imbalance: f64,
     /// Events lost to ring overflow during the call (durations above
-    /// undercount by these).
+    /// undercount by these). Exported as `spans_dropped` by the JSON
+    /// and Chrome-trace renderers and folded into the
+    /// `egemm_trace_spans_dropped_total` metric.
     pub dropped_events: u64,
     /// The raw drained lanes, for the Chrome-trace exporter.
     pub lanes: Vec<Lane>,
+    /// Serve-layer requests folded into this engine call, when the call
+    /// was dispatched by `egemm-serve` (empty for direct API calls).
+    /// Timestamps are on the [`super::now_ns`] clock, so the
+    /// Chrome-trace exporter can draw each request's admission→dispatch
+    /// span and a flow arrow into the engine lanes.
+    pub requests: Vec<RequestTrace>,
+}
+
+/// One serve request's identity and queue timeline, threaded from
+/// admission through scheduling into the engine call that computed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// Process-unique request id (also returned to the client).
+    pub id: u64,
+    /// Admission time into the serve queue ([`super::now_ns`] clock).
+    pub admitted_ns: u64,
+    /// Time the scheduler handed the request to the engine.
+    pub dispatched_ns: u64,
 }
 
 /// One worker thread's share of a call.
@@ -116,6 +136,9 @@ impl GemmReport {
             let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
             max / mean
         };
+        // Traced calls also feed the aggregate plane: phase wall-time
+        // counters and the spans-dropped total accrue across calls.
+        super::metrics::record_report(&phase_ns, dropped_events);
         GemmReport {
             label: label.into(),
             wall_ns: super::now_ns().saturating_sub(start_ns),
@@ -137,6 +160,7 @@ impl GemmReport {
             imbalance,
             dropped_events,
             lanes,
+            requests: Vec::new(),
         }
     }
 

@@ -53,6 +53,13 @@ pub(crate) struct Pending {
     /// Absolute deadline (admission + requested duration).
     pub deadline: Option<Instant>,
     pub ticket: Arc<TicketInner>,
+    /// Process-unique id assigned at admission (returned to the client
+    /// and threaded into engine trace spans).
+    pub request_id: u64,
+    /// Admission timestamp on the engine trace clock
+    /// ([`egemm::telemetry::now_ns`]) so request spans and engine spans
+    /// share one timeline in the Chrome-trace export.
+    pub admitted_ns: u64,
 }
 
 /// Shared slot a response is delivered into, exactly once.
@@ -152,6 +159,7 @@ impl AdmissionQueue {
             });
         }
         st.queue.push_back(pending);
+        crate::stats::reg::set_queue_depth(st.queue.len());
         self.work.notify_one();
         Ok(())
     }
@@ -183,6 +191,8 @@ mod tests {
             admitted: Instant::now(),
             deadline: None,
             ticket: TicketInner::new(),
+            request_id: 0,
+            admitted_ns: 0,
             req,
         }
     }

@@ -143,6 +143,11 @@ pub struct ServeOutput {
     /// The product `D`, bit-identical to a direct cold engine call on
     /// the same operands.
     pub d: Matrix<f32>,
+    /// Process-unique id assigned at admission. Returned on the wire,
+    /// stamped into the dispatching call's [`GemmReport`] request
+    /// traces, and drawn as a flow arrow in the Chrome-trace export —
+    /// the correlation key between serve and engine telemetry.
+    pub request_id: u64,
     /// Problem shape.
     pub shape: GemmShape,
     /// Requests that rode in the same engine call (1 = dispatched solo).

@@ -2,13 +2,14 @@
 
 use crate::queue::{lock_unpoisoned, AdmissionQueue, BucketKey, Pending, Ticket, TicketInner};
 use crate::request::{GemmRequest, JobKind, ServeError, ServeOutput};
-use crate::stats::{ServeStats, StatsInner};
-use egemm::telemetry::GemmReport;
+use crate::stats::{reg, ServeStats, StatsInner};
+use egemm::telemetry::{self, GemmReport, RequestTrace};
 use egemm::{content_fingerprint, Egemm};
 use egemm_matrix::Matrix;
 use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,6 +48,9 @@ pub(crate) struct ServerInner {
     cfg: ServerConfig,
     queue: AdmissionQueue,
     stats: StatsInner,
+    /// Source of process-unique request ids (starts at 1; 0 is never a
+    /// valid id, so exporters can treat it as "untracked").
+    next_request_id: AtomicU64,
 }
 
 impl ServerInner {
@@ -85,6 +89,7 @@ impl Server {
             queue: AdmissionQueue::new(cfg.queue_cap),
             cfg,
             stats: StatsInner::new(),
+            next_request_id: AtomicU64::new(1),
         });
         let sched_inner = Arc::clone(&inner);
         let sched = std::thread::Builder::new()
@@ -142,8 +147,10 @@ impl Client {
     pub fn submit(&self, req: GemmRequest) -> Result<Ticket, ServeError> {
         let inner = &*self.inner;
         StatsInner::bump(&inner.stats.submitted);
+        reg::bump(reg::requests);
         if let Err(msg) = validate(&req, inner.cfg.allow_nonfinite) {
             StatsInner::bump(&inner.stats.rejected_invalid);
+            reg::bump(reg::invalid);
             return Err(ServeError::Invalid(msg));
         }
         let admitted = Instant::now();
@@ -153,6 +160,8 @@ impl Client {
             admitted,
             deadline: req.deadline.map(|d| admitted + d),
             ticket: Arc::clone(&ticket),
+            request_id: inner.next_request_id.fetch_add(1, Ordering::Relaxed),
+            admitted_ns: telemetry::now_ns(),
             req,
         };
         match inner.queue.push(pending) {
@@ -163,6 +172,7 @@ impl Client {
             Err(e) => {
                 if matches!(e, ServeError::Busy { .. }) {
                     StatsInner::bump(&inner.stats.rejected_busy);
+                    reg::bump(reg::busy_rejects);
                 }
                 Err(e)
             }
@@ -177,6 +187,29 @@ impl Client {
     /// Snapshot of the serving counters.
     pub fn stats(&self) -> ServeStats {
         self.inner.stats_snapshot()
+    }
+
+    /// The full Prometheus text exposition for this process: every
+    /// engine and serve series in the registry, plus scrape-time gauges
+    /// read off this server's engine runtime (cache and scheduler
+    /// lifetime counters, which live on the runtime rather than in the
+    /// registry). This is what the TCP frontend's `METRICS` verb
+    /// returns.
+    pub fn metrics_text(&self) -> String {
+        use egemm::telemetry::metrics;
+        if metrics::enabled() {
+            let rt = self.inner.engine.runtime();
+            let cache = rt.cache_stats();
+            metrics::gauge("egemm_cache_hits").set(cache.hits as i64);
+            metrics::gauge("egemm_cache_misses").set(cache.misses as i64);
+            metrics::gauge("egemm_cache_resident_bytes").set(cache.bytes as i64);
+            metrics::gauge("egemm_bytes_staging_saved").set(cache.bytes_staging_saved as i64);
+            let sched = rt.sched_stats();
+            metrics::gauge("egemm_sched_steals").set(sched.steals as i64);
+            metrics::gauge("egemm_sched_tiles_stolen").set(sched.tiles_stolen as i64);
+            metrics::gauge("egemm_panel_reuse_hits").set(sched.panel_reuse_hits as i64);
+        }
+        telemetry::render_prometheus()
     }
 }
 
@@ -284,7 +317,9 @@ fn scheduler_loop(inner: &ServerInner) {
                 std::thread::sleep(inner.cfg.batch_window);
                 st = lock_unpoisoned(&inner.queue.state);
             }
-            st.queue.drain(..).collect()
+            let drained: Vec<Pending> = st.queue.drain(..).collect();
+            reg::set_queue_depth(st.queue.len());
+            drained
         };
         dispatch_cycle(inner, snapshot);
     }
@@ -318,6 +353,16 @@ fn dispatch_cycle(inner: &ServerInner, snapshot: Vec<Pending>) {
 /// single calls for non-batchable kinds), honouring deadlines on both
 /// sides of the call and converting engine panics into per-request
 /// errors.
+/// Per-request metadata retained across the engine call (the matrices
+/// themselves move into the call and are lost on a panic).
+struct Meta {
+    ticket: Arc<TicketInner>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    request_id: u64,
+    admitted_ns: u64,
+}
+
 fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
     // Pre-dispatch deadline check: expired requests cost no engine time.
     let now = Instant::now();
@@ -325,6 +370,7 @@ fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
     for p in chunk {
         if p.deadline.is_some_and(|d| d <= now) {
             StatsInner::bump(&inner.stats.timed_out_before);
+            reg::bump(reg::deadline_misses);
             p.ticket.fulfill(Err(ServeError::TimedOut {
                 after_dispatch: false,
             }));
@@ -341,13 +387,21 @@ fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
     // ticket must still be answered.
     let batched_with = live.len();
     let dispatched_at = Instant::now();
-    let metas: Vec<(Arc<TicketInner>, Instant, Option<Instant>)> = live
+    let dispatched_ns = telemetry::now_ns();
+    let metas: Vec<Meta> = live
         .iter()
-        .map(|p| (Arc::clone(&p.ticket), p.admitted, p.deadline))
+        .map(|p| Meta {
+            ticket: Arc::clone(&p.ticket),
+            admitted: p.admitted,
+            deadline: p.deadline,
+            request_id: p.request_id,
+            admitted_ns: p.admitted_ns,
+        })
         .collect();
     let reqs: Vec<GemmRequest> = live.into_iter().map(|p| p.req).collect();
 
     StatsInner::bump(&inner.stats.engine_calls);
+    reg::bump(reg::engine_calls);
     let engine = inner.engine.clone().with_scheme(key.scheme);
     let result = catch_unwind(AssertUnwindSafe(|| run_engine(&engine, key, reqs)));
 
@@ -355,25 +409,44 @@ fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
         Ok((ds, report)) => {
             let finished = Instant::now();
             debug_assert_eq!(ds.len(), metas.len());
-            for (d, (ticket, admitted, deadline)) in ds.into_iter().zip(metas) {
-                let total_ns = finished.duration_since(admitted).as_nanos() as u64;
+            // Stamp the serve-side request timeline into the engine's
+            // trace report before sharing it, so exporters can draw
+            // per-request spans and flow arrows into the engine lanes.
+            let report = report.map(|mut rep| {
+                rep.requests = metas
+                    .iter()
+                    .map(|m| RequestTrace {
+                        id: m.request_id,
+                        admitted_ns: m.admitted_ns,
+                        dispatched_ns,
+                    })
+                    .collect();
+                Arc::new(rep)
+            });
+            for (d, meta) in ds.into_iter().zip(metas) {
+                let total_ns = finished.duration_since(meta.admitted).as_nanos() as u64;
                 inner.stats.record_latency(total_ns);
                 StatsInner::bump(&inner.stats.dispatched);
+                reg::bump(reg::dispatched);
                 if batched_with >= 2 {
                     StatsInner::bump(&inner.stats.coalesced);
+                    reg::bump(reg::batched_requests);
                 }
-                if deadline.is_some_and(|dl| dl <= finished) {
+                if meta.deadline.is_some_and(|dl| dl <= finished) {
                     StatsInner::bump(&inner.stats.timed_out_after);
-                    ticket.fulfill(Err(ServeError::TimedOut {
+                    reg::bump(reg::deadline_misses);
+                    meta.ticket.fulfill(Err(ServeError::TimedOut {
                         after_dispatch: true,
                     }));
                 } else {
                     StatsInner::bump(&inner.stats.completed);
-                    ticket.fulfill(Ok(ServeOutput {
+                    reg::bump(reg::completed);
+                    meta.ticket.fulfill(Ok(ServeOutput {
                         shape: key.shape,
                         d,
+                        request_id: meta.request_id,
                         batched_with,
-                        queue_ns: dispatched_at.duration_since(admitted).as_nanos() as u64,
+                        queue_ns: dispatched_at.duration_since(meta.admitted).as_nanos() as u64,
                         total_ns,
                         report: report.clone(),
                     }));
@@ -382,9 +455,10 @@ fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
         }
         Err(payload) => {
             let msg = panic_message(&payload);
-            for (ticket, _, _) in metas {
+            for meta in metas {
                 StatsInner::bump(&inner.stats.engine_failures);
-                ticket.fulfill(Err(ServeError::Engine(msg.clone())));
+                reg::bump(reg::engine_failures);
+                meta.ticket.fulfill(Err(ServeError::Engine(msg.clone())));
             }
         }
     }
@@ -398,7 +472,7 @@ fn run_engine(
     engine: &Egemm,
     key: BucketKey,
     reqs: Vec<GemmRequest>,
-) -> (Vec<Matrix<f32>>, Option<Arc<GemmReport>>) {
+) -> (Vec<Matrix<f32>>, Option<GemmReport>) {
     if key.kind == 0 && reqs.len() > 1 {
         let mut a = Vec::with_capacity(reqs.len());
         let mut b = Vec::with_capacity(reqs.len());
@@ -407,7 +481,7 @@ fn run_engine(
             b.push(r.b);
         }
         let out = engine.gemm_batched(&a, &b);
-        (out.d, out.report.map(Arc::new))
+        (out.d, out.report)
     } else {
         let mut ds = Vec::with_capacity(reqs.len());
         let mut report = None;
@@ -415,12 +489,12 @@ fn run_engine(
             match r.kind {
                 JobKind::Gemm => {
                     let out = engine.gemm_with_c(&r.a, &r.b, r.c.as_ref());
-                    report = out.report.map(Arc::new).or(report);
+                    report = out.report.or(report);
                     ds.push(out.d);
                 }
                 JobKind::SplitK { slices } => {
                     let out = engine.gemm_split_k(&r.a, &r.b, slices);
-                    report = out.report.map(Arc::new).or(report);
+                    report = out.report.or(report);
                     ds.push(out.d);
                 }
             }

@@ -16,6 +16,55 @@ use std::sync::Mutex;
 
 use crate::queue::lock_unpoisoned;
 
+/// Cached handles into the engine's process-wide metrics registry for
+/// the serve-layer series. Each accessor pays the registry lookup once
+/// (a `OnceLock`), so bumping a counter on the serving hot path is one
+/// relaxed atomic add — the same discipline as [`StatsInner`], which
+/// remains the in-band `STATS`-verb source; the registry is the
+/// out-of-band scrape plane.
+pub(crate) mod reg {
+    use egemm::telemetry::metrics::{self, Counter, Gauge};
+    use std::sync::OnceLock;
+
+    macro_rules! serve_counter {
+        ($name:ident, $series:literal) => {
+            pub(crate) fn $name() -> &'static Counter {
+                static H: OnceLock<&'static Counter> = OnceLock::new();
+                H.get_or_init(|| metrics::counter($series))
+            }
+        };
+    }
+
+    serve_counter!(requests, "egemm_serve_requests_total");
+    serve_counter!(busy_rejects, "egemm_serve_busy_rejects_total");
+    serve_counter!(invalid, "egemm_serve_invalid_total");
+    serve_counter!(deadline_misses, "egemm_serve_deadline_misses_total");
+    serve_counter!(completed, "egemm_serve_completed_total");
+    serve_counter!(engine_failures, "egemm_serve_engine_failures_total");
+    serve_counter!(engine_calls, "egemm_serve_engine_calls_total");
+    serve_counter!(dispatched, "egemm_serve_dispatched_total");
+    serve_counter!(batched_requests, "egemm_serve_batched_requests_total");
+
+    pub(crate) fn queue_depth() -> &'static Gauge {
+        static H: OnceLock<&'static Gauge> = OnceLock::new();
+        H.get_or_init(|| metrics::gauge("egemm_serve_queue_depth"))
+    }
+
+    /// Bump a serve counter, honouring the global metrics gate.
+    pub(crate) fn bump(c: fn() -> &'static Counter) {
+        if metrics::enabled() {
+            c().inc();
+        }
+    }
+
+    /// Set the queue-depth gauge, honouring the global metrics gate.
+    pub(crate) fn set_queue_depth(depth: usize) {
+        if metrics::enabled() {
+            queue_depth().set(depth as i64);
+        }
+    }
+}
+
 /// Latency samples retained for quantile estimation.
 const LATENCY_RING: usize = 4096;
 

@@ -6,8 +6,8 @@
 //! ([`crate::wire`]), submits jobs through the in-process
 //! [`Client`] — so TCP requests mix into the same admission queue and
 //! buckets as in-process ones — and writes one response frame per
-//! request, in order. `"stats"` queries are answered inline without
-//! touching the queue.
+//! request, in order. `"stats"` and `"metrics"` queries are answered
+//! inline without touching the queue.
 
 use crate::server::Client;
 use crate::wire;
@@ -116,6 +116,9 @@ fn handle_connection(stream: TcpStream, client: &Client) {
         };
         let reply = match wire::decode_request(&payload) {
             Ok(wire::WireRequest::Stats { id }) => wire::encode_stats_response(id, &client.stats()),
+            Ok(wire::WireRequest::Metrics { id }) => {
+                wire::encode_metrics_response(id, &client.metrics_text())
+            }
             Ok(wire::WireRequest::Job { id, req }) => {
                 // Blocking call: one in-flight request per connection,
                 // responses naturally in request order. Concurrency is
@@ -171,6 +174,24 @@ mod tests {
             .expect("error response");
         let resp = wire::decode_response(&frame).unwrap();
         assert!(matches!(resp.result, Err(crate::ServeError::Invalid(_))));
+
+        // Metrics scrape on the same connection: the exposition carries
+        // the serve counters the GEMM above just bumped.
+        wire::write_frame(&mut conn, wire::encode_metrics_request(3).as_bytes()).unwrap();
+        let frame = wire::read_frame(&mut conn)
+            .unwrap()
+            .expect("metrics response");
+        let v = wire::parse(std::str::from_utf8(&frame).unwrap()).unwrap();
+        assert_eq!(v.get("ok").and_then(wire::Value::as_bool), Some(true));
+        let text = v
+            .get("metrics")
+            .and_then(wire::Value::as_str)
+            .expect("metrics text");
+        assert!(
+            text.contains("egemm_serve_requests_total"),
+            "exposition should list serve counters:\n{text}"
+        );
+        assert!(text.contains("egemm_serve_completed_total"));
 
         // Stats query still works on the same connection.
         wire::write_frame(&mut conn, wire::encode_stats_request(2).as_bytes()).unwrap();

@@ -24,19 +24,22 @@
 //! ```
 //!
 //! `kind` is `"gemm"`, `"split_k"` (with optional `"slices"`, `0` =
-//! auto), or `"stats"` (no other fields; answers a counters snapshot).
-//! `scheme` is `"egemm_tc"` (default), `"markidis"`, `"markidis4"`, or
-//! `"tc_half"`. Response object (server → client):
+//! auto), `"stats"` (no other fields; answers a counters snapshot), or
+//! `"metrics"` (no other fields; answers the Prometheus-style text
+//! exposition of the process-wide metrics registry). `scheme` is
+//! `"egemm_tc"` (default), `"markidis"`, `"markidis4"`, or `"tc_half"`.
+//! Response object (server → client):
 //!
 //! ```json
-//! {"id": 1, "ok": true, "m": 2, "n": 2, "d": [..m*n..],
+//! {"id": 1, "ok": true, "request_id": 9, "m": 2, "n": 2, "d": [..m*n..],
 //!  "batched_with": 3, "queue_ns": 120, "total_ns": 45000}
 //! {"id": 1, "ok": false, "error": {"code": "busy", "message": "..."}}
 //! ```
 //!
 //! An `ok` response carries `"report"` (the engine `GemmReport` as
-//! JSON) when tracing is enabled, and a `"stats"` request answers
-//! `{"id":..,"ok":true,"stats":{..ServeStats..}}`.
+//! JSON) when tracing is enabled; a `"stats"` request answers
+//! `{"id":..,"ok":true,"stats":{..ServeStats..}}`; a `"metrics"`
+//! request answers `{"id":..,"ok":true,"metrics":"<exposition text>"}`.
 
 use crate::request::{GemmRequest, JobKind, ServeError, ServeOutput};
 use crate::stats::ServeStats;
@@ -463,6 +466,9 @@ pub enum WireRequest {
     /// A counters-snapshot query, answered inline by the connection
     /// handler.
     Stats { id: u64 },
+    /// A metrics-exposition scrape, answered inline by the connection
+    /// handler with the registry's Prometheus-style text.
+    Metrics { id: u64 },
 }
 
 /// Encode a job request frame (the loadgen client side).
@@ -508,6 +514,15 @@ pub fn encode_stats_request(id: u64) -> String {
     .to_json()
 }
 
+/// Encode a metrics-scrape frame (the `METRICS` verb).
+pub fn encode_metrics_request(id: u64) -> String {
+    Value::Obj(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("kind".into(), Value::Str("metrics".into())),
+    ])
+    .to_json()
+}
+
 /// Decode one client frame into a [`WireRequest`].
 pub fn decode_request(payload: &[u8]) -> Result<WireRequest, String> {
     let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
@@ -523,6 +538,9 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, String> {
         .ok_or("missing \"kind\"")?;
     if kind == "stats" {
         return Ok(WireRequest::Stats { id });
+    }
+    if kind == "metrics" {
+        return Ok(WireRequest::Metrics { id });
     }
     let dim = |key: &str| {
         v.get(key)
@@ -571,6 +589,7 @@ pub fn encode_response(id: u64, result: &Result<ServeOutput, ServeError>) -> Str
             let mut obj = Value::Obj(vec![
                 ("id".into(), Value::Num(id as f64)),
                 ("ok".into(), Value::Bool(true)),
+                ("request_id".into(), Value::Num(out.request_id as f64)),
                 ("m".into(), Value::Num(out.shape.m as f64)),
                 ("n".into(), Value::Num(out.shape.n as f64)),
                 ("d".into(), encode_matrix(&out.d)),
@@ -606,6 +625,17 @@ pub fn encode_error(id: u64, e: &ServeError) -> String {
         ("id".into(), Value::Num(id as f64)),
         ("ok".into(), Value::Bool(false)),
         ("error".into(), err),
+    ])
+    .to_json()
+}
+
+/// Encode a metrics-exposition response. The exposition text travels as
+/// one JSON string; newlines survive via the codec's `\n` escaping.
+pub fn encode_metrics_response(id: u64, text: &str) -> String {
+    Value::Obj(vec![
+        ("id".into(), Value::Num(id as f64)),
+        ("ok".into(), Value::Bool(true)),
+        ("metrics".into(), Value::Str(text.into())),
     ])
     .to_json()
 }
@@ -681,6 +711,11 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
         result: Ok(ServeOutput {
             shape: GemmShape::new(m, n, 0),
             d,
+            request_id: v
+                .get("request_id")
+                .and_then(Value::as_f64)
+                .map(|x| x as u64)
+                .unwrap_or(0),
             batched_with: v.get("batched_with").and_then(Value::as_usize).unwrap_or(1),
             queue_ns: v.get("queue_ns").and_then(Value::as_f64).unwrap_or(0.0) as u64,
             total_ns: v.get("total_ns").and_then(Value::as_f64).unwrap_or(0.0) as u64,
@@ -770,6 +805,20 @@ mod tests {
         assert_eq!(back.b.as_slice(), b.as_slice());
         assert_eq!(back.deadline, Some(std::time::Duration::from_millis(250)));
         assert_eq!(back.kind, JobKind::Gemm);
+    }
+
+    #[test]
+    fn metrics_request_and_response_roundtrip() {
+        let frame = encode_metrics_request(11);
+        let WireRequest::Metrics { id } = decode_request(frame.as_bytes()).unwrap() else {
+            panic!("expected a metrics request");
+        };
+        assert_eq!(id, 11);
+
+        let text = "# TYPE egemm_gemm_calls_total counter\negemm_gemm_calls_total 3\n";
+        let resp = parse(&encode_metrics_response(11, text)).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(resp.get("metrics").and_then(Value::as_str), Some(text));
     }
 
     #[test]

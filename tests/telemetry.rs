@@ -1,12 +1,15 @@
-//! Integration tests of the telemetry layer's two contracts: tracing is
-//! a pure observer (outputs are bit-identical with tracing enabled or
-//! disabled, on solo and multi-worker pools), and the per-thread trace
-//! rings absorb overflow by dropping the oldest events — never by
-//! reallocating or blocking the recording thread.
+//! Integration tests of the telemetry layer's contracts: tracing and
+//! metrics are pure observers (outputs are bit-identical with either
+//! enabled or disabled, and with the numerical-health probe on or off,
+//! on solo and multi-worker pools), the per-thread trace rings absorb
+//! overflow by dropping the oldest events — never by reallocating or
+//! blocking the recording thread — and sharded histograms merge
+//! concurrent writes into exact totals.
 
 use std::sync::Mutex;
 
-use egemm::telemetry::{self, Phase, RING_CAPACITY};
+use egemm::telemetry::hist::LogHistogram;
+use egemm::telemetry::{self, metrics, Phase, RING_CAPACITY};
 use egemm::{Egemm, EngineRuntime, RuntimeConfig, TilingConfig};
 use egemm_matrix::Matrix;
 use egemm_tcsim::DeviceSpec;
@@ -66,6 +69,100 @@ proptest! {
         prop_assert!(report.phase_count(Phase::Tile) >= 1, "no tile spans recorded");
         prop_assert!(report.phase_count(Phase::Worker) >= 1, "no worker spans recorded");
         prop_assert!(!report.workers.is_empty(), "no worker lanes attributed");
+    }
+
+    /// The aggregate metrics plane and the numerical-health probe must
+    /// be pure observers too: the same operands on fresh runtimes yield
+    /// bit-identical products with metrics off, with metrics on, and
+    /// with every call probed (rate 1). The probe only *reads* the
+    /// output; a probe that perturbed the result would show up here.
+    #[test]
+    fn metrics_and_probe_never_change_output_bits(
+        m in 1usize..64,
+        n in 1usize..64,
+        k in 1usize..64,
+        pool in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let threads = [1usize, 4][pool];
+        let _g = TRACE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let a = Matrix::<f32>::random_uniform(m, k, seed + 1);
+        let b = Matrix::<f32>::random_uniform(k, n, seed + 2);
+
+        metrics::set_enabled(false);
+        egemm::set_probe_rate(0);
+        let plain = engine(threads).gemm(&a, &b);
+
+        metrics::set_enabled(true);
+        let metered = engine(threads).gemm(&a, &b);
+
+        egemm::set_probe_rate(1);
+        let probed = engine(threads).gemm(&a, &b);
+        egemm::set_probe_rate(0);
+
+        for (i, (x, y)) in metered.d.as_slice().iter().zip(plain.d.as_slice()).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "element {} differs metered vs unmetered ({}x{}x{}, {} thread(s))",
+                i, m, n, k, threads
+            );
+        }
+        for (i, (x, y)) in probed.d.as_slice().iter().zip(plain.d.as_slice()).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "element {} differs probed vs unprobed ({}x{}x{}, {} thread(s))",
+                i, m, n, k, threads
+            );
+        }
+    }
+
+    /// Concurrent observations into a sharded histogram must merge to
+    /// exact totals at snapshot time: nothing lost, nothing double
+    /// counted, the sum preserved to the unit — whatever the shard pool
+    /// size (fewer shards than threads forces contended shards, more
+    /// shards than threads leaves some idle).
+    #[test]
+    fn histogram_shards_merge_to_exact_totals(
+        pool in 0usize..3,
+        per_thread in 1usize..400,
+        seed in 0u64..10_000,
+    ) {
+        let shards = [1usize, 4, 8][pool];
+        let hist = LogHistogram::with_shards(shards);
+        let writers = 4usize;
+
+        // Deterministic per-thread values from an LCG; recompute the
+        // expected totals with the same generator.
+        let value = |t: u64, i: u64| {
+            let x = (seed + 1)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(t * 1_000_003 + i);
+            x >> 40 // keep values modest so the sum stays exact
+        };
+        std::thread::scope(|scope| {
+            for t in 0..writers as u64 {
+                let hist = &hist;
+                scope.spawn(move || {
+                    for i in 0..per_thread as u64 {
+                        hist.observe(value(t, i));
+                    }
+                });
+            }
+        });
+
+        let snap = hist.snapshot();
+        let mut want_sum = 0u64;
+        for t in 0..writers as u64 {
+            for i in 0..per_thread as u64 {
+                want_sum += value(t, i);
+            }
+        }
+        prop_assert_eq!(snap.count, (writers * per_thread) as u64,
+            "count lost or duplicated across {} shard(s)", shards);
+        prop_assert_eq!(snap.sum, want_sum,
+            "sum not preserved across {} shard(s)", shards);
+        prop_assert_eq!(snap.counts.iter().sum::<u64>(), snap.count,
+            "bucket counts disagree with the total");
     }
 }
 
