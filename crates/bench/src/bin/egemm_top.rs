@@ -150,9 +150,22 @@ fn draw(addr: &str, prev: Option<&Scrape>, cur: &Scrape, dt: f64, clear: bool) {
         fmt_si(get(cur, "egemm_serve_engine_failures_total")),
     ));
     out.push_str(&format!(
-        "  batched   {batched:>9.2}x   ({} requests over {} engine calls)\n\n",
+        "  batched   {batched:>9.2}x   ({} requests over {} engine calls)\n",
         fmt_si(dispatched),
         fmt_si(engine_calls),
+    ));
+    out.push_str(&format!(
+        "  conns     {:>10}   dedup hits {:>6}   memo h/m {:>6}/{:<6}   resident {:>8}B\n",
+        get(cur, "egemm_serve_open_connections"),
+        fmt_si(get(cur, "egemm_serve_dedup_hits_total")),
+        fmt_si(get(cur, "egemm_serve_result_cache_hits_total")),
+        fmt_si(get(cur, "egemm_serve_result_cache_misses_total")),
+        fmt_si(get(cur, "egemm_serve_result_cache_bytes")),
+    ));
+    out.push_str(&format!(
+        "  evictions {:>10}   backpressure pauses {:>6}\n\n",
+        fmt_si(get(cur, "egemm_serve_result_cache_evictions_total")),
+        fmt_si(get(cur, "egemm_serve_backpressure_pauses_total")),
     ));
 
     out.push_str(&bold("engine"));

@@ -14,7 +14,14 @@
 //!   Records a `serve_throughput` entry (req/s, batched ratio, p50,
 //!   p99, deadline misses, and busy rejects per engine worker count)
 //!   into `BENCH_engine.json` (or `--out PATH`), preserving the entries
-//!   the engine benchmark wrote.
+//!   the engine benchmark wrote. Phase C sweeps the epoll event
+//!   frontend at 1/8/64/256 pipelined connections (binary codec, depth
+//!   8, half the requests duplicated so the dedupe table and result
+//!   cache engage) and phase D races the event frontend against the
+//!   blocking one on an identical workload — on a multi-core host the
+//!   event loop must win. Both record a `serve_event_scaling` entry
+//!   (per-count req/s, dedupe/memo hit ratios, event vs blocking
+//!   req/s).
 //! - `--metrics-smoke [--out PATH]` — the metrics-plane CI gate: enables
 //!   the 1-in-1 numerical-health probe, drives a shared-B burst through
 //!   the TCP frontend, scrapes the `METRICS` verb, asserts the
@@ -22,16 +29,20 @@
 //!   series, and writes the raw exposition text to
 //!   `target/metrics_exposition.txt` (or `--out PATH`) for the CI
 //!   re-parse step.
-//! - `--serve ADDR` — run a standalone server until killed.
-//! - `--connect ADDR [--requests N]` — fire a burst at a running server
-//!   and print the outcome.
+//! - `--serve ADDR [--event]` — run a standalone server until killed,
+//!   behind the blocking frontend or the epoll event loop.
+//! - `--connect ADDR [--requests N] [--connections C] [--pipeline D]` —
+//!   fire a burst at a running server (C parallel connections, D frames
+//!   in flight each) and print the outcome.
 //!
 //! The wire protocol is documented in `egemm_serve::wire` and the
 //! README's "Serving" section.
 
 use egemm::{Egemm, EngineRuntime, RuntimeConfig, TilingConfig};
 use egemm_matrix::{GemmShape, Matrix};
-use egemm_serve::{wire, GemmRequest, ServeError, Server, ServerConfig, TcpServer};
+use egemm_serve::{
+    binwire, wire, EventServer, GemmRequest, ServeError, Server, ServerConfig, TcpServer,
+};
 use egemm_tcsim::DeviceSpec;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -95,6 +106,60 @@ fn run_connection(
                         served.d.as_slice(),
                         want.as_slice(),
                         "served result differs from cold direct gemm"
+                    );
+                }
+            }
+            Err(ServeError::Busy { .. }) => out.busy += 1,
+            Err(ServeError::TimedOut { .. }) => out.timeout += 1,
+            Err(_) => out.other_err += 1,
+        }
+    }
+    out
+}
+
+/// Send `requests` over one connection keeping up to `depth` frames in
+/// flight (binary codec), matching replies by frame id — the event
+/// frontend may complete them out of order. `verify_against[i]`
+/// bit-checks the reply to request `i` against the given cold product.
+fn run_pipelined_connection(
+    addr: std::net::SocketAddr,
+    requests: &[GemmRequest],
+    depth: usize,
+    verify_against: &[Option<Matrix<f32>>],
+) -> Outcome {
+    let mut conn = TcpStream::connect(addr).expect("connect to event frontend");
+    let mut out = Outcome::default();
+    let mut next = 0usize;
+    let mut inflight = 0usize;
+    let mut seen = vec![false; requests.len()];
+    while out.responses < requests.len() {
+        while next < requests.len() && inflight < depth.max(1) {
+            wire::write_frame(
+                &mut conn,
+                &binwire::encode_request(next as u64, &requests[next]),
+            )
+            .expect("write request frame");
+            next += 1;
+            inflight += 1;
+            out.sent += 1;
+        }
+        let frame = wire::read_frame(&mut conn)
+            .expect("read response frame")
+            .expect("connection closed mid-burst");
+        let resp = binwire::decode_response(&frame).expect("decode response");
+        let i = resp.id as usize;
+        assert!(i < requests.len() && !seen[i], "reply id {i} unexpected");
+        seen[i] = true;
+        inflight -= 1;
+        out.responses += 1;
+        match resp.result {
+            Ok(served) => {
+                out.ok += 1;
+                if let Some(Some(want)) = verify_against.get(i) {
+                    assert_eq!(
+                        served.d.as_slice(),
+                        want.as_slice(),
+                        "pipelined result differs from cold direct gemm"
                     );
                 }
             }
@@ -296,6 +361,216 @@ fn smoke_backpressure() {
     );
 }
 
+/// One event-frontend sweep point plus the dedupe/memo ratios and the
+/// frontend comparison, recorded into `BENCH_engine.json`.
+struct EventStats {
+    scaling: Vec<(usize, f64)>, // (connections, req/s)
+    dedup_hit_ratio: f64,
+    result_cache_hit_ratio: f64,
+    event_req_s: f64,
+    blocking_req_s: f64,
+}
+
+/// Build one connection's request list for the event sweep: pipelined
+/// `depth` requests, even slots identical across connections (fresh
+/// seeds per sweep, so concurrent copies hit the in-flight dedupe table
+/// and repeats within a sweep hit the result cache), odd slots unique.
+fn sweep_requests(
+    sweep: usize,
+    conn_id: usize,
+    depth: usize,
+    b: &Matrix<f32>,
+    shape: GemmShape,
+) -> Vec<GemmRequest> {
+    (0..depth)
+        .map(|r| {
+            let seed = if r % 2 == 0 {
+                7000 + (sweep * 100 + r) as u64
+            } else {
+                10_000 + (sweep * 100_000 + conn_id * 64 + r) as u64
+            };
+            GemmRequest::gemm(Matrix::random_uniform(shape.m, shape.k, seed), b.clone())
+        })
+        .collect()
+}
+
+/// Phase C: connection-scaling sweep over the event frontend — 1, 8,
+/// 64, and 256 pipelined connections against one server, every reply
+/// accounted for and a sample bit-checked. Half the requests are
+/// duplicates, so the dedupe table and the result cache both light up.
+/// Phase D: the same unique-operand workload through the event frontend
+/// (pipeline depth 8) and the blocking frontend (one in flight per
+/// connection, same binary codec), recording both throughputs; on a
+/// multi-core host the event loop must win.
+fn smoke_event() -> EventStats {
+    let depth = 8usize;
+    let shape = GemmShape::new(32, 32, 32);
+    let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 9000);
+
+    // Cold reference for request 0 of every connection (seed 7000).
+    let reference = Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER).with_runtime(
+        EngineRuntime::new(RuntimeConfig {
+            threads: 1,
+            cache_bytes: 0,
+            ..RuntimeConfig::default()
+        }),
+    );
+    let want0 = reference
+        .gemm(&Matrix::random_uniform(shape.m, shape.k, 7000), &b)
+        .d;
+
+    let server = Server::start(
+        engine(2),
+        ServerConfig {
+            batch_window: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+    );
+    let evt = EventServer::bind("127.0.0.1:0", server.client()).expect("bind event frontend");
+    let addr = evt.local_addr();
+
+    let mut scaling = Vec::new();
+    for (sweep, &connections) in [1usize, 8, 64, 256].iter().enumerate() {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let requests = sweep_requests(sweep, c, depth, &b, shape);
+                let mut verify = vec![None; depth];
+                if sweep == 0 {
+                    verify[0] = Some(want0.clone());
+                }
+                std::thread::spawn(move || {
+                    run_pipelined_connection(addr, &requests, depth, &verify)
+                })
+            })
+            .collect();
+        let mut total = Outcome::default();
+        for h in handles {
+            total.absorb(h.join().expect("sweep connection"));
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            total.responses, total.sent,
+            "event sweep at {connections} connections dropped replies: {total:?}"
+        );
+        assert_eq!(
+            total.ok, total.sent,
+            "event sweep must absorb overload via backpressure, not errors: {total:?}"
+        );
+        let req_s = total.ok as f64 / elapsed;
+        println!(
+            "phase C ({connections:>3} pipelined connection(s) x {depth}): \
+             {} ok in {elapsed:.3} s -> {req_s:.1} req/s",
+            total.ok
+        );
+        scaling.push((connections, req_s));
+    }
+
+    let stats = fetch_stats(addr);
+    evt.shutdown();
+    server.shutdown();
+
+    let dedup_hits = stat(&stats, "dedup_hits");
+    let memo_hits = stat(&stats, "result_cache_hits");
+    let memo_misses = stat(&stats, "result_cache_misses");
+    let requests = stat(&stats, "submitted").max(1.0);
+    let dedup_hit_ratio = dedup_hits / requests;
+    let result_cache_hit_ratio = memo_hits / (memo_hits + memo_misses).max(1.0);
+    assert!(
+        dedup_hits > 0.0,
+        "concurrent duplicates across pipelined connections must hit the \
+         in-flight dedupe table: {}",
+        stats.to_json()
+    );
+    assert!(
+        memo_hits > 0.0,
+        "repeated requests within a sweep must hit the result cache: {}",
+        stats.to_json()
+    );
+    println!(
+        "phase C: dedupe hit ratio {dedup_hit_ratio:.3}, \
+         result-cache hit ratio {result_cache_hit_ratio:.3} \
+         ({dedup_hits} dedup + {memo_hits} memo hits over {requests} requests)"
+    );
+
+    // Phase D: identical unique-operand workloads through each frontend.
+    let connections = 32usize;
+    let frontend_run = |event: bool| -> f64 {
+        let server = Server::start(
+            engine(2),
+            ServerConfig {
+                batch_window: Duration::from_millis(2),
+                // Unique operands below; disable the memo so the two
+                // runs measure the frontends, not the cache.
+                result_cache_bytes: 0,
+                ..ServerConfig::default()
+            },
+        );
+        let (addr, evt, tcp) = if event {
+            let evt = EventServer::bind("127.0.0.1:0", server.client()).expect("bind");
+            (evt.local_addr(), Some(evt), None)
+        } else {
+            let tcp = TcpServer::bind("127.0.0.1:0", server.client()).expect("bind");
+            (tcp.local_addr(), None, Some(tcp))
+        };
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let requests: Vec<GemmRequest> = (0..depth)
+                    .map(|r| {
+                        let seed = 50_000 + (c * 64 + r) as u64;
+                        GemmRequest::gemm(Matrix::random_uniform(shape.m, shape.k, seed), b.clone())
+                    })
+                    .collect();
+                let verify = vec![None; depth];
+                // Blocking discipline = window of 1, same codec.
+                let window = if event { depth } else { 1 };
+                std::thread::spawn(move || {
+                    run_pipelined_connection(addr, &requests, window, &verify)
+                })
+            })
+            .collect();
+        let mut total = Outcome::default();
+        for h in handles {
+            total.absorb(h.join().expect("comparison connection"));
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(total.ok, total.sent, "comparison run failed: {total:?}");
+        if let Some(e) = evt {
+            e.shutdown();
+        }
+        if let Some(t) = tcp {
+            t.shutdown();
+        }
+        server.shutdown();
+        total.ok as f64 / elapsed
+    };
+    let blocking_req_s = frontend_run(false);
+    let event_req_s = frontend_run(true);
+    println!(
+        "phase D ({connections} connections x {depth}): event {event_req_s:.1} req/s \
+         vs blocking {blocking_req_s:.1} req/s"
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 2 {
+        assert!(
+            event_req_s > blocking_req_s,
+            "on {cores} cores the pipelined event frontend must out-run the \
+             blocking frontend ({event_req_s:.1} vs {blocking_req_s:.1} req/s)"
+        );
+    } else {
+        println!("phase D: single-core host, event-vs-blocking assertion skipped");
+    }
+
+    EventStats {
+        scaling,
+        dedup_hit_ratio,
+        result_cache_hit_ratio,
+        event_req_s,
+        blocking_req_s,
+    }
+}
+
 /// Fetch the Prometheus-style exposition over the `METRICS` verb.
 fn fetch_metrics(addr: std::net::SocketAddr) -> String {
     let mut conn = TcpStream::connect(addr).expect("connect for metrics");
@@ -381,6 +656,23 @@ fn metrics_smoke(out_path: &str) {
         served.request_id > 0,
         "served responses must carry a request id"
     );
+    // Repeat the identical request: the result cache (on by default)
+    // must answer it, feeding the memo series CI validates.
+    wire::write_frame(&mut conn, wire::encode_request(2, &probe_req).as_bytes()).unwrap();
+    let frame = wire::read_frame(&mut conn).unwrap().expect("response");
+    let memoized = wire::decode_response(&frame)
+        .unwrap()
+        .result
+        .expect("served from cache");
+    assert!(
+        memoized.cached,
+        "identical repeat must hit the result cache"
+    );
+    assert_eq!(
+        memoized.d.as_slice(),
+        served.d.as_slice(),
+        "memoized reply must be bit-identical"
+    );
     drop(conn); // the frontend joins handlers at shutdown; close first
 
     let exposition = fetch_metrics(addr);
@@ -396,8 +688,25 @@ fn metrics_smoke(out_path: &str) {
     require_positive("egemm_gemm_calls_total");
     require_positive("egemm_serve_requests_total");
     require_positive("egemm_serve_completed_total");
+    require_positive("egemm_serve_result_cache_hits_total");
+    require_positive("egemm_serve_result_cache_misses_total");
     require_positive("egemm_numerical_health_count");
     require_positive("egemm_numerical_health_probes_total");
+    // The dedupe/backpressure/connection series must at least be
+    // present in the exposition (registered at server start), even when
+    // this single-in-flight burst leaves them at zero.
+    for fam in [
+        "egemm_serve_dedup_hits_total",
+        "egemm_serve_result_cache_evictions_total",
+        "egemm_serve_result_cache_bytes",
+        "egemm_serve_backpressure_pauses_total",
+        "egemm_serve_open_connections",
+    ] {
+        assert!(
+            series_value(&exposition, fam).is_some(),
+            "exposition is missing {fam}:\n{exposition}"
+        );
+    }
     assert_eq!(
         series_value(&exposition, "egemm_bound_violations_total").unwrap_or(0.0),
         0.0,
@@ -441,16 +750,26 @@ fn pretty(v: &wire::Value, depth: usize, out: &mut String) {
     }
 }
 
-/// Insert/replace the `serve_throughput` entry in the benchmark
-/// baseline file, preserving everything the engine benchmark recorded.
-/// One sub-object per engine worker count.
-fn record(path: &str, runs: &[(usize, RunStats)]) {
+/// Insert/replace one top-level entry in the benchmark baseline file,
+/// preserving everything the engine benchmark and other phases recorded.
+fn merge_entry(path: &str, key: &str, entry_json: &str) {
     let mut root = match std::fs::read_to_string(path) {
         Ok(text) => wire::parse(&text).unwrap_or_else(|e| {
             panic!("{path} exists but is not valid JSON ({e}); refusing to overwrite")
         }),
         Err(_) => wire::Value::Obj(Vec::new()),
     };
+    root.set(key, wire::parse(entry_json).expect("entry json"));
+    let mut text = String::new();
+    pretty(&root, 0, &mut text);
+    text.push('\n');
+    std::fs::write(path, text).expect("write benchmark baseline");
+    eprintln!("recorded {key} in {path}");
+}
+
+/// Record the blocking-frontend throughput runs, one sub-object per
+/// engine worker count.
+fn record(path: &str, runs: &[(usize, RunStats)]) {
     let body: Vec<String> = runs
         .iter()
         .map(|&(threads, r)| {
@@ -462,17 +781,44 @@ fn record(path: &str, runs: &[(usize, RunStats)]) {
             )
         })
         .collect();
-    let entry = wire::parse(&format!("{{{}}}", body.join(", "))).unwrap();
-    root.set("serve_throughput", entry);
-    let mut text = String::new();
-    pretty(&root, 0, &mut text);
-    text.push('\n');
-    std::fs::write(path, text).expect("write benchmark baseline");
-    eprintln!("recorded serve_throughput in {path}");
+    merge_entry(
+        path,
+        "serve_throughput",
+        &format!("{{{}}}", body.join(", ")),
+    );
 }
 
-fn serve_forever(addr: &str) {
+/// Record the event-frontend connection sweep, hit ratios, and the
+/// event-vs-blocking comparison.
+fn record_event(path: &str, ev: &EventStats) {
+    let mut body: Vec<String> = ev
+        .scaling
+        .iter()
+        .map(|&(conns, req_s)| format!("\"connections_{conns}\": {{\"req_s\": {req_s:.1}}}"))
+        .collect();
+    body.push(format!("\"dedup_hit_ratio\": {:.4}", ev.dedup_hit_ratio));
+    body.push(format!(
+        "\"result_cache_hit_ratio\": {:.4}",
+        ev.result_cache_hit_ratio
+    ));
+    body.push(format!("\"event_req_s\": {:.1}", ev.event_req_s));
+    body.push(format!("\"blocking_req_s\": {:.1}", ev.blocking_req_s));
+    merge_entry(
+        path,
+        "serve_event_scaling",
+        &format!("{{{}}}", body.join(", ")),
+    );
+}
+
+fn serve_forever(addr: &str, event: bool) {
     let server = Server::start(engine(4), ServerConfig::default());
+    if event {
+        let evt = EventServer::bind(addr, server.client()).expect("bind event frontend");
+        println!("serving (event loop) on {}", evt.local_addr());
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
     let tcp = TcpServer::bind(addr, server.client()).expect("bind frontend");
     println!("serving on {}", tcp.local_addr());
     loop {
@@ -480,18 +826,34 @@ fn serve_forever(addr: &str) {
     }
 }
 
-fn connect_burst(addr: &str, n: usize) {
+/// Fire a burst at a running server: `connections` parallel sockets,
+/// each keeping `pipeline` requests in flight (binary codec; a depth of
+/// 1 reproduces the blocking discipline against either frontend).
+fn connect_burst(addr: &str, n: usize, connections: usize, pipeline: usize) {
     let addr: std::net::SocketAddr = addr.parse().expect("parse address");
     let shape = GemmShape::new(64, 64, 64);
     let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 1);
-    let requests: Vec<GemmRequest> = (0..n as u64)
-        .map(|i| GemmRequest::gemm(Matrix::random_uniform(shape.m, shape.k, 10 + i), b.clone()))
-        .collect();
-    let verify = vec![None; n];
     let t0 = Instant::now();
-    let out = run_connection(addr, &requests, &verify);
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let requests: Vec<GemmRequest> = (0..n as u64)
+                .map(|i| {
+                    GemmRequest::gemm(
+                        Matrix::random_uniform(shape.m, shape.k, (c as u64) << 32 | (10 + i)),
+                        b.clone(),
+                    )
+                })
+                .collect();
+            let verify = vec![None; n];
+            std::thread::spawn(move || run_pipelined_connection(addr, &requests, pipeline, &verify))
+        })
+        .collect();
+    let mut total = Outcome::default();
+    for h in handles {
+        total.absorb(h.join().expect("burst connection"));
+    }
     println!(
-        "{out:?} in {:.3} s; server stats: {}",
+        "{total:?} in {:.3} s; server stats: {}",
         t0.elapsed().as_secs_f64(),
         fetch_stats(addr).to_json()
     );
@@ -513,21 +875,28 @@ fn main() {
             .map(|&w| (w, smoke_throughput(w)))
             .collect();
         smoke_backpressure();
+        let ev = smoke_event();
         let out = opt("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
         record(&out, &runs);
+        record_event(&out, &ev);
         println!("serve_loadgen --smoke: all serving assertions passed");
     } else if flag("--metrics-smoke") {
         let out = opt("--out").unwrap_or_else(|| "target/metrics_exposition.txt".to_string());
         metrics_smoke(&out);
     } else if let Some(addr) = opt("--serve") {
-        serve_forever(&addr);
+        serve_forever(&addr, flag("--event"));
     } else if let Some(addr) = opt("--connect") {
         let n = opt("--requests").and_then(|s| s.parse().ok()).unwrap_or(16);
-        connect_burst(&addr, n);
+        let connections = opt("--connections")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        let pipeline = opt("--pipeline").and_then(|s| s.parse().ok()).unwrap_or(1);
+        connect_burst(&addr, n, connections, pipeline);
     } else {
         eprintln!(
             "usage: serve_loadgen --smoke [--out PATH] | --metrics-smoke [--out PATH] \
-             | --serve ADDR | --connect ADDR [--requests N]"
+             | --serve ADDR [--event] \
+             | --connect ADDR [--requests N] [--connections N] [--pipeline D]"
         );
         std::process::exit(2);
     }

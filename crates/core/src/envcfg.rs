@@ -1,19 +1,21 @@
 //! Shared environment-variable parsing with the one-time-warning
 //! discipline.
 //!
-//! Every numeric knob in this crate (`EGEMM_THREADS`,
-//! `EGEMM_CACHE_BYTES`, `EGEMM_METRICS`, `EGEMM_PROBE_RATE`) follows
-//! the same contract: the variable is read once, a value that does not
-//! parse is *ignored* (never a panic, never silent), and exactly one
-//! warning naming the variable, the rejected value, and the fallback is
-//! printed to stderr for the whole process lifetime. [`read_usize`] and
-//! [`warn_once`] are that contract factored out, so a new knob cannot
-//! drift from it by copy-paste.
+//! Every numeric knob in this workspace (`EGEMM_THREADS`,
+//! `EGEMM_CACHE_BYTES`, `EGEMM_METRICS`, `EGEMM_PROBE_RATE`, the serve
+//! layer's `EGEMM_SERVE_RESULT_CACHE_BYTES`) follows the same contract:
+//! the variable is read once, a value that does not parse is *ignored*
+//! (never a panic, never silent), and exactly one warning naming the
+//! variable, the rejected value, and the fallback is printed to stderr
+//! for the whole process lifetime. [`read_usize`] and [`warn_once`] are
+//! that contract factored out, so a new knob cannot drift from it by
+//! copy-paste. Public so sibling crates (the serving tier in
+//! particular) share the contract instead of re-implementing it.
 
 use std::sync::Once;
 
 /// Outcome of reading one environment variable as a `usize`.
-pub(crate) enum EnvNum {
+pub enum EnvNum {
     /// The variable is not set.
     Unset,
     /// Parsed; the raw text is kept for warnings that treat some parsed
@@ -24,7 +26,7 @@ pub(crate) enum EnvNum {
 }
 
 /// Read `var` as a (trimmed) `usize`.
-pub(crate) fn read_usize(var: &str) -> EnvNum {
+pub fn read_usize(var: &str) -> EnvNum {
     match std::env::var(var) {
         Err(_) => EnvNum::Unset,
         Ok(raw) => match raw.trim().parse::<usize>() {
@@ -35,6 +37,6 @@ pub(crate) fn read_usize(var: &str) -> EnvNum {
 }
 
 /// Print `msg()` to stderr at most once per process per `once` guard.
-pub(crate) fn warn_once(once: &Once, msg: impl FnOnce() -> String) {
+pub fn warn_once(once: &Once, msg: impl FnOnce() -> String) {
     once.call_once(|| eprintln!("{}", msg()));
 }

@@ -43,7 +43,7 @@ pub mod blas;
 pub mod config;
 pub mod emulation;
 pub mod engine;
-pub(crate) mod envcfg;
+pub mod envcfg;
 pub mod errbound;
 pub mod gemm;
 pub mod kernel;

@@ -38,12 +38,30 @@
 //! engine-level guarantee this repo enforces with property tests; the
 //! serving-level restatement lives in `tests/serve.rs`).
 //!
-//! The TCP frontend ([`TcpServer`]) speaks a length-prefixed JSON
-//! protocol over `std::net` — no dependencies — documented in the
-//! README's "Serving" section; [`wire`] holds the hand-rolled JSON
-//! codec it shares with the load generator in `crates/bench`.
+//! Above admission sits a content-addressed layer ([`dedupe`]): an
+//! in-flight table coalescing identical concurrent requests into one
+//! dispatch fanned out to every waiter, and a byte-budgeted LRU result
+//! cache answering repeats without any engine time — both keyed by the
+//! full operand content, so neither can change a bit.
+//!
+//! Two network frontends share one dispatch path and two codecs (the
+//! hand-rolled JSON in [`wire`] and the length-prefixed binary frames in
+//! [`binwire`], negotiated per frame by leading byte):
+//!
+//! - [`TcpServer`] — blocking, thread-per-connection over `std::net`.
+//!   Simple enough to audit in one sitting; kept as the conformance
+//!   oracle the event frontend is tested against.
+//! - [`EventServer`] ([`reactor`]) — a single-threaded epoll event loop
+//!   (raw syscalls, no dependencies) driving nonblocking sockets with
+//!   pipelined requests per connection and backpressure wired to the
+//!   admission queue: when the queue is full the reactor *stops
+//!   reading* instead of rejecting, so overload surfaces to clients as
+//!   TCP flow control.
 
+pub mod binwire;
+pub(crate) mod dedupe;
 pub mod queue;
+pub mod reactor;
 pub mod request;
 pub mod server;
 pub mod stats;
@@ -51,6 +69,7 @@ pub mod tcp;
 pub mod wire;
 
 pub use queue::Ticket;
+pub use reactor::EventServer;
 pub use request::{GemmRequest, JobKind, ServeError, ServeOutput};
 pub use server::{Client, Server, ServerConfig};
 pub use stats::ServeStats;

@@ -60,18 +60,34 @@ pub(crate) struct Pending {
     /// ([`egemm::telemetry::now_ns`]) so request spans and engine spans
     /// share one timeline in the Chrome-trace export.
     pub admitted_ns: u64,
+    /// `Some` when this pending is the *primary* for its content key in
+    /// the in-flight dedupe table: its resolution must clear the table
+    /// entry, fan the outcome out to every attached follower, and (on
+    /// success) feed the memoized result cache. `None` for requests that
+    /// bypassed the table (dedupe off, or a same-key primary with a
+    /// deadline already existed).
+    pub result_key: Option<crate::dedupe::ResultKey>,
 }
 
 /// Shared slot a response is delivered into, exactly once.
 pub(crate) struct TicketInner {
-    slot: Mutex<Option<Result<ServeOutput, ServeError>>>,
+    slot: Mutex<TicketSlot>,
     ready: Condvar,
+}
+
+#[derive(Default)]
+struct TicketSlot {
+    result: Option<Result<ServeOutput, ServeError>>,
+    /// Invoked (once, then dropped) when the result lands — the
+    /// event-loop frontend's completion hook. Runs on the fulfilling
+    /// thread *outside* the slot lock.
+    waker: Option<Box<dyn FnOnce() + Send>>,
 }
 
 impl TicketInner {
     pub(crate) fn new() -> Arc<TicketInner> {
         Arc::new(TicketInner {
-            slot: Mutex::new(None),
+            slot: Mutex::new(TicketSlot::default()),
             ready: Condvar::new(),
         })
     }
@@ -80,10 +96,17 @@ impl TicketInner {
     /// and is dropped (first answer wins) rather than panicking a
     /// scheduler that is busy draining.
     pub(crate) fn fulfill(&self, result: Result<ServeOutput, ServeError>) {
-        let mut slot = lock_unpoisoned(&self.slot);
-        if slot.is_none() {
-            *slot = Some(result);
+        let waker = {
+            let mut slot = lock_unpoisoned(&self.slot);
+            if slot.result.is_some() {
+                return;
+            }
+            slot.result = Some(result);
             self.ready.notify_all();
+            slot.waker.take()
+        };
+        if let Some(w) = waker {
+            w();
         }
     }
 }
@@ -100,7 +123,7 @@ impl Ticket {
     pub fn wait(self) -> Result<ServeOutput, ServeError> {
         let mut slot = lock_unpoisoned(&self.inner.slot);
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = slot.result.take() {
                 return result;
             }
             slot = self
@@ -113,7 +136,27 @@ impl Ticket {
 
     /// Non-blocking poll: `Some` once the response has been delivered.
     pub fn try_wait(&self) -> Option<Result<ServeOutput, ServeError>> {
-        lock_unpoisoned(&self.inner.slot).take()
+        lock_unpoisoned(&self.inner.slot).result.take()
+    }
+
+    /// Register a completion hook. If the result already landed, `f`
+    /// runs immediately on the calling thread; otherwise it runs on the
+    /// fulfilling thread (scheduler or a memo-hit submitter) the moment
+    /// the response is delivered. The hook must be cheap and non-blocking
+    /// — the event-loop frontend uses it to push a completion token and
+    /// poke its eventfd, then collects the result with [`Ticket::try_wait`].
+    pub fn on_ready(&self, f: impl FnOnce() + Send + 'static) {
+        let fire_now = {
+            let mut slot = lock_unpoisoned(&self.inner.slot);
+            if slot.result.is_some() {
+                true
+            } else {
+                slot.waker = Some(Box::new(f));
+                return;
+            }
+        };
+        debug_assert!(fire_now);
+        f();
     }
 }
 
@@ -193,6 +236,7 @@ mod tests {
             ticket: TicketInner::new(),
             request_id: 0,
             admitted_ns: 0,
+            result_key: None,
             req,
         }
     }

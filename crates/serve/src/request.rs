@@ -152,6 +152,10 @@ pub struct ServeOutput {
     pub shape: GemmShape,
     /// Requests that rode in the same engine call (1 = dispatched solo).
     pub batched_with: usize,
+    /// True when the product was served from the content-addressed
+    /// result cache (no engine dispatch; bit-identical to the dispatch
+    /// that populated the cache, and therefore to a cold call).
+    pub cached: bool,
     /// Time spent queued before dispatch, nanoseconds.
     pub queue_ns: u64,
     /// Admission-to-response latency, nanoseconds.

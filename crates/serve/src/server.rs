@@ -1,10 +1,11 @@
 //! The server: admission, the bucketing scheduler thread, dispatch.
 
+use crate::dedupe::{Attach, Follower, InFlightTable, ResultCache, ResultKey};
 use crate::queue::{lock_unpoisoned, AdmissionQueue, BucketKey, Pending, Ticket, TicketInner};
 use crate::request::{GemmRequest, JobKind, ServeError, ServeOutput};
 use crate::stats::{reg, ServeStats, StatsInner};
 use egemm::telemetry::{self, GemmReport, RequestTrace};
-use egemm::{content_fingerprint, Egemm};
+use egemm::Egemm;
 use egemm_matrix::Matrix;
 use std::any::Any;
 use std::collections::HashMap;
@@ -30,7 +31,21 @@ pub struct ServerConfig {
     /// NaN poisons every product it touches, so the serving tier
     /// rejects it at validation rather than burn engine time.
     pub allow_nonfinite: bool,
+    /// Byte budget of the content-addressed result cache; `0` disables
+    /// memoization entirely. Overridable per process via
+    /// `EGEMM_SERVE_RESULT_CACHE_BYTES` (see [`ServerConfig::from_env`]).
+    pub result_cache_bytes: usize,
+    /// Coalesce identical concurrent requests into one engine dispatch
+    /// (the in-flight dedupe table). On by default: the key covers the
+    /// full content of every operand, so outputs are bit-identical
+    /// either way and only the work count changes.
+    pub dedupe: bool,
 }
+
+/// Default result-cache budget: big enough to absorb a hot working set
+/// of repeated requests, small next to the engine's packed-operand
+/// cache (256 MiB).
+const DEFAULT_RESULT_CACHE_BYTES: usize = 32 << 20;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -39,7 +54,33 @@ impl Default for ServerConfig {
             max_batch: 64,
             batch_window: Duration::ZERO,
             allow_nonfinite: false,
+            result_cache_bytes: DEFAULT_RESULT_CACHE_BYTES,
+            dedupe: true,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults with environment overrides applied:
+    /// `EGEMM_SERVE_RESULT_CACHE_BYTES` resizes (or, at `0`, disables)
+    /// the memoized result cache. Follows the workspace-wide env
+    /// contract ([`egemm::envcfg`]): read once, garbage ignored with one
+    /// stderr warning.
+    pub fn from_env() -> ServerConfig {
+        use egemm::envcfg::{read_usize, warn_once, EnvNum};
+        static WARN: std::sync::Once = std::sync::Once::new();
+        let mut cfg = ServerConfig::default();
+        match read_usize("EGEMM_SERVE_RESULT_CACHE_BYTES") {
+            EnvNum::Unset => {}
+            EnvNum::Parsed(v, _) => cfg.result_cache_bytes = v,
+            EnvNum::Garbage(raw) => warn_once(&WARN, || {
+                format!(
+                    "egemm-serve: ignoring EGEMM_SERVE_RESULT_CACHE_BYTES={raw:?} \
+                     (not a byte count); using {DEFAULT_RESULT_CACHE_BYTES}"
+                )
+            }),
+        }
+        cfg
     }
 }
 
@@ -51,7 +92,17 @@ pub(crate) struct ServerInner {
     /// Source of process-unique request ids (starts at 1; 0 is never a
     /// valid id, so exporters can treat it as "untracked").
     next_request_id: AtomicU64,
+    /// Keys with a primary currently queued or dispatched; identical
+    /// concurrent requests attach here instead of enqueueing.
+    inflight: InFlightTable,
+    /// Memoized whole-result cache (content-addressed, byte-budgeted).
+    results: ResultCache,
 }
+
+/// A primary's successful outcome as fanned to followers: the computed
+/// product, how many requests shared the dispatch, and the dispatching
+/// call's report if tracing collected one.
+type PrimaryOk<'a> = (&'a Matrix<f32>, usize, Option<&'a Arc<GemmReport>>);
 
 impl ServerInner {
     /// Serve counters plus the engine-side counters that live on the
@@ -66,7 +117,64 @@ impl ServerInner {
         let sched = rt.sched_stats();
         s.tiles_stolen = sched.tiles_stolen;
         s.panel_reuse_hits = sched.panel_reuse_hits;
+        s.result_cache_hits = self.results.hits.load(Ordering::Relaxed);
+        s.result_cache_misses = self.results.misses.load(Ordering::Relaxed);
+        s.result_cache_evictions = self.results.evictions.load(Ordering::Relaxed);
+        s.result_cache_bytes = self.results.resident_bytes();
         s
+    }
+
+    /// Clear `key`'s in-flight entry and fan the primary's outcome out to
+    /// every follower. On success the result is memoized *before* the
+    /// entry is cleared, so a concurrent identical submit observes one of
+    /// the two layers (in-flight or cache) and never recomputes in the
+    /// handover window while the cache is on.
+    fn resolve(&self, key: &ResultKey, outcome: Result<PrimaryOk<'_>, &ServeError>) {
+        if let Ok((d, _, _)) = outcome {
+            self.results.insert(*key, d);
+        }
+        let followers = self.inflight.resolve(key);
+        if followers.is_empty() {
+            return;
+        }
+        let finished = Instant::now();
+        for f in followers {
+            match outcome {
+                Err(e) => {
+                    if matches!(e, ServeError::Engine(_)) {
+                        StatsInner::bump(&self.stats.engine_failures);
+                        reg::bump(reg::engine_failures);
+                    }
+                    f.ticket.fulfill(Err(e.clone()));
+                }
+                Ok((d, batched_with, report)) => {
+                    // A follower may carry its own deadline even though
+                    // the primary did not; honour it at delivery.
+                    if f.deadline.is_some_and(|dl| dl <= finished) {
+                        StatsInner::bump(&self.stats.timed_out_after);
+                        reg::bump(reg::deadline_misses);
+                        f.ticket.fulfill(Err(ServeError::TimedOut {
+                            after_dispatch: true,
+                        }));
+                        continue;
+                    }
+                    let total_ns = finished.duration_since(f.admitted).as_nanos() as u64;
+                    self.stats.record_latency(total_ns);
+                    StatsInner::bump(&self.stats.completed);
+                    reg::bump(reg::completed);
+                    f.ticket.fulfill(Ok(ServeOutput {
+                        d: d.clone(),
+                        request_id: f.request_id,
+                        shape: key.shape,
+                        batched_with,
+                        cached: false,
+                        queue_ns: total_ns,
+                        total_ns,
+                        report: report.cloned(),
+                    }));
+                }
+            }
+        }
     }
 }
 
@@ -84,12 +192,15 @@ impl Server {
     /// by every dispatch, so bucket after bucket hits the same packed
     /// operand cache and parked worker pool.
     pub fn start(engine: Egemm, cfg: ServerConfig) -> Server {
+        reg::touch_all();
         let inner = Arc::new(ServerInner {
             engine,
             queue: AdmissionQueue::new(cfg.queue_cap),
-            cfg,
             stats: StatsInner::new(),
             next_request_id: AtomicU64::new(1),
+            inflight: InFlightTable::default(),
+            results: ResultCache::new(cfg.result_cache_bytes),
+            cfg,
         });
         let sched_inner = Arc::clone(&inner);
         let sched = std::thread::Builder::new()
@@ -154,14 +265,75 @@ impl Client {
             return Err(ServeError::Invalid(msg));
         }
         let admitted = Instant::now();
+        let request_id = inner.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = req.deadline.map(|d| admitted + d);
         let ticket = TicketInner::new();
+
+        // Content-address the request once; the bucket key reuses the B
+        // fingerprint so operands are hashed exactly one time each.
+        let content = ResultKey::of(&req, kind_discriminant(&req));
+
+        // Layer 1: memoized result cache. A hit answers without touching
+        // the queue at all (and therefore works even under Busy).
+        if let Some(d) = inner.results.get(&content) {
+            reg::bump(reg::result_cache_hits);
+            let total_ns = admitted.elapsed().as_nanos() as u64;
+            inner.stats.record_latency(total_ns);
+            StatsInner::bump(&inner.stats.completed);
+            reg::bump(reg::completed);
+            ticket.fulfill(Ok(ServeOutput {
+                d: (*d).clone(),
+                request_id,
+                shape: content.shape,
+                batched_with: 1,
+                cached: true,
+                queue_ns: 0,
+                total_ns,
+                report: None,
+            }));
+            return Ok(Ticket { inner: ticket });
+        }
+        if inner.results.enabled() {
+            reg::bump(reg::result_cache_misses);
+        }
+
+        // Layer 2: in-flight dedupe. Attach to an identical primary (one
+        // dispatch fans out to all of us) or become the primary.
+        let result_key = if inner.cfg.dedupe {
+            match inner
+                .inflight
+                .offer(content, deadline.is_some(), || Follower {
+                    ticket: Arc::clone(&ticket),
+                    admitted,
+                    deadline,
+                    request_id,
+                }) {
+                Attach::Followed => {
+                    StatsInner::bump(&inner.stats.dedup_hits);
+                    reg::bump(reg::dedup_hits);
+                    StatsInner::bump(&inner.stats.admitted);
+                    return Ok(Ticket { inner: ticket });
+                }
+                Attach::Primary => Some(content),
+                Attach::Refused => None,
+            }
+        } else {
+            None
+        };
+
         let pending = Pending {
-            key: bucket_key(&req),
+            key: BucketKey {
+                shape: content.shape,
+                scheme: content.scheme,
+                b_fp: content.b_fp,
+                kind: content.kind,
+            },
             admitted,
-            deadline: req.deadline.map(|d| admitted + d),
+            deadline,
             ticket: Arc::clone(&ticket),
-            request_id: inner.next_request_id.fetch_add(1, Ordering::Relaxed),
+            request_id,
             admitted_ns: telemetry::now_ns(),
+            result_key,
             req,
         };
         match inner.queue.push(pending) {
@@ -173,6 +345,14 @@ impl Client {
                 if matches!(e, ServeError::Busy { .. }) {
                     StatsInner::bump(&inner.stats.rejected_busy);
                     reg::bump(reg::busy_rejects);
+                }
+                // The primary never enqueued: clear its registration and
+                // answer any follower that raced in with the same
+                // admission verdict.
+                if result_key.is_some() {
+                    for f in inner.inflight.abort(&content) {
+                        f.ticket.fulfill(Err(e.clone()));
+                    }
                 }
                 Err(e)
             }
@@ -208,6 +388,7 @@ impl Client {
             metrics::gauge("egemm_sched_steals").set(sched.steals as i64);
             metrics::gauge("egemm_sched_tiles_stolen").set(sched.tiles_stolen as i64);
             metrics::gauge("egemm_panel_reuse_hits").set(sched.panel_reuse_hits as i64);
+            reg::result_cache_bytes().set(self.inner.results.resident_bytes() as i64);
         }
         telemetry::render_prometheus()
     }
@@ -253,17 +434,23 @@ fn validate(req: &GemmRequest, allow_nonfinite: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn bucket_key(req: &GemmRequest) -> BucketKey {
-    let kind = match req.kind {
+/// Kind discriminant shared by [`BucketKey`] and [`ResultKey`]:
+/// 0 = batchable gemm, 1 = gemm-with-C, split-K folds the slice count in.
+fn kind_discriminant(req: &GemmRequest) -> u64 {
+    match req.kind {
         JobKind::Gemm if req.c.is_none() => 0,
         JobKind::Gemm => 1,
         JobKind::SplitK { slices } => 2 | ((slices as u64) << 2),
-    };
+    }
+}
+
+#[cfg(test)]
+fn bucket_key(req: &GemmRequest) -> BucketKey {
     BucketKey {
         shape: req.shape(),
         scheme: req.scheme,
-        b_fp: content_fingerprint(req.b.as_slice()),
-        kind,
+        b_fp: egemm::content_fingerprint(req.b.as_slice()),
+        kind: kind_discriminant(req),
     }
 }
 
@@ -284,9 +471,12 @@ fn scheduler(inner: &ServerInner) {
                 };
                 for p in drained {
                     StatsInner::bump(&inner.stats.engine_failures);
-                    p.ticket.fulfill(Err(ServeError::Engine(
-                        "scheduler cycle panicked; request abandoned".into(),
-                    )));
+                    let err =
+                        ServeError::Engine("scheduler cycle panicked; request abandoned".into());
+                    if let Some(k) = &p.result_key {
+                        inner.resolve(k, Err(&err));
+                    }
+                    p.ticket.fulfill(Err(err));
                 }
             }
         }
@@ -361,6 +551,9 @@ struct Meta {
     deadline: Option<Instant>,
     request_id: u64,
     admitted_ns: u64,
+    /// `Some` when this request is the dedupe primary for its content
+    /// key — every outcome below must route through `ServerInner::resolve`.
+    result_key: Option<ResultKey>,
 }
 
 fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
@@ -371,9 +564,15 @@ fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
         if p.deadline.is_some_and(|d| d <= now) {
             StatsInner::bump(&inner.stats.timed_out_before);
             reg::bump(reg::deadline_misses);
-            p.ticket.fulfill(Err(ServeError::TimedOut {
+            let err = ServeError::TimedOut {
                 after_dispatch: false,
-            }));
+            };
+            // A deadline-carrying primary has no followers (fate-sharing
+            // rule) but still owns an in-flight entry to clear.
+            if let Some(k) = &p.result_key {
+                inner.resolve(k, Err(&err));
+            }
+            p.ticket.fulfill(Err(err));
         } else {
             live.push(p);
         }
@@ -396,6 +595,7 @@ fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
             deadline: p.deadline,
             request_id: p.request_id,
             admitted_ns: p.admitted_ns,
+            result_key: p.result_key,
         })
         .collect();
     let reqs: Vec<GemmRequest> = live.into_iter().map(|p| p.req).collect();
@@ -432,6 +632,11 @@ fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
                     StatsInner::bump(&inner.stats.coalesced);
                     reg::bump(reg::batched_requests);
                 }
+                // Memoize and fan out to followers before `d` moves into
+                // the primary's own response.
+                if let Some(k) = &meta.result_key {
+                    inner.resolve(k, Ok((&d, batched_with, report.as_ref())));
+                }
                 if meta.deadline.is_some_and(|dl| dl <= finished) {
                     StatsInner::bump(&inner.stats.timed_out_after);
                     reg::bump(reg::deadline_misses);
@@ -446,6 +651,7 @@ fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
                         d,
                         request_id: meta.request_id,
                         batched_with,
+                        cached: false,
                         queue_ns: dispatched_at.duration_since(meta.admitted).as_nanos() as u64,
                         total_ns,
                         report: report.clone(),
@@ -455,10 +661,14 @@ fn dispatch_chunk(inner: &ServerInner, key: BucketKey, chunk: Vec<Pending>) {
         }
         Err(payload) => {
             let msg = panic_message(&payload);
+            let err = ServeError::Engine(msg);
             for meta in metas {
                 StatsInner::bump(&inner.stats.engine_failures);
                 reg::bump(reg::engine_failures);
-                meta.ticket.fulfill(Err(ServeError::Engine(msg.clone())));
+                if let Some(k) = &meta.result_key {
+                    inner.resolve(k, Err(&err));
+                }
+                meta.ticket.fulfill(Err(err.clone()));
             }
         }
     }

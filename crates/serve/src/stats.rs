@@ -44,10 +44,28 @@ pub(crate) mod reg {
     serve_counter!(engine_calls, "egemm_serve_engine_calls_total");
     serve_counter!(dispatched, "egemm_serve_dispatched_total");
     serve_counter!(batched_requests, "egemm_serve_batched_requests_total");
+    serve_counter!(dedup_hits, "egemm_serve_dedup_hits_total");
+    serve_counter!(result_cache_hits, "egemm_serve_result_cache_hits_total");
+    serve_counter!(result_cache_misses, "egemm_serve_result_cache_misses_total");
+    serve_counter!(
+        result_cache_evictions,
+        "egemm_serve_result_cache_evictions_total"
+    );
+    serve_counter!(backpressure_pauses, "egemm_serve_backpressure_pauses_total");
 
     pub(crate) fn queue_depth() -> &'static Gauge {
         static H: OnceLock<&'static Gauge> = OnceLock::new();
         H.get_or_init(|| metrics::gauge("egemm_serve_queue_depth"))
+    }
+
+    pub(crate) fn open_connections() -> &'static Gauge {
+        static H: OnceLock<&'static Gauge> = OnceLock::new();
+        H.get_or_init(|| metrics::gauge("egemm_serve_open_connections"))
+    }
+
+    pub(crate) fn result_cache_bytes() -> &'static Gauge {
+        static H: OnceLock<&'static Gauge> = OnceLock::new();
+        H.get_or_init(|| metrics::gauge("egemm_serve_result_cache_bytes"))
     }
 
     /// Bump a serve counter, honouring the global metrics gate.
@@ -62,6 +80,41 @@ pub(crate) mod reg {
         if metrics::enabled() {
             queue_depth().set(depth as i64);
         }
+    }
+
+    /// Adjust the open-connections gauge by `delta` (accept / close on
+    /// either frontend).
+    pub(crate) fn connections_delta(delta: i64) {
+        if metrics::enabled() {
+            let g = open_connections();
+            g.set(g.get() + delta);
+        }
+    }
+
+    /// Touch every serve series once so a scrape taken before the first
+    /// event still lists the full family set (a zero counter is
+    /// informative; an absent one looks like a wiring bug). Called from
+    /// `Server::start`.
+    pub(crate) fn touch_all() {
+        let _ = (
+            requests(),
+            busy_rejects(),
+            invalid(),
+            deadline_misses(),
+            completed(),
+            engine_failures(),
+            engine_calls(),
+            dispatched(),
+            batched_requests(),
+            dedup_hits(),
+            result_cache_hits(),
+            result_cache_misses(),
+            result_cache_evictions(),
+            backpressure_pauses(),
+            queue_depth(),
+            open_connections(),
+            result_cache_bytes(),
+        );
     }
 }
 
@@ -85,6 +138,9 @@ pub(crate) struct StatsInner {
     pub dispatched: AtomicU64,
     /// Requests that rode in a bucket of size >= 2.
     pub coalesced: AtomicU64,
+    /// Requests that attached to an identical in-flight request instead
+    /// of dispatching (one engine call fanned out to N tickets).
+    pub dedup_hits: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -108,6 +164,7 @@ impl StatsInner {
             engine_calls: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing {
                 samples: Vec::with_capacity(LATENCY_RING),
                 next: 0,
@@ -150,6 +207,11 @@ impl StatsInner {
             engine_calls: self.engine_calls.load(Ordering::Relaxed),
             dispatched: self.dispatched.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            result_cache_hits: 0,
+            result_cache_misses: 0,
+            result_cache_evictions: 0,
+            result_cache_bytes: 0,
             bytes_staging_saved: 0,
             tiles_stolen: 0,
             panel_reuse_hits: 0,
@@ -198,6 +260,20 @@ pub struct ServeStats {
     pub dispatched: u64,
     /// Requests that shared an engine call with at least one other.
     pub coalesced: u64,
+    /// Requests answered by attaching to an identical in-flight request
+    /// (the dedupe table): no queue slot, no engine dispatch of their
+    /// own.
+    pub dedup_hits: u64,
+    /// Content-addressed result cache hits (served without any
+    /// dispatch). Snapshot-sourced from the server's [`ResultCache`],
+    /// like the engine-runtime counters below.
+    pub result_cache_hits: u64,
+    /// Result-cache lookups that missed (0 while the cache is disabled).
+    pub result_cache_misses: u64,
+    /// Results evicted to respect the cache's byte budget.
+    pub result_cache_evictions: u64,
+    /// Bytes currently resident in the result cache.
+    pub result_cache_bytes: u64,
     /// Split-plane staging bytes the engine's fused split-and-pack
     /// pipeline avoided, summed over the server's lifetime. Read from
     /// the shared engine runtime at snapshot time (not a serve-side
@@ -229,13 +305,25 @@ impl ServeStats {
         }
     }
 
+    /// Result-cache hit ratio over all lookups while enabled, 0.0 idle.
+    pub fn result_cache_hit_ratio(&self) -> f64 {
+        let total = self.result_cache_hits + self.result_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.result_cache_hits as f64 / total as f64
+        }
+    }
+
     /// JSON rendering (hand-rolled like every exporter in this repo).
     pub fn to_json(&self) -> String {
         format!(
             "{{\"submitted\":{},\"admitted\":{},\"rejected_busy\":{},\"rejected_invalid\":{},\
              \"timed_out_before\":{},\"timed_out_after\":{},\"completed\":{},\
              \"engine_failures\":{},\"engine_calls\":{},\"dispatched\":{},\"coalesced\":{},\
-             \"batched_ratio\":{:.4},\"bytes_staging_saved\":{},\"tiles_stolen\":{},\
+             \"batched_ratio\":{:.4},\"dedup_hits\":{},\"result_cache_hits\":{},\
+             \"result_cache_misses\":{},\"result_cache_evictions\":{},\"result_cache_bytes\":{},\
+             \"bytes_staging_saved\":{},\"tiles_stolen\":{},\
              \"panel_reuse_hits\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
             self.submitted,
             self.admitted,
@@ -249,6 +337,11 @@ impl ServeStats {
             self.dispatched,
             self.coalesced,
             self.batched_ratio(),
+            self.dedup_hits,
+            self.result_cache_hits,
+            self.result_cache_misses,
+            self.result_cache_evictions,
+            self.result_cache_bytes,
             self.bytes_staging_saved,
             self.tiles_stolen,
             self.panel_reuse_hits,
@@ -264,6 +357,7 @@ impl std::fmt::Display for ServeStats {
             f,
             "{} submitted: {} ok, {} busy, {} invalid, {} expired ({} late), {} engine-failed; \
              {} engine call(s) for {} dispatched ({:.2}x batched); \
+             {} deduped, {} memoized ({:.1} KiB resident, {} evicted); \
              {:.1} KiB staging saved; {} tile(s) stolen, {} panel(s) reused; \
              p50 {:.3} ms, p99 {:.3} ms",
             self.submitted,
@@ -276,6 +370,10 @@ impl std::fmt::Display for ServeStats {
             self.engine_calls,
             self.dispatched,
             self.batched_ratio(),
+            self.dedup_hits,
+            self.result_cache_hits,
+            self.result_cache_bytes as f64 / 1024.0,
+            self.result_cache_evictions,
             self.bytes_staging_saved as f64 / 1024.0,
             self.tiles_stolen,
             self.panel_reuse_hits,

@@ -9,6 +9,7 @@
 //! request, in order. `"stats"` and `"metrics"` queries are answered
 //! inline without touching the queue.
 
+use crate::binwire;
 use crate::server::Client;
 use crate::wire;
 use std::io::BufReader;
@@ -102,35 +103,66 @@ fn accept_loop(listener: &TcpListener, client: &Client, stop: &AtomicBool) -> Ve
 
 /// Serve one connection until EOF or an I/O error. Protocol errors
 /// (undecodable frames) are answered in-band and the connection stays
-/// up; only transport failures end the session.
+/// up; only transport failures end the session. Both codecs are
+/// accepted, negotiated per frame by leading byte (see
+/// [`crate::binwire`]); the reply always uses the request's codec.
 fn handle_connection(stream: TcpStream, client: &Client) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    crate::stats::reg::connections_delta(1);
     let mut reader = BufReader::new(stream);
     let mut writer = write_half;
-    loop {
-        let payload = match wire::read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return, // EOF or transport failure
+    // The loop ends on EOF (`Ok(None)`) or a transport failure.
+    while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
+        let binary = binwire::is_binary(&payload);
+        let decoded = if binary {
+            binwire::decode_request(&payload)
+        } else {
+            wire::decode_request(&payload)
         };
-        let reply = match wire::decode_request(&payload) {
-            Ok(wire::WireRequest::Stats { id }) => wire::encode_stats_response(id, &client.stats()),
+        let reply: Vec<u8> = match decoded {
+            Ok(wire::WireRequest::Stats { id }) => {
+                let stats = client.stats();
+                if binary {
+                    binwire::encode_text_response(id, &stats.to_json())
+                } else {
+                    wire::encode_stats_response(id, &stats).into_bytes()
+                }
+            }
             Ok(wire::WireRequest::Metrics { id }) => {
-                wire::encode_metrics_response(id, &client.metrics_text())
+                let text = client.metrics_text();
+                if binary {
+                    binwire::encode_text_response(id, &text)
+                } else {
+                    wire::encode_metrics_response(id, &text).into_bytes()
+                }
             }
             Ok(wire::WireRequest::Job { id, req }) => {
                 // Blocking call: one in-flight request per connection,
                 // responses naturally in request order. Concurrency is
                 // per-connection by design (thread per connection).
-                wire::encode_response(id, &client.call(req))
+                let result = client.call(req);
+                if binary {
+                    binwire::encode_response(id, &result)
+                } else {
+                    wire::encode_response(id, &result).into_bytes()
+                }
             }
-            Err(msg) => wire::encode_error(0, &crate::ServeError::Invalid(msg)),
+            Err(msg) => {
+                let e = crate::ServeError::Invalid(msg);
+                if binary {
+                    binwire::encode_error(0, &e)
+                } else {
+                    wire::encode_error(0, &e).into_bytes()
+                }
+            }
         };
-        if wire::write_frame(&mut writer, reply.as_bytes()).is_err() {
-            return;
+        if wire::write_frame(&mut writer, &reply).is_err() {
+            break;
         }
     }
+    crate::stats::reg::connections_delta(-1);
 }
 
 #[cfg(test)]

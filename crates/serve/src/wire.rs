@@ -594,6 +594,7 @@ pub fn encode_response(id: u64, result: &Result<ServeOutput, ServeError>) -> Str
                 ("n".into(), Value::Num(out.shape.n as f64)),
                 ("d".into(), encode_matrix(&out.d)),
                 ("batched_with".into(), Value::Num(out.batched_with as f64)),
+                ("cached".into(), Value::Bool(out.cached)),
                 ("queue_ns".into(), Value::Num(out.queue_ns as f64)),
                 ("total_ns".into(), Value::Num(out.total_ns as f64)),
             ]);
@@ -717,6 +718,7 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
                 .map(|x| x as u64)
                 .unwrap_or(0),
             batched_with: v.get("batched_with").and_then(Value::as_usize).unwrap_or(1),
+            cached: v.get("cached").and_then(Value::as_bool).unwrap_or(false),
             queue_ns: v.get("queue_ns").and_then(Value::as_f64).unwrap_or(0.0) as u64,
             total_ns: v.get("total_ns").and_then(Value::as_f64).unwrap_or(0.0) as u64,
             report: None,

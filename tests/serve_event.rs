@@ -1,0 +1,440 @@
+//! Integration tests of the event-loop frontend and the
+//! content-addressed serving layer:
+//!
+//! - **Wire bit-exactness**: JSON and binary frames roundtrip f32
+//!   payloads bit-exactly (binary even preserves NaN payload bits;
+//!   JSON canonicalizes NaN but keeps infinities and subnormals exact).
+//! - **Dedupe**: identical concurrent requests produce exactly one
+//!   engine dispatch, fanned out to every ticket, bit-identical to a
+//!   cold direct call.
+//! - **Memoization**: a repeated request is served from the result
+//!   cache bit-identically at pool sizes 1 and 4; mutating an operand
+//!   buffer changes its fingerprint, so a stale hit is impossible.
+//! - **Pipelining**: one connection with many in-flight requests gets
+//!   every reply, matched by frame id, in either codec.
+//! - **Backpressure**: a full admission queue pauses the socket instead
+//!   of answering `Busy`; every pipelined request is eventually served.
+//! - **Graceful drain**: shutdown under load flushes every pending
+//!   pipelined reply and half-closes — no lost tickets, no truncated
+//!   replies.
+
+use egemm::{Egemm, EngineRuntime, RuntimeConfig, TilingConfig};
+use egemm_matrix::Matrix;
+use egemm_serve::{binwire, wire, EventServer, GemmRequest, Server, ServerConfig};
+use egemm_tcsim::DeviceSpec;
+use proptest::prelude::*;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// An engine on a private runtime with a pinned pool size.
+fn engine(threads: usize) -> Egemm {
+    let rt = EngineRuntime::new(RuntimeConfig {
+        threads,
+        ..RuntimeConfig::default()
+    });
+    Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER).with_runtime(rt)
+}
+
+/// The cold reference: solo pool, cache disabled.
+fn cold() -> Egemm {
+    Egemm::new(DeviceSpec::t4(), TilingConfig::T4_PAPER).with_runtime(EngineRuntime::new(
+        RuntimeConfig {
+            threads: 1,
+            cache_bytes: 0,
+            ..RuntimeConfig::default()
+        },
+    ))
+}
+
+/// A matrix whose bits exercise the full f32 landscape: a random body
+/// with NaN (nonstandard payload), infinities, and subnormals planted
+/// at deterministic positions.
+fn special_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+    let mut m = Matrix::<f32>::random_uniform(rows, cols, seed);
+    let plant = [
+        f32::from_bits(0x7fc0_0123), // NaN with payload bits
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::from_bits(1),           // smallest positive subnormal
+        f32::from_bits(0x807f_ffff), // largest negative subnormal
+        -0.0,
+    ];
+    let total = rows * cols;
+    for (i, v) in plant.iter().enumerate() {
+        let at = (seed as usize + i * 7) % total;
+        m.set(at / cols, at % cols, *v);
+    }
+    m
+}
+
+fn bits(m: &Matrix<f32>) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Binary frames carry raw little-endian f32: every bit pattern —
+    /// including NaN payloads — survives request and response roundtrips.
+    #[test]
+    fn binary_wire_roundtrips_every_bit(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in 0u64..10_000,
+        with_c in any::<bool>(),
+    ) {
+        let a = special_matrix(m, k, seed);
+        let b = special_matrix(k, n, seed + 1);
+        let mut req = GemmRequest::gemm(a.clone(), b.clone());
+        if with_c {
+            req.c = Some(special_matrix(m, n, seed + 2));
+        }
+        let frame = binwire::encode_request(seed, &req);
+        let wire::WireRequest::Job { id, req: back } =
+            binwire::decode_request(&frame).map_err(|e| e.to_string())?
+        else {
+            return Err("expected a job frame".into());
+        };
+        prop_assert_eq!(id, seed);
+        prop_assert_eq!(bits(&back.a), bits(&a));
+        prop_assert_eq!(bits(&back.b), bits(&b));
+        if let (Some(c0), Some(c1)) = (&req.c, &back.c) {
+            prop_assert_eq!(bits(c1), bits(c0));
+        } else {
+            prop_assert_eq!(req.c.is_some(), back.c.is_some());
+        }
+
+        // Response roundtrip over the same landscape.
+        let d = special_matrix(m, n, seed + 3);
+        let out = egemm_serve::ServeOutput {
+            d: d.clone(),
+            request_id: seed + 9,
+            shape: req.shape(),
+            batched_with: 2,
+            cached: true,
+            queue_ns: 11,
+            total_ns: 22,
+            report: None,
+        };
+        let frame = binwire::encode_response(seed, &Ok(out));
+        let resp = binwire::decode_response(&frame).map_err(|e| e.to_string())?;
+        let got = resp.result.map_err(|e| e.to_string())?;
+        prop_assert_eq!(bits(&got.d), bits(&d));
+        prop_assert!(got.cached);
+        prop_assert_eq!(got.request_id, seed + 9);
+    }
+
+    /// JSON frames roundtrip f32 payloads bit-exactly too (shortest-
+    /// roundtrip decimal keeps subnormals and -0.0; NaN travels as a
+    /// string and canonicalizes, so NaN positions are compared by kind).
+    #[test]
+    fn json_wire_roundtrips_every_value(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        seed in 0u64..10_000,
+    ) {
+        let a = special_matrix(m, k, seed);
+        let b = special_matrix(k, n, seed + 1);
+        let req = GemmRequest::gemm(a.clone(), b.clone());
+        let frame = wire::encode_request(seed, &req);
+        let wire::WireRequest::Job { req: back, .. } =
+            wire::decode_request(frame.as_bytes()).map_err(|e| e.to_string())?
+        else {
+            return Err("expected a job frame".into());
+        };
+        for (orig, got) in [(&a, &back.a), (&b, &back.b)] {
+            for (x, y) in orig.as_slice().iter().zip(got.as_slice()) {
+                if x.is_nan() {
+                    prop_assert!(y.is_nan());
+                } else {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dedupe_coalesces_identical_concurrent_requests_into_one_dispatch() {
+    let server = Server::start(
+        engine(1),
+        ServerConfig {
+            // Memo off to isolate the in-flight table; a long batch
+            // window keeps the primary queued while the copies attach.
+            result_cache_bytes: 0,
+            batch_window: Duration::from_millis(40),
+            ..ServerConfig::default()
+        },
+    );
+    let client = server.client();
+    let a = Matrix::<f32>::random_uniform(24, 24, 61);
+    let b = Matrix::<f32>::random_uniform(24, 24, 62);
+
+    let tickets: Vec<_> = (0..4)
+        .map(|_| {
+            client
+                .submit(GemmRequest::gemm(a.clone(), b.clone()))
+                .expect("admitted")
+        })
+        .collect();
+    let outs: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("served"))
+        .collect();
+
+    let direct = cold().gemm(&a, &b);
+    for out in &outs {
+        assert_eq!(bits(&out.d), bits(&direct.d), "fanned result bit-identical");
+        assert!(!out.cached);
+    }
+    let ids: std::collections::HashSet<u64> = outs.iter().map(|o| o.request_id).collect();
+    assert_eq!(ids.len(), 4, "every waiter keeps its own request id");
+
+    let stats = server.stats();
+    assert_eq!(stats.engine_calls, 1, "exactly one dispatch: {stats:?}");
+    assert_eq!(stats.dedup_hits, 3, "three followers: {stats:?}");
+    assert_eq!(stats.completed, 4);
+    server.shutdown();
+}
+
+#[test]
+fn memo_serves_bit_identical_results_and_never_stale() {
+    for threads in [1usize, 4] {
+        let server = Server::start(
+            engine(threads),
+            ServerConfig {
+                result_cache_bytes: 8 << 20,
+                ..ServerConfig::default()
+            },
+        );
+        let client = server.client();
+        let mut a = Matrix::<f32>::random_uniform(32, 32, 71);
+        let b = Matrix::<f32>::random_uniform(32, 32, 72);
+
+        let first = client
+            .call(GemmRequest::gemm(a.clone(), b.clone()))
+            .expect("served");
+        assert!(!first.cached, "cold call computes");
+
+        let second = client
+            .call(GemmRequest::gemm(a.clone(), b.clone()))
+            .expect("served");
+        assert!(second.cached, "identical repeat hits the result cache");
+        let direct = cold().gemm(&a, &b);
+        assert_eq!(
+            bits(&second.d),
+            bits(&first.d),
+            "memo bit-identical (pool {threads})"
+        );
+        assert_eq!(
+            bits(&second.d),
+            bits(&direct.d),
+            "…and equal to cold direct"
+        );
+
+        // Mutation: same buffers, one changed element → new fingerprint,
+        // no stale hit, result matches a cold call on the new contents.
+        a.set(3, 5, 0.123_456_79);
+        let third = client
+            .call(GemmRequest::gemm(a.clone(), b.clone()))
+            .expect("served");
+        assert!(!third.cached, "mutated operand must not hit the cache");
+        let direct_mut = cold().gemm(&a, &b);
+        assert_eq!(bits(&third.d), bits(&direct_mut.d));
+        assert_ne!(bits(&third.d), bits(&first.d), "contents actually changed");
+
+        let stats = server.stats();
+        assert_eq!(stats.result_cache_hits, 1, "{stats:?}");
+        assert_eq!(stats.engine_calls, 2, "cold + mutated only: {stats:?}");
+        assert!(stats.result_cache_bytes > 0);
+        server.shutdown();
+    }
+}
+
+/// Read one framed reply and decode it in whichever codec it arrived.
+fn read_reply(conn: &mut TcpStream) -> wire::WireResponse {
+    let frame = wire::read_frame(conn).unwrap().expect("reply frame");
+    if binwire::is_binary(&frame) {
+        binwire::decode_response(&frame).expect("binary decode")
+    } else {
+        wire::decode_response(&frame).expect("json decode")
+    }
+}
+
+#[test]
+fn event_frontend_pipelines_mixed_codecs_on_one_connection() {
+    let server = Server::start(engine(1), ServerConfig::default());
+    let evt = EventServer::bind("127.0.0.1:0", server.client()).expect("bind");
+
+    let mut conn = TcpStream::connect(evt.local_addr()).expect("connect");
+    let depth = 8;
+    let mut expected = std::collections::HashMap::new();
+    for i in 0..depth {
+        let a = Matrix::<f32>::random_uniform(12, 12, 500 + i);
+        let b = Matrix::<f32>::random_uniform(12, 12, 600 + i);
+        let req = GemmRequest::gemm(a.clone(), b.clone());
+        // Alternate codecs frame by frame: negotiation is per frame.
+        if i % 2 == 0 {
+            wire::write_frame(&mut conn, wire::encode_request(i, &req).as_bytes()).unwrap();
+        } else {
+            wire::write_frame(&mut conn, &binwire::encode_request(i, &req)).unwrap();
+        }
+        expected.insert(i, cold().gemm(&a, &b).d);
+    }
+    for _ in 0..depth {
+        let resp = read_reply(&mut conn);
+        let out = resp.result.expect("served");
+        let want = expected.remove(&resp.id).expect("unique reply per id");
+        assert_eq!(
+            bits(&out.d),
+            bits(&want),
+            "bit identity over the event loop"
+        );
+    }
+    assert!(expected.is_empty(), "every pipelined request answered");
+
+    evt.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn backpressure_pauses_the_socket_instead_of_rejecting() {
+    let server = Server::start(
+        engine(1),
+        ServerConfig {
+            queue_cap: 1,
+            batch_window: Duration::from_millis(10),
+            result_cache_bytes: 0,
+            ..ServerConfig::default()
+        },
+    );
+    let evt = EventServer::bind("127.0.0.1:0", server.client()).expect("bind");
+
+    let mut conn = TcpStream::connect(evt.local_addr()).expect("connect");
+    let depth = 6;
+    for i in 0..depth {
+        // Distinct operands: identical ones would dedupe around the
+        // queue and never exercise the stall path.
+        let a = Matrix::<f32>::random_uniform(16, 16, 700 + i);
+        let b = Matrix::<f32>::random_uniform(16, 16, 800 + i);
+        let req = GemmRequest::gemm(a, b);
+        wire::write_frame(&mut conn, &binwire::encode_request(i, &req)).unwrap();
+    }
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..depth {
+        let resp = read_reply(&mut conn);
+        assert!(
+            resp.result.is_ok(),
+            "backpressure must never surface Busy on the wire: {:?}",
+            resp.result.err()
+        );
+        seen.insert(resp.id);
+    }
+    assert_eq!(seen.len(), depth as usize, "all pipelined requests served");
+
+    evt.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_under_load_flushes_every_pipelined_reply() {
+    let server = Server::start(
+        engine(1),
+        ServerConfig {
+            batch_window: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+    let evt = EventServer::bind("127.0.0.1:0", server.client()).expect("bind");
+    let addr = evt.local_addr();
+
+    let conns = 4u64;
+    let depth = 6u64;
+    let clients: Vec<_> = (0..conns)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                for i in 0..depth {
+                    let a = Matrix::<f32>::random_uniform(20, 20, 1000 + c * 100 + i);
+                    let b = Matrix::<f32>::random_uniform(20, 20, 2000 + c * 100 + i);
+                    let req = GemmRequest::gemm(a, b);
+                    wire::write_frame(&mut conn, &binwire::encode_request(i, &req)).unwrap();
+                }
+                // Read replies until EOF: the drain must deliver every
+                // one of them, then half-close (FIN, not RST).
+                let mut got = Vec::new();
+                loop {
+                    match wire::read_frame(&mut conn) {
+                        Ok(Some(frame)) => {
+                            let resp = binwire::decode_response(&frame).expect("decode");
+                            resp.result.expect("pipelined reply served, not dropped");
+                            got.push(resp.id);
+                        }
+                        Ok(None) => break, // clean EOF after the last reply
+                        Err(e) => panic!("transport error during drain (RST?): {e}"),
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+
+    // Let the requests land in flight, then drain under load.
+    std::thread::sleep(Duration::from_millis(30));
+    evt.shutdown();
+
+    for h in clients {
+        let mut got = h.join().expect("client thread");
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            (0..depth).collect::<Vec<_>>(),
+            "every pipelined request answered exactly once before close"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.admitted, stats.completed,
+        "no admitted ticket lost in the drain: {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn event_frontend_sustains_many_concurrent_connections() {
+    let server = Server::start(engine(1), ServerConfig::default());
+    let evt = EventServer::bind("127.0.0.1:0", server.client()).expect("bind");
+    let addr = evt.local_addr();
+
+    let conns = 64u64;
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                for i in 0..2u64 {
+                    let a = Matrix::<f32>::random_uniform(8, 8, 3000 + c * 10 + i);
+                    let b = Matrix::<f32>::random_uniform(8, 8, 4000 + c * 10 + i);
+                    let req = GemmRequest::gemm(a, b);
+                    wire::write_frame(&mut conn, &binwire::encode_request(i, &req)).unwrap();
+                }
+                for _ in 0..2 {
+                    let frame = wire::read_frame(&mut conn).unwrap().expect("reply");
+                    binwire::decode_response(&frame)
+                        .expect("decode")
+                        .result
+                        .expect("served");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, conns * 2, "{stats:?}");
+
+    evt.shutdown();
+    server.shutdown();
+}
