@@ -193,6 +193,16 @@ fn draw(addr: &str, prev: Option<&Scrape>, cur: &Scrape, dt: f64, clear: bool) {
         fmt_si(get(cur, "egemm_panel_reuse_hits")),
         fmt_si(get(cur, "egemm_trace_spans_dropped_total")),
     ));
+    out.push_str(&format!(
+        "  jit compiles {:>7}   cache hits {:>8}   code {:>8}B   compile p50 {:>8}   p99 {:>8}\n",
+        fmt_si(get(cur, "egemm_jit_compiles_total")),
+        fmt_si(get(cur, "egemm_jit_cache_hits_total")),
+        fmt_si(get(cur, "egemm_jit_code_bytes")),
+        hist_quantile(cur, "egemm_jit_compile_ns", 0.50)
+            .map_or("-".into(), |ns| format!("{:.0}us", ns / 1e3)),
+        hist_quantile(cur, "egemm_jit_compile_ns", 0.99)
+            .map_or("-".into(), |ns| format!("{:.0}us", ns / 1e3)),
+    ));
     let mut phases = family_series(cur, "egemm_engine_phase_ns_total");
     phases.sort_by(|a, b| b.1.total_cmp(&a.1));
     let phase_total: f64 = phases.iter().map(|&(_, v)| v).sum();

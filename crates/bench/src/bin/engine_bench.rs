@@ -316,6 +316,131 @@ fn bench_split_simd(rows: usize, cols: usize, reps: usize, assert_perf: bool) ->
     out
 }
 
+/// Interpreted vs JIT-compiled microkernel, per emulation scheme: the
+/// same split operands executed with `EngineConfig::jit` off (the
+/// term-plane interpreter) and on (shape-specialized compiled
+/// kernels). Bit-identity is asserted before any timing claim, and the
+/// first JIT call — which pays every compilation — runs outside the
+/// timed region, so the JIT number measures steady-state dispatch
+/// against a warm compiled-kernel cache.
+struct JitRow {
+    scheme_label: &'static str,
+    shape_label: &'static str,
+    shape: GemmShape,
+    threads: usize,
+    interp_gflops: f64,
+    jit_gflops: f64,
+    jit_compiles: u64,
+    jit_code_bytes: u64,
+}
+
+fn bench_jit_kernel(
+    shape_label: &'static str,
+    shape: GemmShape,
+    reps: usize,
+    assert_perf: bool,
+) -> Vec<JitRow> {
+    let schemes: [(&'static str, EmulationScheme); 4] = [
+        ("egemm_tc", EmulationScheme::EgemmTc),
+        ("markidis", EmulationScheme::Markidis),
+        ("markidis4", EmulationScheme::MarkidisFourTerm),
+        ("tc_half", EmulationScheme::TcHalf),
+    ];
+    schemes
+        .iter()
+        .map(|&(scheme_label, scheme)| {
+            let a = Matrix::<f32>::random_uniform(shape.m, shape.k, 51);
+            let b = Matrix::<f32>::random_uniform(shape.k, shape.n, 52);
+            let sa = SplitMatrix::split(&a, scheme.split_scheme());
+            let sb = SplitMatrix::split(&b, scheme.split_scheme());
+            let base = EngineConfig::default();
+            let interp_cfg = EngineConfig { jit: false, ..base };
+            let jit_cfg = EngineConfig { jit: true, ..base };
+            let rt = EngineRuntime::new(RuntimeConfig {
+                cache_bytes: 0,
+                ..RuntimeConfig::from_env()
+            });
+
+            // Bit-identity first; the JIT call here also pays every
+            // compilation for this shape class.
+            let d_interp = gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, interp_cfg);
+            let d_jit = gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, jit_cfg);
+            assert_bits_equal(
+                &format!("jit_kernel {scheme_label} {shape_label}"),
+                &d_jit,
+                &d_interp,
+            );
+
+            let (t_interp, _) = time_reps(
+                || gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, interp_cfg),
+                reps,
+            );
+            let (t_jit, _) = time_reps(
+                || gemm_blocked_in(&rt, &sa, &sb, None, scheme, TK, jit_cfg),
+                reps,
+            );
+            let stats = rt.cache_stats();
+            if egemm::jit_available() {
+                assert!(
+                    stats.jit_compiles > 0,
+                    "JIT available but {scheme_label}/{shape_label} compiled nothing"
+                );
+            } else {
+                assert_eq!(stats.jit_compiles, 0, "JIT unavailable but compiled");
+            }
+            let gf = |t: f64| shape.flops() as f64 / t / 1e9;
+            let row = JitRow {
+                scheme_label,
+                shape_label,
+                shape,
+                threads: base.resolved_threads(),
+                interp_gflops: gf(t_interp),
+                jit_gflops: gf(t_jit),
+                jit_compiles: stats.jit_compiles,
+                jit_code_bytes: stats.jit_code_bytes,
+            };
+            if assert_perf && egemm::jit_available() {
+                assert!(
+                    row.jit_gflops >= row.interp_gflops,
+                    "JIT must not lose to the interpreter on {scheme_label}/{shape_label}: \
+                     jit {:.2} vs interp {:.2} GF/s",
+                    row.jit_gflops,
+                    row.interp_gflops
+                );
+            }
+            row
+        })
+        .collect()
+}
+
+fn print_jit(rows: &[JitRow]) {
+    println!(
+        "jit_kernel      (compiled kernels {})",
+        if egemm::jit_available() {
+            "available"
+        } else {
+            "unavailable on this host"
+        }
+    );
+    println!(
+        "{:<16}{:>12}{:>16}{:>14}{:>12}{:>10}{:>10}",
+        "", "scheme", "shape", "interp GF/s", "jit GF/s", "speedup", "kernels"
+    );
+    for r in rows {
+        println!(
+            "{:<16}{:>12}{:>16}{:>14.2}{:>12.2}{:>9.2}x{:>6} ({} B)",
+            "",
+            r.scheme_label,
+            r.shape_label,
+            r.interp_gflops,
+            r.jit_gflops,
+            r.jit_gflops / r.interp_gflops,
+            r.jit_compiles,
+            r.jit_code_bytes,
+        );
+    }
+}
+
 /// One worker count's measurement in the thread sweep.
 struct SweepPoint {
     workers: usize,
@@ -460,6 +585,9 @@ fn main() {
         bench_repeat_shared_b(GemmShape::new(16, 256, 256), 1, false);
         bench_fused_cold(GemmShape::new(16, 224, 192), 1, false);
         bench_split_simd(64, 331, 1, false);
+        // Edge-heavy ragged shape so the smoke run exercises masked
+        // stores and the dual-strip tail, per scheme.
+        bench_jit_kernel("smoke_ragged", GemmShape::new(33, 37, 40), 1, false);
         println!("engine_bench --smoke: all bit-equality assertions passed");
         return;
     }
@@ -553,6 +681,28 @@ fn main() {
         GemmShape::square(1024)
     };
     let sweep = bench_thread_sweep(sweep_shape, reps, &[1, 2, 4, 8]);
+    // Interpreted vs compiled microkernels: the uniform square shape
+    // (one hot full-tile kernel) and a ragged shape whose edges force
+    // masked-store and short-panel kernel variants. JIT >= interpreted
+    // is an acceptance criterion in full mode wherever a backend
+    // exists; --quick and JIT-less hosts still assert bit-identity.
+    let (jit_square_label, jit_square, jit_ragged_label, jit_ragged) = if quick {
+        (
+            "square_512",
+            GemmShape::square(512),
+            "ragged_253",
+            GemmShape::new(253, 261, 167),
+        )
+    } else {
+        (
+            "square_1024",
+            GemmShape::square(1024),
+            "ragged_509",
+            GemmShape::new(509, 517, 333),
+        )
+    };
+    let mut jit_rows = bench_jit_kernel(jit_square_label, jit_square, reps, !quick);
+    jit_rows.extend(bench_jit_kernel(jit_ragged_label, jit_ragged, reps, !quick));
 
     println!(
         "{:<16}{:>8}{:>8}{:>8}{:>14}{:>14}{:>10}",
@@ -607,6 +757,7 @@ fn main() {
         },
     );
     print_sweep(sweep_shape, &sweep);
+    print_jit(&jit_rows);
 
     let mut json = String::from("{\n  \"entries\": {\n");
     for r in &rows {
@@ -653,13 +804,31 @@ fn main() {
         fused.bytes_staging_saved_per_call,
     ));
     json.push_str(&format!(
-        "    \"split_simd\": {{\"elements\": {}, \"scalar_melems_s\": {:.3}, \"simd_melems_s\": {:.3}, \"speedup\": {:.3}, \"simd_available\": {}}}\n",
+        "    \"split_simd\": {{\"elements\": {}, \"scalar_melems_s\": {:.3}, \"simd_melems_s\": {:.3}, \"speedup\": {:.3}, \"simd_available\": {}}},\n",
         split.elements,
         split.scalar_melems,
         split.simd_melems,
         split.simd_melems / split.scalar_melems,
         simd_split_available(),
     ));
+    for (i, r) in jit_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"jit_{}_{}\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"threads\": {}, \"interp_gflops\": {:.3}, \"jit_gflops\": {:.3}, \"speedup\": {:.3}, \"jit_compiles\": {}, \"jit_code_bytes\": {}, \"jit_available\": {}}}{}\n",
+            r.shape_label,
+            r.scheme_label,
+            r.shape.m,
+            r.shape.n,
+            r.shape.k,
+            r.threads,
+            r.interp_gflops,
+            r.jit_gflops,
+            r.jit_gflops / r.interp_gflops,
+            r.jit_compiles,
+            r.jit_code_bytes,
+            egemm::jit_available(),
+            if i + 1 < jit_rows.len() { "," } else { "" },
+        ));
+    }
     json.push_str("  },\n");
     json.push_str(&format!(
         "  \"thread_sweep\": {{\n    \"m\": {}, \"n\": {}, \"k\": {}, \"available_parallelism\": {},\n    \"points\": [\n",

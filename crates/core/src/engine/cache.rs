@@ -73,6 +73,15 @@ pub struct CacheStats {
     /// materializing — staging traffic a staged split-then-pack would
     /// have written and read back. Monotone.
     pub bytes_staging_saved: u64,
+    /// Microkernel JIT compilations attempted (each key compiles at
+    /// most once per runtime, successful or not).
+    pub jit_compiles: u64,
+    /// Compiled-kernel cache lookups served without compiling.
+    pub jit_hits: u64,
+    /// Nanoseconds spent compiling (IR lowering through verification).
+    pub jit_compile_ns: u64,
+    /// Bytes of executable kernel code resident (whole pages).
+    pub jit_code_bytes: u64,
 }
 
 impl CacheStats {
@@ -95,7 +104,8 @@ impl fmt::Display for CacheStats {
         write!(
             f,
             "{} hit / {} miss / {} evict, {} split + {} pack run, {:.1} KiB resident, \
-             {:.1} KiB staging saved, {:.1}% hit ratio",
+             {:.1} KiB staging saved, {:.1}% hit ratio, {} jit compile / {} jit hit \
+             ({:.1} KiB code)",
             self.hits,
             self.misses,
             self.evictions,
@@ -103,7 +113,10 @@ impl fmt::Display for CacheStats {
             self.packs,
             self.bytes as f64 / 1024.0,
             self.bytes_staging_saved as f64 / 1024.0,
-            100.0 * self.hit_ratio()
+            100.0 * self.hit_ratio(),
+            self.jit_compiles,
+            self.jit_hits,
+            self.jit_code_bytes as f64 / 1024.0
         )
     }
 }
@@ -235,6 +248,12 @@ impl PanelCache {
             splits: self.splits.load(Ordering::Relaxed),
             packs: self.packs.load(Ordering::Relaxed),
             bytes_staging_saved: self.staging_saved.load(Ordering::Relaxed),
+            // The JIT series live in the runtime's kernel cache and are
+            // merged in by EngineRuntime::cache_stats.
+            jit_compiles: 0,
+            jit_hits: 0,
+            jit_compile_ns: 0,
+            jit_code_bytes: 0,
         }
     }
 
@@ -604,12 +623,18 @@ mod tests {
             splits: 1,
             packs: 1,
             bytes_staging_saved: 3072,
+            jit_compiles: 4,
+            jit_hits: 9,
+            jit_compile_ns: 1_000,
+            jit_code_bytes: 8192,
         };
         let text = s.to_string();
         assert!(text.contains("3 hit"), "{text}");
         assert!(text.contains("2.0 KiB resident"), "{text}");
         assert!(text.contains("3.0 KiB staging saved"), "{text}");
         assert!(text.contains("75.0% hit ratio"), "{text}");
+        assert!(text.contains("4 jit compile / 9 jit hit"), "{text}");
+        assert!(text.contains("8.0 KiB code"), "{text}");
         // The idle stats line must not divide by zero.
         assert!(CacheStats::default().to_string().contains("0.0% hit ratio"));
     }

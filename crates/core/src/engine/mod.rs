@@ -33,6 +33,7 @@
 //! `to_bits` equality.
 
 mod cache;
+pub(crate) mod jit;
 mod micro;
 mod pack;
 pub mod runtime;
@@ -45,6 +46,7 @@ pub use cache::fingerprint as content_fingerprint;
 use cache::split_plane_bytes;
 use egemm_fp::{SplitKernel, SplitScheme};
 use egemm_matrix::Matrix;
+pub use jit::{available as jit_available, exec_mappings as jit_exec_mappings};
 use micro::{load_acc, microkernel, store_acc, PlanePair};
 use pack::{pack_a, pack_a_fused, pack_b, pack_b_fused, PackedB, PanelStore, MR, NR};
 pub use runtime::{CacheStats, EngineRuntime, PreparedOperand, RuntimeConfig};
@@ -79,6 +81,13 @@ pub struct EngineConfig {
     /// traffic and resident bytes — and exists as the bit-identity
     /// oracle the fused path is property-tested against.
     pub staged: bool,
+    /// Dispatch tiles through JIT-compiled shape-specialized
+    /// microkernels when the process supports them (x86-64 Linux with
+    /// AVX, `EGEMM_JIT` not set to `0`). The interpreted microkernel
+    /// remains the bit-identity oracle: every compiled kernel is
+    /// verified against it before first use, and any tile the JIT does
+    /// not cover falls back transparently. Default on.
+    pub jit: bool,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +98,7 @@ impl Default for EngineConfig {
             kc: 256,
             threads: 0,
             staged: false,
+            jit: true,
         }
     }
 }
@@ -664,6 +674,11 @@ fn worker(
     let mut a_lo = vec![0f32; if a_lo_used || fused_a { a_cap } else { 0 }];
     let mut rowbuf: Vec<usize> = Vec::with_capacity(ctx.mc);
     let counters = rt.sched_counters();
+    // JIT dispatch state: the runtime's compiled-kernel cache (absent
+    // when the call or the process opted out) plus a per-worker memo
+    // that keeps the tile loop off the cache mutex.
+    let jit_active = if plan.cfg.jit { rt.jit_cache() } else { None };
+    let mut jit_memo = jit::KernelMemo::default();
     let me = sched.join();
 
     // One Worker span covers this thread's whole participation (claim
@@ -802,7 +817,18 @@ fn worker(
                 }
             };
             let t_tile = telemetry::span_start();
-            for sb in 0..strips {
+            let mut sb = 0;
+            while sb < strips {
+                // On AVX-512 machines with the JIT active, adjacent B
+                // strips fuse into one 32-lane dual-strip kernel — the
+                // packed strips are contiguous in memory, so the fused
+                // sliver is just twice as long. `take` only widens the
+                // view; if the kernel ends up interpreted after all,
+                // the fallback below walks the strips one by one.
+                let take = match jit_active.map(jit::KernelCache::isa) {
+                    Some(Some(jit::Isa::Avx512)) if sb + 1 < strips => 2,
+                    _ => 1,
+                };
                 // Prepacked slivers are bit-identical to what pack_b
                 // would have produced for this tile: jc is NR-aligned
                 // (nc is clamped to an NR multiple) and the k grid
@@ -811,19 +837,19 @@ fn worker(
                 // with the same zero padding.
                 let b_pair = match plan.b_pack {
                     Some(p) => PlanePair {
-                        hi: p.sliver(false, pc / ctx.kc, kcb, jc / NR + sb),
-                        lo: p.sliver(true, pc / ctx.kc, kcb, jc / NR + sb),
+                        hi: p.sliver_span(false, pc / ctx.kc, kcb, jc / NR + sb, take),
+                        lo: p.sliver_span(true, pc / ctx.kc, kcb, jc / NR + sb, take),
                     },
                     None => {
                         let (bh, bl) = b_planes.expect("store-packed planes present");
                         PlanePair {
-                            hi: sliver(bh, sb, kcb * NR),
-                            lo: sliver(bl, sb, kcb * NR),
+                            hi: sliver_span(bh, sb, kcb * NR, take),
+                            lo: sliver_span(bl, sb, kcb * NR, take),
                         }
                     }
                 };
                 let j0 = jc + sb * NR;
-                let cols = NR.min(ncb - sb * NR);
+                let cols = (take * NR).min(ncb - sb * NR);
                 for rb in 0..row_blocks {
                     let a_pair = PlanePair {
                         hi: sliver(&a_hi, rb, kcb * MR),
@@ -831,15 +857,49 @@ fn worker(
                     };
                     let i0 = ic + rb * MR;
                     let rows = MR.min(mcb - rb * MR);
-                    // SAFETY: tile (i0, j0, rows, cols) regions are
-                    // disjoint across workers and in-bounds of the
-                    // m_out x n output.
-                    unsafe {
-                        let mut acc = load_acc(shared.0, ctx.n, i0, j0, rows, cols);
-                        microkernel(&mut acc, a_pair, b_pair, kcb, plan.tk, terms);
-                        store_acc(&acc, shared.0, ctx.n, i0, j0, rows, cols);
+                    let kernel = jit_active.and_then(|cache| {
+                        let isa = if take == 2 {
+                            jit::Isa::Avx512
+                        } else {
+                            jit::Isa::Avx
+                        };
+                        let key = jit::KernelKey::new(isa, terms, plan.tk, kcb, rows, cols)?;
+                        jit_memo.get(cache, key)
+                    });
+                    match kernel {
+                        // SAFETY: the kernel was compiled (and verified
+                        // against the interpreted path) for exactly
+                        // this (terms, tk, kcb, rows, cols); the pairs
+                        // hold `take` packed slivers; tile regions
+                        // (i0, j0, rows, cols) are disjoint across
+                        // workers and in-bounds of the m_out x n
+                        // output.
+                        Some(f) => unsafe {
+                            jit::call(f, a_pair, b_pair, shared.0.add(i0 * ctx.n + j0), ctx.n);
+                        },
+                        None => {
+                            for s in 0..take {
+                                if s * NR >= cols {
+                                    break; // ragged pair: lone last strip
+                                }
+                                let cols_s = NR.min(cols - s * NR);
+                                let b_s = PlanePair {
+                                    hi: sliver(b_pair.hi, s, kcb * NR),
+                                    lo: sliver(b_pair.lo, s, kcb * NR),
+                                };
+                                // SAFETY: as above — disjoint, in-bounds
+                                // strip regions of the shared output.
+                                unsafe {
+                                    let (n, j) = (ctx.n, j0 + s * NR);
+                                    let mut acc = load_acc(shared.0, n, i0, j, rows, cols_s);
+                                    microkernel(&mut acc, a_pair, b_s, kcb, plan.tk, terms);
+                                    store_acc(&acc, shared.0, n, i0, j, rows, cols_s);
+                                }
+                            }
+                        }
                     }
                 }
+                sb += take;
             }
             telemetry::span_end(telemetry::Phase::Tile, t_tile, t as u64);
             pc += kcb;
@@ -852,10 +912,18 @@ fn worker(
 /// unused (empty) plane.
 #[inline]
 fn sliver(buf: &[f32], idx: usize, len: usize) -> &[f32] {
+    sliver_span(buf, idx, len, 1)
+}
+
+/// `take` consecutive packed slivers starting at `idx` as one slice
+/// (slivers are contiguous at stride `len`), or an empty slice for an
+/// unused (empty) plane.
+#[inline]
+fn sliver_span(buf: &[f32], idx: usize, len: usize, take: usize) -> &[f32] {
     if buf.is_empty() {
         &[]
     } else {
-        &buf[idx * len..(idx + 1) * len]
+        &buf[idx * len..(idx + take) * len]
     }
 }
 

@@ -415,12 +415,27 @@ impl PackedB {
 
     /// The `kcb x NR` sliver of global strip `strip` in panel `panel`
     /// (whose actual depth is `kcb`).
-    #[inline]
+    #[cfg(test)]
     pub(crate) fn sliver(&self, lo_plane: bool, panel: usize, kcb: usize, strip: usize) -> &[f32] {
-        debug_assert!(strip < self.strips && kcb <= self.kc);
+        self.sliver_span(lo_plane, panel, kcb, strip, 1)
+    }
+
+    /// `take` consecutive strips' slivers as one `take x kcb x NR`
+    /// slice — strips of one panel are packed contiguously, which is
+    /// what lets the JIT's dual-strip kernels read a fused sliver.
+    #[inline]
+    pub(crate) fn sliver_span(
+        &self,
+        lo_plane: bool,
+        panel: usize,
+        kcb: usize,
+        strip: usize,
+        take: usize,
+    ) -> &[f32] {
+        debug_assert!(strip + take <= self.strips && kcb <= self.kc);
         let plane = if lo_plane { &self.lo } else { &self.hi };
         let base = panel * self.panel_stride + strip * kcb * NR;
-        &plane[base..base + kcb * NR]
+        &plane[base..base + take * kcb * NR]
     }
 }
 

@@ -26,6 +26,7 @@
 //! bit-identical preparation work is reused or redone.
 
 use super::cache::{fingerprint, lock_unpoisoned, CacheKey, PanelCache};
+use super::jit;
 use super::pack::PackedB;
 use super::sched::{SchedCounters, SchedStats};
 use crate::envcfg::{self, EnvNum};
@@ -223,6 +224,7 @@ pub struct EngineRuntime {
     default_threads: usize,
     split_kernel: SplitKernel,
     cache: PanelCache,
+    jit: jit::KernelCache,
     sched: SchedCounters,
     pool: Pool,
 }
@@ -252,6 +254,7 @@ impl EngineRuntime {
             default_threads: cfg.threads.max(1),
             split_kernel: cfg.split_kernel,
             cache: PanelCache::new(cfg.cache_bytes),
+            jit: jit::KernelCache::new(),
             sched: SchedCounters::default(),
             pool: Pool::new(),
         })
@@ -276,9 +279,23 @@ impl EngineRuntime {
     }
 
     /// Lifetime cache counters (hits/misses/evictions/resident bytes,
-    /// plus how many splits and packs actually executed).
+    /// plus how many splits and packs actually executed, plus the
+    /// compiled-kernel cache's compiles/hits/compile-time/code-bytes).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut s = self.cache.stats();
+        self.jit.fill_stats(&mut s);
+        s
+    }
+
+    /// The compiled-kernel cache, `Some` only when this process can run
+    /// JIT kernels at all (x86-64 Linux with AVX and `EGEMM_JIT` on);
+    /// callers holding `None` use the interpreted microkernel.
+    pub(crate) fn jit_cache(&self) -> Option<&jit::KernelCache> {
+        if self.jit.isa().is_some() {
+            Some(&self.jit)
+        } else {
+            None
+        }
     }
 
     /// Lifetime scheduler counters: steals, tiles moved by steals, and

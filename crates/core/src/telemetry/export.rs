@@ -116,7 +116,7 @@ impl GemmReport {
         }
         s.push_str("},\"cache\":{");
         s.push_str(&format!(
-            "\"hits\":{},\"misses\":{},\"evictions\":{},\"splits\":{},\"packs\":{},\"hit_ratio\":{:.4},\"resident_bytes\":{},\"bytes_staging_saved\":{}",
+            "\"hits\":{},\"misses\":{},\"evictions\":{},\"splits\":{},\"packs\":{},\"hit_ratio\":{:.4},\"resident_bytes\":{},\"bytes_staging_saved\":{},\"jit_compiles\":{},\"jit_hits\":{},\"jit_compile_ns\":{},\"jit_code_bytes\":{}",
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
@@ -124,7 +124,11 @@ impl GemmReport {
             self.cache.packs,
             self.cache.hit_ratio(),
             self.cache.bytes,
-            self.cache.bytes_staging_saved
+            self.cache.bytes_staging_saved,
+            self.cache.jit_compiles,
+            self.cache.jit_hits,
+            self.cache.jit_compile_ns,
+            self.cache.jit_code_bytes
         ));
         s.push_str("},\"sched\":{");
         s.push_str(&format!(

@@ -125,11 +125,16 @@ pub enum Phase {
     /// Time spent waiting on another worker's in-flight pack of a
     /// shared B panel (detail: k-panel index within the column block).
     PanelWait = 10,
+    /// One microkernel JIT compilation — IR lowering, register
+    /// allocation, encoding, W^X publication, and verification against
+    /// the interpreted kernel (detail: executable bytes published, 0
+    /// when compilation failed).
+    JitCompile = 11,
 }
 
 impl Phase {
     /// Number of phases (array-aggregation bound).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every phase, in discriminant order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -144,6 +149,7 @@ impl Phase {
         Phase::FusedSplitPack,
         Phase::Steal,
         Phase::PanelWait,
+        Phase::JitCompile,
     ];
 
     /// Stable lowercase name used by every exporter.
@@ -160,6 +166,7 @@ impl Phase {
             Phase::FusedSplitPack => "fused_split_pack",
             Phase::Steal => "steal",
             Phase::PanelWait => "panel_wait",
+            Phase::JitCompile => "jit_compile",
         }
     }
 

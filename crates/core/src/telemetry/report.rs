@@ -154,6 +154,11 @@ impl GemmReport {
                 packs: cache_after.packs - cache_before.packs,
                 bytes_staging_saved: cache_after.bytes_staging_saved
                     - cache_before.bytes_staging_saved,
+                jit_compiles: cache_after.jit_compiles - cache_before.jit_compiles,
+                jit_hits: cache_after.jit_hits - cache_before.jit_hits,
+                jit_compile_ns: cache_after.jit_compile_ns - cache_before.jit_compile_ns,
+                // Resident code bytes are a level, not a rate.
+                jit_code_bytes: cache_after.jit_code_bytes,
             },
             sched: sched_after.delta_since(&sched_before),
             workers,

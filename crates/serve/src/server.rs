@@ -384,6 +384,7 @@ impl Client {
             metrics::gauge("egemm_cache_misses").set(cache.misses as i64);
             metrics::gauge("egemm_cache_resident_bytes").set(cache.bytes as i64);
             metrics::gauge("egemm_bytes_staging_saved").set(cache.bytes_staging_saved as i64);
+            metrics::gauge("egemm_jit_code_bytes").set(cache.jit_code_bytes as i64);
             let sched = rt.sched_stats();
             metrics::gauge("egemm_sched_steals").set(sched.steals as i64);
             metrics::gauge("egemm_sched_tiles_stolen").set(sched.tiles_stolen as i64);

@@ -153,12 +153,24 @@ fn main() {
     // the three calls: the fused cold call covers FusedSplitPack, Tile,
     // CacheLookup, Dispatch, Park and Worker; the staged reference
     // covers Split, PackA and PackB. Phases the cold call recorded must
-    // also appear by name in its exported trace.
+    // also appear by name in its exported trace. Two phases are
+    // machine-dependent: PanelWait needs a second core actually running
+    // a pool worker concurrently (on a 1-core host the submitting
+    // thread drains every tile before any worker wakes, so nobody ever
+    // waits on a racing pack), and JitCompile only fires where the
+    // process can publish JIT kernels at all.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     for phase in Phase::ALL {
         let n = cold_report.phase_count(phase)
             + warm_report.phase_count(phase)
             + staged_report.phase_count(phase);
-        assert!(n > 0, "phase {} recorded no spans", phase.name());
+        let machine_dependent = (phase == Phase::PanelWait && cores < 2)
+            || (phase == Phase::JitCompile && !egemm::jit_available());
+        assert!(
+            n > 0 || machine_dependent,
+            "phase {} recorded no spans",
+            phase.name()
+        );
         if cold_report.phase_count(phase) > 0 {
             assert!(
                 trace.contains(&format!("\"name\":\"{}\"", phase.name())),
@@ -214,7 +226,7 @@ fn main() {
         .map(|l| l.worker)
         .collect();
     assert!(
-        tile_lanes.len() > 1,
+        tile_lanes.len() > 1 || cores < 2,
         "tile spans landed on a single thread: {tile_lanes:?}"
     );
     for w in &tile_lanes {

@@ -516,3 +516,133 @@ fn row_sampling_validates_upfront() {
     let msg = *dup.unwrap_err().downcast::<String>().unwrap();
     assert!(msg.contains("strictly ascending"), "{msg}");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// JIT-dispatched execution bit-equals the interpreted microkernel
+    /// across schemes, pool sizes, split-K offsets, and ragged shapes.
+    /// On hosts without a JIT backend both configs run interpreted and
+    /// the property holds trivially; everywhere else this is the
+    /// end-to-end check that compiled kernels are drop-in replacements.
+    #[test]
+    fn jit_bit_identical_to_interpreted(
+        m in 1usize..24,
+        k in 1usize..48,
+        n in 1usize..40,
+        scheme_idx in 0usize..4,
+        tk_idx in 0usize..3,
+        pool_idx in 0usize..2,
+        cut_num in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let scheme = SCHEMES[scheme_idx];
+        let tk = [4usize, 8, 16][tk_idx];
+        let threads = [1usize, 4][pool_idx];
+        let (sa, sb) = split_pair(m, k, n, scheme, seed);
+        let base = EngineConfig { mc: 8, nc: 32, kc: 16, threads, ..Default::default() };
+        let jit_cfg = EngineConfig { jit: true, ..base };
+        let int_cfg = EngineConfig { jit: false, ..base };
+
+        let dj = gemm_blocked(&sa, &sb, None, scheme, tk, jit_cfg);
+        let di = gemm_blocked(&sa, &sb, None, scheme, tk, int_cfg);
+        for (x, y) in dj.as_slice().iter().zip(di.as_slice()) {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "{:?} {}x{}x{} tk={} threads={}", scheme, m, k, n, tk, threads
+            );
+        }
+
+        // Split-K slice: kernels bake the panel depth, so an offset
+        // range exercises short first/last panels under the JIT too.
+        let k_lo = (cut_num * k / 8).min(k - 1);
+        let rj = gemm_blocked_range(&sa, &sb, k_lo, k, scheme, tk, jit_cfg);
+        let ri = gemm_blocked_range(&sa, &sb, k_lo, k, scheme, tk, int_cfg);
+        for (x, y) in rj.as_slice().iter().zip(ri.as_slice()) {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "range [{}..{}) {:?} tk={} threads={}", k_lo, k, scheme, tk, threads
+            );
+        }
+    }
+}
+
+#[test]
+fn jit_edge_masks_bit_identical() {
+    // Deterministic sweep over every column residue a tile can end
+    // with: 1..=16 covers all single-strip (AVX) edge masks, 17..=32
+    // all dual-strip (AVX-512) masks, 33 a dual-strip pair plus a lone
+    // ragged strip. Row residues cycle 1..=4 alongside; k = 20 with
+    // kc = 16 gives one looped panel (two tk=8 chunks) and one
+    // ragged-only panel (4 deep).
+    let scheme = EmulationScheme::MarkidisFourTerm; // most term planes
+    let tk = 8usize;
+    for n in 1usize..=33 {
+        let m = 4 + (n % 4) + 1; // rows residue 1..=4 across the sweep
+        let (sa, sb) = split_pair(m, 20, n, scheme, n as u64);
+        let base = EngineConfig {
+            mc: 8,
+            nc: 64,
+            kc: 16,
+            threads: 1,
+            ..Default::default()
+        };
+        let dj = gemm_blocked(&sa, &sb, None, scheme, tk, base);
+        let di = gemm_blocked(
+            &sa,
+            &sb,
+            None,
+            scheme,
+            tk,
+            EngineConfig { jit: false, ..base },
+        );
+        for (x, y) in dj.as_slice().iter().zip(di.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "edge sweep n={n} m={m}");
+        }
+    }
+}
+
+#[test]
+fn jit_cache_compiles_each_key_exactly_once() {
+    // Same shapes, same runtime: the second call must be served
+    // entirely by the compiled-kernel cache (and the per-worker memos)
+    // without a single new compilation.
+    let scheme = EmulationScheme::EgemmTc;
+    let tk = 8usize;
+    let (sa, sb) = split_pair(23, 29, 31, scheme, 91);
+    let rt = EngineRuntime::new(RuntimeConfig {
+        threads: 2,
+        ..Default::default()
+    });
+    let cfg = EngineConfig {
+        mc: 8,
+        nc: 32,
+        kc: 16,
+        threads: 2,
+        ..Default::default()
+    };
+    let d1 = gemm_blocked_in(&rt, &sa, &sb, None, scheme, tk, cfg);
+    let after1 = rt.cache_stats();
+    let d2 = gemm_blocked_in(&rt, &sa, &sb, None, scheme, tk, cfg);
+    let after2 = rt.cache_stats();
+    assert_eq!(
+        after1.jit_compiles, after2.jit_compiles,
+        "a repeat call with identical shape classes recompiled kernels"
+    );
+    if egemm::jit_available() {
+        assert!(
+            after1.jit_compiles > 0,
+            "JIT available but nothing compiled"
+        );
+        assert!(
+            after2.jit_hits > after1.jit_hits,
+            "second call never hit the compiled-kernel cache"
+        );
+        assert!(after2.jit_code_bytes > 0 && after2.jit_compile_ns > 0);
+    } else {
+        assert_eq!(after1.jit_compiles, 0, "JIT unavailable but compiled");
+    }
+    for (x, y) in d1.as_slice().iter().zip(d2.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "cached kernels changed the bits");
+    }
+}
